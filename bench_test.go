@@ -1,0 +1,171 @@
+// Benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (plus the architectural ablations), each
+// regenerating its artifact through internal/experiments. Run
+//
+//	go test -bench=. -benchmem
+//
+// for the small-scale sweep, or
+//
+//	go test -bench=. -benchtime=1x -tags=large
+//
+// with cmd/experiments -large for paper-scale workloads. Reported
+// custom metrics carry each experiment's headline number so bench
+// output doubles as a results log.
+package gpuperf
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"gpuperf/internal/experiments"
+)
+
+var (
+	benchMu    sync.Mutex
+	benchSuite *experiments.Suite
+)
+
+func suite() *experiments.Suite {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if benchSuite == nil {
+		benchSuite = experiments.New(experiments.Small)
+	}
+	return benchSuite
+}
+
+// benchTable runs one experiment per iteration and reports a chosen
+// cell as a metric.
+func benchTable(b *testing.B, run func() (*experiments.Table, error), metricRow, metricCol int, metric string) {
+	b.Helper()
+	s := suite()
+	// Warm the calibration outside the timed region.
+	if _, err := s.Calibration(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.SliceCalibration(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tb, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tb
+	}
+	b.StopTimer()
+	if metric != "" && last != nil {
+		if v, err := strconv.ParseFloat(last.Cell(metricRow, metricCol), 64); err == nil {
+			b.ReportMetric(v, metric)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (instruction cost classes);
+// metric: Type II peak Ginstr/s.
+func BenchmarkTable1(b *testing.B) { benchTable(b, suite().Table1, 1, 3, "typeII-peak-Ginstr/s") }
+
+// BenchmarkFigure2Instr regenerates Fig. 2 left; metric: Type II
+// throughput at the largest warp count.
+func BenchmarkFigure2Instr(b *testing.B) {
+	benchTable(b, suite().Figure2Instr, 15, 2, "typeII-sat-Ginstr/s")
+}
+
+// BenchmarkFigure2Shared regenerates Fig. 2 right; metric: saturated
+// shared-memory bandwidth.
+func BenchmarkFigure2Shared(b *testing.B) {
+	benchTable(b, suite().Figure2Shared, 15, 1, "smem-sat-GB/s")
+}
+
+// BenchmarkFigure3Global regenerates Fig. 3; metric: bandwidth of
+// the first configuration at the largest block count.
+func BenchmarkFigure3Global(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		tb, err := suite().Figure3Global()
+		return tb, err
+	}, 14, 1, "gmem-56blk-GB/s")
+}
+
+// BenchmarkTable2 regenerates Table 2 (occupancy); metric: 32×32
+// active warps (paper: 6).
+func BenchmarkTable2(b *testing.B) { benchTable(b, suite().Table2, 2, 6, "warps-32x32") }
+
+// BenchmarkFigure4a regenerates Fig. 4a (matmul dynamic statistics);
+// metric: 16×16 computational density.
+func BenchmarkFigure4a(b *testing.B) { benchTable(b, suite().Figure4a, 1, 5, "density-16x16") }
+
+// BenchmarkFigure4b regenerates Fig. 4b (matmul breakdown); metric:
+// 16×16 measured ms.
+func BenchmarkFigure4b(b *testing.B) { benchTable(b, suite().Figure4b, 1, 5, "measured-16x16-ms") }
+
+// BenchmarkFigure6a regenerates Fig. 6a (CR per-step breakdown);
+// metric: step 2 shared-memory ms.
+func BenchmarkFigure6a(b *testing.B) { benchTable(b, suite().Figure6a, 2, 2, "cr-step2-shared-ms") }
+
+// BenchmarkFigure6b regenerates Fig. 6b (CR-NBC breakdown); metric:
+// step 2 instruction ms.
+func BenchmarkFigure6b(b *testing.B) { benchTable(b, suite().Figure6b, 2, 3, "nbc-step2-instr-ms") }
+
+// BenchmarkFigure7a regenerates Fig. 7a (per-step shared-memory
+// bandwidth); metric: step 1 GB/s (paper: 1029).
+func BenchmarkFigure7a(b *testing.B) { benchTable(b, suite().Figure7a, 0, 2, "step1-GB/s") }
+
+// BenchmarkFigure7b regenerates Fig. 7b (transactions ± conflicts);
+// metric: step 1 conflict factor.
+func BenchmarkFigure7b(b *testing.B) { benchTable(b, suite().Figure7b, 0, 3, "step1-conflict-factor") }
+
+// BenchmarkFigure8 regenerates Fig. 8 (CR vs CR-NBC totals); metric:
+// CR measured ms.
+func BenchmarkFigure8(b *testing.B) { benchTable(b, suite().Figure8, 0, 1, "cr-measured-ms") }
+
+// BenchmarkFigure11a regenerates Fig. 11a (bytes per entry); metric:
+// BELL+IMIV vector bytes at 32 B granularity.
+func BenchmarkFigure11a(b *testing.B) { benchTable(b, suite().Figure11a, 6, 4, "imiv-vector-B/entry") }
+
+// BenchmarkFigure11b regenerates Fig. 11b (SpMV breakdown); metric:
+// BELL+IMIV measured ms.
+func BenchmarkFigure11b(b *testing.B) { benchTable(b, suite().Figure11b, 2, 5, "imiv-measured-ms") }
+
+// BenchmarkFigure12 regenerates Fig. 12 (GFLOPS ± texture cache);
+// metric: BELL+IMIV+Cache GFLOPS.
+func BenchmarkFigure12(b *testing.B) { benchTable(b, suite().Figure12, 5, 1, "imiv-cache-GFLOPS") }
+
+// BenchmarkAblationMaxBlocks measures the 8→16 resident-block
+// ablation; metric: 16×16 speedup.
+func BenchmarkAblationMaxBlocks(b *testing.B) {
+	benchTable(b, suite().AblationMaxBlocks, 1, 3, "speedup-16x16")
+}
+
+// BenchmarkAblationBigSM measures the 3× register/smem ablation;
+// metric: 32×32 speedup.
+func BenchmarkAblationBigSM(b *testing.B) {
+	benchTable(b, suite().AblationBigSM, 0, 3, "speedup-32x32")
+}
+
+// BenchmarkAblationPrimeBanks measures the 17-bank ablation; metric:
+// plain-CR speedup.
+func BenchmarkAblationPrimeBanks(b *testing.B) {
+	benchTable(b, suite().AblationPrimeBanks, 0, 3, "cr-speedup")
+}
+
+// BenchmarkAblationSegment16 measures the 16-byte-transaction
+// ablation; metric: ELL speedup.
+func BenchmarkAblationSegment16(b *testing.B) {
+	benchTable(b, suite().AblationSegment16, 0, 3, "ell-speedup")
+}
+
+// BenchmarkAblationEarlyRelease measures the early-resource-release
+// ablation; metric: CR speedup.
+func BenchmarkAblationEarlyRelease(b *testing.B) {
+	benchTable(b, suite().AblationEarlyRelease, 0, 3, "cr-speedup")
+}
+
+// BenchmarkExtensionMatrixStructures sweeps the SpMV formats over
+// banded / QCD-like / random matrices; metric: banded IMIV vector
+// bytes per entry.
+func BenchmarkExtensionMatrixStructures(b *testing.B) {
+	benchTable(b, suite().ExtensionMatrixStructures, 1, 2, "banded-imiv-vec-B/entry")
+}

@@ -1,0 +1,46 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section (plus the architectural-improvement
+// ablations) and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [-large] [-only substring]
+//
+// -large runs paper-scale workloads (minutes); the default small
+// scale finishes in under a minute. -only filters experiments by
+// title substring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpuperf/internal/experiments"
+)
+
+func main() {
+	large := flag.Bool("large", false, "run paper-scale workloads")
+	only := flag.String("only", "", "run only experiments whose title contains this substring")
+	flag.Parse()
+
+	scale := experiments.Small
+	if *large {
+		scale = experiments.Large
+	}
+	suite := experiments.New(scale)
+
+	tables, err := suite.All()
+	// Print whatever completed even on error.
+	for _, tb := range tables {
+		if *only != "" && !strings.Contains(strings.ToLower(tb.Title), strings.ToLower(*only)) {
+			continue
+		}
+		tb.Fprint(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

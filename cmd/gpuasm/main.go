@@ -1,0 +1,179 @@
+// Command gpuasm is the Decuda/cudasm-style binary toolchain: it
+// assembles kernel text into CUBIN-like containers, disassembles
+// containers back to text, and rewrites a kernel inside an existing
+// container — the binary-modification loop the paper's CUBIN
+// generator performs to build microbenchmarks the compiler cannot
+// interfere with.
+//
+// Usage:
+//
+//	gpuasm as  -o out.gcub in.s          assemble text to container
+//	gpuasm dis in.gcub                   disassemble to stdout
+//	gpuasm rewrite -kernel name -with repl.s -o out.gcub in.gcub
+//	gpuasm gen -kind ichain|scopy|gstream -o out.gcub   generate a
+//	                                     microbenchmark kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuperf/internal/asm"
+	"gpuperf/internal/cubin"
+	"gpuperf/internal/isa"
+	"gpuperf/internal/microbench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "as":
+		err = cmdAs(os.Args[2:])
+	case "dis":
+		err = cmdDis(os.Args[2:])
+	case "rewrite":
+		err = cmdRewrite(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpuasm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gpuasm as|dis|rewrite|gen ...")
+	os.Exit(2)
+}
+
+func cmdAs(args []string) error {
+	fs := flag.NewFlagSet("as", flag.ExitOnError)
+	out := fs.String("o", "out.gcub", "output container")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("as wants one input file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	progs, err := asm.AssembleAll(string(src))
+	if err != nil {
+		return err
+	}
+	c := &cubin.Container{Kernels: progs}
+	raw, err := c.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, raw, 0o644)
+}
+
+func cmdDis(args []string) error {
+	fs := flag.NewFlagSet("dis", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dis wants one container file")
+	}
+	raw, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := cubin.Unmarshal(raw)
+	if err != nil {
+		return err
+	}
+	for _, k := range c.Kernels {
+		fmt.Print(asm.Disassemble(k))
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdRewrite(args []string) error {
+	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
+	kernel := fs.String("kernel", "", "kernel name to replace")
+	with := fs.String("with", "", "assembler file with the replacement body")
+	out := fs.String("o", "out.gcub", "output container")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *kernel == "" || *with == "" {
+		return fmt.Errorf("rewrite wants -kernel, -with and one container file")
+	}
+	raw, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := cubin.Unmarshal(raw)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(*with)
+	if err != nil {
+		return err
+	}
+	repl, err := asm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	if err := c.Rewrite(*kernel, repl); err != nil {
+		return err
+	}
+	raw2, err := c.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, raw2, 0o644)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "ichain", "ichain | scopy | gstream")
+	op := fs.String("op", "fmad", "instruction for ichain")
+	n := fs.Int("n", 256, "chain length / iterations / transactions")
+	stride := fs.Int("stride", 1, "word stride for scopy")
+	threads := fs.Int("threads", 7680, "total threads for gstream")
+	out := fs.String("o", "bench.gcub", "output container")
+	fs.Parse(args)
+
+	var prog *isa.Program
+	var err error
+	switch *kind {
+	case "ichain":
+		opcode, ok := opByName(*op)
+		if !ok {
+			return fmt.Errorf("unknown op %q", *op)
+		}
+		prog, err = microbench.InstrChain(opcode, *n)
+	case "scopy":
+		prog, err = microbench.SharedCopy(*n, *stride)
+	case "gstream":
+		prog, err = microbench.GlobalStream(*n, *threads, 1<<22)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	c := &cubin.Container{Kernels: []*isa.Program{prog}}
+	raw, err := c.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, raw, 0o644)
+}
+
+func opByName(name string) (isa.Opcode, bool) {
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		if op.String() == name {
+			return op, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,172 @@
+// Command gpuperf runs the paper's full analysis workflow (Fig. 1)
+// on one of the built-in case-study kernels and prints the model's
+// report: per-component times, bottleneck, causes, per-stage
+// breakdown, and the measured (device-simulator) time next to the
+// prediction.
+//
+// Usage:
+//
+//	gpuperf -kernel matmul16 | matmul8 | matmul32 | cr | cr-nbc |
+//	        spmv-ell | spmv-bell-im | spmv-bell-imiv
+//	        [-disasm] [-n size]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"gpuperf/internal/asm"
+	"gpuperf/internal/barra"
+	"gpuperf/internal/device"
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/kernels"
+	"gpuperf/internal/model"
+	"gpuperf/internal/sparse"
+	"gpuperf/internal/timing"
+	"gpuperf/internal/tridiag"
+)
+
+func main() {
+	kernel := flag.String("kernel", "matmul16", "kernel to analyze")
+	disasm := flag.Bool("disasm", false, "print the kernel disassembly and exit")
+	n := flag.Int("n", 0, "problem size override (matrix dim / systems / block rows)")
+	calFile := flag.String("cal", "", "calibration cache file (loaded if present, written after calibrating)")
+	flag.Parse()
+
+	if err := run(*kernel, *disasm, *n, *calFile); err != nil {
+		fmt.Fprintf(os.Stderr, "gpuperf: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(kernel string, disasm bool, n int, calFile string) error {
+	cfg := gpu.GTX285()
+	l, mem, err := buildKernel(cfg, kernel, n)
+	if err != nil {
+		return err
+	}
+	if disasm {
+		fmt.Print(asm.Disassemble(l.Prog))
+		return nil
+	}
+
+	fmt.Printf("device: %s (%d SMs, %.0f GFLOPS peak)\n", cfg.Name, cfg.NumSMs, cfg.PeakGFLOPS())
+	fmt.Printf("kernel: %s, %d blocks x %d threads\n\n", l.Prog.Name, l.Grid, l.Block)
+
+	cal, err := obtainCalibration(cfg, calFile)
+	if err != nil {
+		return err
+	}
+
+	est, _, err := model.Predict(cal, l, mem, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(est.Report())
+
+	// Measured time on a fresh copy of the data.
+	_, mem2, err := buildKernel(cfg, kernel, n)
+	if err != nil {
+		return err
+	}
+	meas, err := device.Run(cfg, l, mem2)
+	if err != nil {
+		return err
+	}
+	fmt.Println("measured (device simulator):")
+	fmt.Println(meas.Report())
+	fmt.Printf("prediction error: %.1f%%\n", est.CompareError(meas.Seconds)*100)
+	return nil
+}
+
+// obtainCalibration loads the calibration cache when available and
+// valid for this configuration; otherwise it calibrates and, when a
+// path was given, writes the cache.
+func obtainCalibration(cfg gpu.Config, path string) (*timing.Calibration, error) {
+	if path != "" {
+		if data, err := os.ReadFile(path); err == nil {
+			if cal, err := timing.LoadCalibration(data); err == nil && cal.Config().Name == cfg.Name {
+				fmt.Printf("loaded calibration from %s\n", path)
+				return cal, nil
+			}
+		}
+	}
+	fmt.Println("calibrating model (microbenchmarks)...")
+	cal, err := timing.Calibrate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		data, err := cal.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Printf("saved calibration to %s\n", path)
+	}
+	return cal, nil
+}
+
+func buildKernel(cfg gpu.Config, kernel string, n int) (barra.Launch, *barra.Memory, error) {
+	rng := rand.New(rand.NewSource(1))
+	switch kernel {
+	case "matmul8", "matmul16", "matmul32":
+		tile := map[string]int{"matmul8": 8, "matmul16": 16, "matmul32": 32}[kernel]
+		if n == 0 {
+			n = 256
+		}
+		mm, err := kernels.NewMatmul(n, tile)
+		if err != nil {
+			return barra.Launch{}, nil, err
+		}
+		a := make([]float32, n*n)
+		b := make([]float32, n*n)
+		for i := range a {
+			a[i], b[i] = rng.Float32(), rng.Float32()
+		}
+		mem, err := mm.NewMemory(a, b)
+		return mm.Launch(), mem, err
+
+	case "cr", "cr-nbc":
+		if n == 0 {
+			n = 128
+		}
+		solver, err := kernels.NewCR(cfg, n, 512, kernel == "cr-nbc", false)
+		if err != nil {
+			return barra.Launch{}, nil, err
+		}
+		systems := make([]tridiag.System, n)
+		for i := range systems {
+			systems[i] = tridiag.NewRandom(512, rng)
+		}
+		mem, err := solver.NewMemory(systems)
+		return solver.Launch(), mem, err
+
+	case "spmv-ell", "spmv-bell-im", "spmv-bell-imiv":
+		if n == 0 {
+			n = 8192
+		}
+		kind := map[string]kernels.SpMVKind{
+			"spmv-ell": kernels.ELL, "spmv-bell-im": kernels.BELLIM, "spmv-bell-imiv": kernels.BELLIMIV,
+		}[kernel]
+		m, err := sparse.GenQCDLike(n, 9, rng)
+		if err != nil {
+			return barra.Launch{}, nil, err
+		}
+		sp, err := kernels.NewSpMV(kind, m)
+		if err != nil {
+			return barra.Launch{}, nil, err
+		}
+		x := make([]float32, m.Rows())
+		for i := range x {
+			x[i] = rng.Float32()
+		}
+		mem, err := sp.NewMemory(x)
+		return sp.Launch(), mem, err
+	}
+	return barra.Launch{}, nil, fmt.Errorf("unknown kernel %q", kernel)
+}

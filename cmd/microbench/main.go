@@ -1,0 +1,44 @@
+// Command microbench regenerates the microbenchmark curves of paper
+// §4: instruction throughput per class and shared-memory bandwidth
+// versus warps per SM (Fig. 2), and the synthetic global-memory
+// bandwidth sweep (Fig. 3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuperf/internal/experiments"
+)
+
+func main() {
+	large := flag.Bool("large", false, "dense Fig. 3 sweep (slower)")
+	chart := flag.Bool("chart", false, "render ASCII bar charts instead of tables")
+	flag.Parse()
+
+	scale := experiments.Small
+	if *large {
+		scale = experiments.Large
+	}
+	s := experiments.New(scale)
+
+	type curve struct {
+		run func() (*experiments.Table, error)
+		col int // charted column
+	}
+	for _, c := range []curve{
+		{s.Table1, 3}, {s.Figure2Instr, 2}, {s.Figure2Shared, 1}, {s.Figure3Global, 1},
+	} {
+		tb, err := c.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *chart {
+			fmt.Println(tb.Chart(c.col, 50))
+		} else {
+			tb.Fprint(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package gpuperf is a reproduction of "A Quantitative Performance
+// Analysis Model for GPU Architectures" (Zhang & Owens, HPCA 2011)
+// as a pure-Go library.
+//
+// The paper's workflow — native-ISA kernels, a functional simulator
+// collecting dynamic statistics, microbenchmark-calibrated
+// throughput curves, and a three-component performance model that
+// identifies bottlenecks — lives under internal/ (one package per
+// subsystem; see DESIGN.md for the inventory). Executables are in
+// cmd/, runnable case studies in examples/, and the benchmark
+// harness regenerating every paper table and figure in
+// bench_test.go next to this file.
+package gpuperf

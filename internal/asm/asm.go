@@ -1,0 +1,364 @@
+// Package asm provides a text assembler and disassembler for the
+// native ISA — the analogue of the Decuda/cudasm toolchain the paper
+// relies on to read and rewrite GPU binaries behind the compiler's
+// back.
+//
+// The text syntax, one instruction per line:
+//
+//	.kernel name        directives open a kernel and declare
+//	.regs 30            per-thread register count and
+//	.smem 1088          static shared memory bytes
+//	@p0 fmad r2, r3, r4, r2
+//	@!p1 bra @12        guarded branch to instruction index 12
+//	isetp.lt p0, r1, 0x20
+//	sld r6, r5          shared load: dst, address register
+//	gst r5, r7          global store: address register, value
+//	bar.sync
+//	exit
+//
+// Comments run from ';' or '#' to end of line. Immediates are
+// decimal, 0x-hex, or f:<float> for a float32 bit pattern.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"gpuperf/internal/isa"
+)
+
+// Assemble parses assembler text containing exactly one kernel and
+// returns the program.
+func Assemble(src string) (*isa.Program, error) {
+	progs, err := AssembleAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(progs) != 1 {
+		return nil, fmt.Errorf("asm: expected 1 kernel, found %d", len(progs))
+	}
+	return progs[0], nil
+}
+
+// AssembleAll parses assembler text containing any number of
+// kernels.
+func AssembleAll(src string) ([]*isa.Program, error) {
+	var (
+		progs []*isa.Program
+		cur   *isa.Program
+	)
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := directive(line, &cur, &progs); err != nil {
+				return nil, fmt.Errorf("asm: line %d: %w", lineno+1, err)
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("asm: line %d: instruction before .kernel", lineno+1)
+		}
+		in, err := parseInstruction(line)
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineno+1, err)
+		}
+		cur.Code = append(cur.Code, in)
+	}
+	if cur != nil {
+		progs = append(progs, cur)
+	}
+	for _, p := range progs {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return progs, nil
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+func directive(line string, cur **isa.Program, progs *[]*isa.Program) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".kernel":
+		if len(fields) != 2 {
+			return fmt.Errorf(".kernel wants a name")
+		}
+		if *cur != nil {
+			*progs = append(*progs, *cur)
+		}
+		*cur = &isa.Program{Name: fields[1]}
+		return nil
+	case ".regs", ".smem":
+		if *cur == nil {
+			return fmt.Errorf("%s before .kernel", fields[0])
+		}
+		if len(fields) != 2 {
+			return fmt.Errorf("%s wants one integer", fields[0])
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf("%s: bad count %q", fields[0], fields[1])
+		}
+		if fields[0] == ".regs" {
+			(*cur).RegsPerThread = n
+		} else {
+			(*cur).SharedMemBytes = n
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q", fields[0])
+}
+
+var opByName = func() map[string]isa.Opcode {
+	m := make(map[string]isa.Opcode, isa.NumOpcodes)
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+var cmpByName = func() map[string]isa.CmpOp {
+	m := make(map[string]isa.CmpOp, isa.NumCmps)
+	for c := isa.CmpOp(0); int(c) < isa.NumCmps; c++ {
+		m[c.String()] = c
+	}
+	return m
+}()
+
+func parseInstruction(line string) (isa.Instruction, error) {
+	var in isa.Instruction
+	in.Guard = isa.PT
+
+	// Guard prefix: @p0 or @!p2.
+	if strings.HasPrefix(line, "@") {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return in, fmt.Errorf("guard without instruction: %q", line)
+		}
+		g := line[1:sp]
+		if strings.HasPrefix(g, "!") {
+			in.GuardNeg = true
+			g = g[1:]
+		}
+		p, err := parsePred(g)
+		if err != nil {
+			return in, err
+		}
+		in.Guard = p
+		line = strings.TrimSpace(line[sp+1:])
+	}
+
+	// Mnemonic, optionally with .cmp suffix.
+	sp := strings.IndexByte(line, ' ')
+	mnem := line
+	rest := ""
+	if sp >= 0 {
+		mnem, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+	}
+	if dot := strings.LastIndexByte(mnem, '.'); dot > 0 && mnem != "bar.sync" {
+		if c, ok := cmpByName[mnem[dot+1:]]; ok {
+			in.Cmp = c
+			mnem = mnem[:dot]
+		}
+	}
+	op, ok := opByName[mnem]
+	if !ok {
+		return in, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	in.Op = op
+
+	args := splitArgs(rest)
+	return buildOperands(in, args)
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parsePred(s string) (isa.Pred, error) {
+	if s == "pt" {
+		return isa.PT, nil
+	}
+	if len(s) >= 2 && s[0] == 'p' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumPreds {
+			return isa.Pred(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad predicate %q", s)
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+var sregByName = func() map[string]isa.SReg {
+	m := make(map[string]isa.SReg, isa.NumSRegs)
+	for s := isa.SReg(0); int(s) < isa.NumSRegs; s++ {
+		m[s.String()] = s
+	}
+	return m
+}()
+
+// parseSource parses a source operand; at most one immediate per
+// instruction.
+func parseSource(s string, in *isa.Instruction, haveImm *bool) (isa.Operand, error) {
+	switch {
+	case strings.HasPrefix(s, "s[") && strings.HasSuffix(s, "]"):
+		v, err := parseImm(s[2 : len(s)-1])
+		if err != nil {
+			return isa.Operand{}, fmt.Errorf("bad shared operand %q", s)
+		}
+		if *haveImm && in.Imm != v {
+			return isa.Operand{}, fmt.Errorf("shared operand conflicts with immediate")
+		}
+		in.Imm = v
+		*haveImm = true
+		return isa.Smem(), nil
+	case strings.HasPrefix(s, "%"):
+		sr, ok := sregByName[s]
+		if !ok {
+			return isa.Operand{}, fmt.Errorf("bad special register %q", s)
+		}
+		return isa.SR(sr), nil
+	case strings.HasPrefix(s, "r") && !strings.HasPrefix(s, "rz"):
+		r, err := parseReg(s)
+		if err != nil {
+			return isa.Operand{}, err
+		}
+		return isa.R(r), nil
+	default:
+		v, err := parseImm(s)
+		if err != nil {
+			return isa.Operand{}, err
+		}
+		if *haveImm && in.Imm != v {
+			return isa.Operand{}, fmt.Errorf("multiple distinct immediates in one instruction")
+		}
+		in.Imm = v
+		*haveImm = true
+		return isa.Imm(), nil
+	}
+}
+
+func parseImm(s string) (uint32, error) {
+	if strings.HasPrefix(s, "f:") {
+		f, err := strconv.ParseFloat(s[2:], 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad float immediate %q", s)
+		}
+		return math.Float32bits(float32(f)), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil || v < math.MinInt32 || v > math.MaxUint32 {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return uint32(v), nil
+}
+
+func buildOperands(in isa.Instruction, args []string) (isa.Instruction, error) {
+	haveImm := false
+	srcs := make([]isa.Operand, 0, 3)
+
+	switch {
+	case in.Op == isa.OpBRA:
+		if len(args) != 1 || !strings.HasPrefix(args[0], "@") {
+			return in, fmt.Errorf("bra wants one @target")
+		}
+		t, err := strconv.Atoi(args[0][1:])
+		if err != nil || t < 0 {
+			return in, fmt.Errorf("bad branch target %q", args[0])
+		}
+		in.Target = int32(t)
+		return in, nil
+
+	case isa.WritesPredicate(in.Op):
+		if len(args) != 3 {
+			return in, fmt.Errorf("%s wants pdst, a, b", in.Op)
+		}
+		p, err := parsePred(args[0])
+		if err != nil || p == isa.PT {
+			return in, fmt.Errorf("bad predicate destination %q", args[0])
+		}
+		in.PDst = p
+		args = args[1:]
+
+	case isa.HasDst(in.Op):
+		if len(args) == 0 {
+			return in, fmt.Errorf("%s wants a destination", in.Op)
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return in, err
+		}
+		in.Dst = r
+		args = args[1:]
+	}
+
+	for _, a := range args {
+		// "+imm" is a memory-address offset, not an operand slot.
+		if strings.HasPrefix(a, "+") && isa.IsMemory(in.Op) {
+			v, err := parseImm(a[1:])
+			if err != nil {
+				return in, err
+			}
+			in.Imm = v
+			continue
+		}
+		o, err := parseSource(a, &in, &haveImm)
+		if err != nil {
+			return in, err
+		}
+		srcs = append(srcs, o)
+	}
+	if len(srcs) > 3 {
+		return in, fmt.Errorf("%s: too many operands", in.Op)
+	}
+	for i, o := range srcs {
+		switch i {
+		case 0:
+			in.SrcA = o
+		case 1:
+			in.SrcB = o
+		case 2:
+			in.SrcC = o
+		}
+	}
+	return in, in.Validate()
+}
+
+// Disassemble renders a program in the assembler's text syntax such
+// that Assemble(Disassemble(p)) reproduces p.
+func Disassemble(p *isa.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".kernel %s\n.regs %d\n.smem %d\n",
+		p.Name, p.RegsPerThread, p.SharedMemBytes)
+	for i, in := range p.Code {
+		fmt.Fprintf(&b, "%-40s ; [%d] %s\n", in.String(), i, isa.ClassOf(in.Op))
+	}
+	return b.String()
+}

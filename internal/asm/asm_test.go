@@ -1,0 +1,249 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gpuperf/internal/isa"
+)
+
+const sample = `
+; a toy kernel: out[tid] = a[tid] * b[tid] + c
+.kernel axpy
+.regs 8
+.smem 64
+s2r r0, %tid            ; thread index
+s2r r1, %ctaid
+imad r0, r1, %ntid, r0  # flat thread id
+shl r2, r0, 2
+gld r3, r2
+fmad r4, r3, f:2.0, r3
+isetp.lt p0, r0, 0x100
+@p0 gst r2, r4
+bar.sync
+exit
+`
+
+func TestAssembleSample(t *testing.T) {
+	p, err := Assemble(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "axpy" || p.RegsPerThread != 8 || p.SharedMemBytes != 64 {
+		t.Errorf("header wrong: %q %d %d", p.Name, p.RegsPerThread, p.SharedMemBytes)
+	}
+	if len(p.Code) != 10 {
+		t.Fatalf("got %d instructions, want 10", len(p.Code))
+	}
+	if p.Code[0].Op != isa.OpS2R || p.Code[0].SrcA != isa.SR(isa.SRTid) {
+		t.Errorf("instruction 0 = %v", p.Code[0])
+	}
+	fmad := p.Code[5]
+	if fmad.Op != isa.OpFMAD || fmad.SrcB.Kind != isa.KindImm {
+		t.Errorf("fmad = %v", fmad)
+	}
+	setp := p.Code[6]
+	if setp.Op != isa.OpISETP || setp.Cmp != isa.CmpLT || setp.PDst != isa.P0 || setp.Imm != 0x100 {
+		t.Errorf("isetp = %v", setp)
+	}
+	gst := p.Code[7]
+	if gst.Guard != isa.P0 || gst.GuardNeg {
+		t.Errorf("guard = %v", gst)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"mov r0, r1",                              // instruction before .kernel
+		".kernel k\nfrobnicate r1\nexit",          // unknown mnemonic
+		".kernel k\nmov r200, r1\nexit",           // bad register
+		".kernel k\nbra r1\nexit",                 // bra wants @target
+		".kernel k\nisetp.lt pt, r0, r1\nexit",    // pt as destination
+		".kernel k\nmov r0, 1, 2\nexit",           // two distinct immediates
+		".kernel k\n.regs -1\nexit",               // negative regs
+		".kernel k\n@p9 mov r0, r1\nexit",         // bad guard
+		".kernel k\nmov r0, %bogus\nexit",         // bad sreg
+		".regs 4",                                 // directive before kernel
+		".kernel k\n.frob 3\nexit",                // unknown directive
+		".kernel k\nmov r0, r1, r2, r3, r4\nexit", // too many operands
+	}
+	for i, src := range cases {
+		if _, err := AssembleAll(src); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, src)
+		}
+	}
+}
+
+func TestAssembleAllMultipleKernels(t *testing.T) {
+	src := ".kernel a\n.regs 1\nmov r0, 1\nexit\n.kernel b\n.regs 1\nexit\n"
+	progs, err := AssembleAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 2 || progs[0].Name != "a" || progs[1].Name != "b" {
+		t.Fatalf("got %d kernels", len(progs))
+	}
+	if _, err := Assemble(src); err == nil {
+		t.Error("Assemble accepted two kernels")
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p, err := Assemble(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(p)
+	q, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text)
+	}
+	if q.Name != p.Name || q.RegsPerThread != p.RegsPerThread || q.SharedMemBytes != p.SharedMemBytes {
+		t.Error("header not preserved")
+	}
+	if len(q.Code) != len(p.Code) {
+		t.Fatalf("code length %d vs %d", len(q.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if p.Code[i] != q.Code[i] {
+			t.Errorf("instruction %d: %v vs %v", i, p.Code[i], q.Code[i])
+		}
+	}
+}
+
+// TestRandomProgramRoundTrip drives the full disassemble→assemble
+// loop over randomly generated valid programs — the property the
+// paper's binary-rewriting workflow depends on.
+func TestRandomProgramRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := randomProgram(rng)
+		text := Disassemble(p)
+		q, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, text)
+		}
+		for i := range p.Code {
+			if p.Code[i] != q.Code[i] {
+				t.Fatalf("trial %d instr %d: %v vs %v", trial, i, p.Code[i], q.Code[i])
+			}
+		}
+	}
+}
+
+func randomProgram(rng *rand.Rand) *isa.Program {
+	n := 4 + rng.Intn(40)
+	code := make([]isa.Instruction, 0, n+1)
+	for len(code) < n {
+		in := isa.Instruction{Op: isa.Opcode(rng.Intn(isa.NumOpcodes)), Guard: isa.PT}
+		if in.Op == isa.OpEXIT { // keep the single exit at the end
+			continue
+		}
+		if rng.Intn(3) == 0 {
+			in.Guard = isa.Pred(rng.Intn(isa.NumPreds))
+			in.GuardNeg = rng.Intn(2) == 0
+		}
+		if isa.WritesPredicate(in.Op) {
+			in.PDst = isa.Pred(rng.Intn(isa.NumPreds))
+			in.Cmp = isa.CmpOp(rng.Intn(isa.NumCmps))
+			in.SrcA = isa.R(isa.Reg(rng.Intn(32)))
+			in.SrcB = isa.R(isa.Reg(rng.Intn(32)))
+		} else if in.Op == isa.OpBRA {
+			in.Target = int32(rng.Intn(n))
+		} else if isa.IsMemory(in.Op) {
+			in.SrcA = isa.R(isa.Reg(rng.Intn(32)))
+			if in.Op == isa.OpGST || in.Op == isa.OpSST {
+				in.SrcB = isa.R(isa.Reg(rng.Intn(32)))
+			} else {
+				in.Dst = isa.Reg(rng.Intn(32))
+			}
+			if rng.Intn(2) == 0 {
+				in.Imm = rng.Uint32() &^ 3 // address offset
+			}
+		} else if in.Op != isa.OpBAR && in.Op != isa.OpNOP {
+			if isa.HasDst(in.Op) {
+				in.Dst = isa.Reg(rng.Intn(32))
+			}
+			nsrc := 1 + rng.Intn(3)
+			srcs := []*isa.Operand{&in.SrcA, &in.SrcB, &in.SrcC}
+			for i := 0; i < nsrc; i++ {
+				switch {
+				case rng.Intn(5) == 0 && i == 0:
+					*srcs[i] = isa.Smem()
+					in.Imm = rng.Uint32()
+				case rng.Intn(4) == 0 && in.SrcA.Kind != isa.KindSmem:
+					*srcs[i] = isa.Imm()
+					in.Imm = rng.Uint32()
+				default:
+					*srcs[i] = isa.R(isa.Reg(rng.Intn(32)))
+				}
+			}
+		}
+		code = append(code, in)
+	}
+	code = append(code, isa.Instruction{Op: isa.OpEXIT, Guard: isa.PT})
+	return &isa.Program{Name: "rand", Code: code, RegsPerThread: 34}
+}
+
+func TestCommentAndBlankHandling(t *testing.T) {
+	src := "\n\n; pure comment\n.kernel k ; trailing\n.regs 2\nmov r1, r0 # comment\n\nexit\n"
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 2 {
+		t.Errorf("got %d instructions", len(p.Code))
+	}
+}
+
+func TestFloatImmediate(t *testing.T) {
+	p, err := Assemble(".kernel k\n.regs 1\nmov r0, f:1.5\nexit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Imm != 0x3fc00000 {
+		t.Errorf("f:1.5 = %#x", p.Code[0].Imm)
+	}
+	text := Disassemble(p)
+	if !strings.Contains(text, "0x3fc00000") {
+		t.Errorf("disassembly lost float bits:\n%s", text)
+	}
+}
+
+// TestSmemOperandAndOffsetSyntax covers the GT200-specific syntax:
+// shared-memory ALU operands (s[imm]) and memory address offsets
+// (+imm).
+func TestSmemOperandAndOffsetSyntax(t *testing.T) {
+	src := `.kernel k
+.regs 4
+fmad r1, r2, s[0x40], r1
+sld r3, r2, +0x10
+gst r2, r3, +64
+exit`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmad := p.Code[0]
+	if fmad.SrcB.Kind != isa.KindSmem || fmad.Imm != 0x40 {
+		t.Errorf("fmad smem operand wrong: %v", fmad)
+	}
+	if p.Code[1].Imm != 0x10 || p.Code[2].Imm != 64 {
+		t.Errorf("offsets wrong: %v / %v", p.Code[1], p.Code[2])
+	}
+	// Round trip preserves both forms.
+	q, err := Assemble(Disassemble(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Code {
+		if p.Code[i] != q.Code[i] {
+			t.Errorf("instr %d: %v vs %v", i, p.Code[i], q.Code[i])
+		}
+	}
+	// A conflicting smem operand + distinct immediate is rejected.
+	if _, err := Assemble(".kernel k\n.regs 4\nfmad r1, s[8], 9, r1\nexit"); err == nil {
+		t.Error("conflicting imm+smem accepted")
+	}
+}

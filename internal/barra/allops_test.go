@@ -1,0 +1,139 @@
+package barra
+
+import (
+	"math"
+	"testing"
+
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/isa"
+	"gpuperf/internal/kbuild"
+)
+
+// TestEveryOperation builds one kernel that exercises every ALU
+// opcode and builder helper, then checks each result against Go's
+// own arithmetic — single-lane, so values are scalar-checkable.
+func TestEveryOperation(t *testing.T) {
+	b := kbuild.New("allops")
+	out := b.Reg() // running store register
+	addr := b.Reg()
+	x := b.Reg()
+	y := b.Reg()
+	z := b.Reg()
+	d0 := b.RegPair()
+	d1 := b.RegPair()
+	b.MovImm(addr, 0)
+
+	slot := uint32(0)
+	emitCheck := func(emit func(dst isa.Reg)) {
+		emit(out)
+		b.GstOff(addr, out, slot*4)
+		slot++
+	}
+
+	setF := func(r isa.Reg, f float32) { b.MovF(r, f) }
+	setI := func(r isa.Reg, v uint32) { b.MovImm(r, v) }
+
+	// Integer ops.
+	setI(x, 100)
+	setI(y, 7)
+	setI(z, 3)
+	emitCheck(func(d isa.Reg) { b.IAdd(d, x, y) })       // 107
+	emitCheck(func(d isa.Reg) { b.ISub(d, x, y) })       // 93
+	emitCheck(func(d isa.Reg) { b.IMul(d, x, y) })       // 700
+	emitCheck(func(d isa.Reg) { b.IMad(d, x, y, z) })    // 703
+	emitCheck(func(d isa.Reg) { b.IMadImm(d, x, 2, z) }) // 203
+	emitCheck(func(d isa.Reg) { b.IMulImm(d, x, 5) })    // 500
+	emitCheck(func(d isa.Reg) { b.IAddImm(d, x, 11) })   // 111
+	emitCheck(func(d isa.Reg) { b.ShlImm(d, y, 3) })     // 56
+	emitCheck(func(d isa.Reg) { b.ShrImm(d, x, 2) })     // 25
+	emitCheck(func(d isa.Reg) { b.AndImm(d, x, 0x6c) })  // 100&0x6c = 0x64
+	emitCheck(func(d isa.Reg) {                          // or
+		b.Emit(isa.Instruction{Op: isa.OpOR, Guard: isa.PT, Dst: d, SrcA: isa.R(x), SrcB: isa.R(y)})
+	}) // 103
+	emitCheck(func(d isa.Reg) { // xor
+		b.Emit(isa.Instruction{Op: isa.OpXOR, Guard: isa.PT, Dst: d, SrcA: isa.R(x), SrcB: isa.R(y)})
+	}) // 99
+	emitCheck(func(d isa.Reg) { // imin
+		b.Emit(isa.Instruction{Op: isa.OpIMIN, Guard: isa.PT, Dst: d, SrcA: isa.R(x), SrcB: isa.R(y)})
+	}) // 7
+	emitCheck(func(d isa.Reg) { // imax
+		b.Emit(isa.Instruction{Op: isa.OpIMAX, Guard: isa.PT, Dst: d, SrcA: isa.R(x), SrcB: isa.R(y)})
+	}) // 100
+	emitCheck(func(d isa.Reg) { b.Mov(d, x) }) // 100
+
+	// Float ops.
+	setF(x, 3.5)
+	setF(y, -2.0)
+	setF(z, 0.5)
+	emitCheck(func(d isa.Reg) { b.FAdd(d, x, y) })     // 1.5
+	emitCheck(func(d isa.Reg) { b.FSub(d, x, y) })     // 5.5
+	emitCheck(func(d isa.Reg) { b.FMul(d, x, y) })     // -7
+	emitCheck(func(d isa.Reg) { b.FMad(d, x, y, z) })  // -6.5
+	emitCheck(func(d isa.Reg) { b.FNMad(d, x, y, z) }) // 7.5
+	emitCheck(func(d isa.Reg) {                        // fmin
+		b.Emit(isa.Instruction{Op: isa.OpFMIN, Guard: isa.PT, Dst: d, SrcA: isa.R(x), SrcB: isa.R(y)})
+	}) // -2
+	emitCheck(func(d isa.Reg) { // fmax
+		b.Emit(isa.Instruction{Op: isa.OpFMAX, Guard: isa.PT, Dst: d, SrcA: isa.R(x), SrcB: isa.R(y)})
+	}) // 3.5
+
+	// Transcendentals on 0.25.
+	setF(x, 0.25)
+	emitCheck(func(d isa.Reg) { b.Rcp(d, x) })              // 4
+	emitCheck(func(d isa.Reg) { b.Unary(isa.OpRSQ, d, x) }) // 2
+	emitCheck(func(d isa.Reg) { b.Unary(isa.OpSIN, d, x) }) // sin .25
+	emitCheck(func(d isa.Reg) { b.Unary(isa.OpCOS, d, x) }) // cos .25
+	emitCheck(func(d isa.Reg) { b.Unary(isa.OpLG2, d, x) }) // -2
+	emitCheck(func(d isa.Reg) { b.Unary(isa.OpEX2, d, x) }) // 2^.25
+
+	// Doubles: d0 = 3.0, d1 = 0.5.
+	b.MovImm(d0, 0)
+	b.MovImm(d0+1, 0x40080000)
+	b.MovImm(d1, 0)
+	b.MovImm(d1+1, 0x3fe00000)
+	b.Emit(isa.Instruction{Op: isa.OpDADD, Guard: isa.PT, Dst: d0, SrcA: isa.R(d0), SrcB: isa.R(d1)}) // 3.5
+	b.Emit(isa.Instruction{Op: isa.OpDMUL, Guard: isa.PT, Dst: d0, SrcA: isa.R(d0), SrcB: isa.R(d1)}) // 1.75
+	b.DFma(d0, d0, d1, d1)                                                                            // 1.375
+	emitCheck(func(d isa.Reg) { b.Mov(d, d0) })
+	emitCheck(func(d isa.Reg) { b.Mov(d, d0+1) })
+
+	b.Exit()
+	prog := b.MustProgram()
+
+	mem := NewMemory(int(slot+1) * 4)
+	if _, err := Run(gpu.GTX285(), Launch{Prog: prog, Grid: 1, Block: 1}, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	wantInts := map[int]uint32{
+		0: 107, 1: 93, 2: 700, 3: 703, 4: 203, 5: 500, 6: 111,
+		7: 56, 8: 25, 9: 100 & 0x6c, 10: 100 | 7, 11: 100 ^ 7, 12: 7, 13: 100, 14: 100,
+	}
+	for i, want := range wantInts {
+		got, err := mem.Load32(uint32(i * 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("slot %d = %d, want %d", i, got, want)
+		}
+	}
+	wantFloats := map[int]float64{
+		15: 1.5, 16: 5.5, 17: -7, 18: -6.5, 19: 7.5, 20: -2, 21: 3.5,
+		22: 4, 23: 2, 24: math.Sin(0.25), 25: math.Cos(0.25), 26: -2, 27: math.Exp2(0.25),
+	}
+	for i, want := range wantFloats {
+		got, err := mem.Float32(uint32(i * 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(got)-want) > 1e-5 {
+			t.Errorf("slot %d = %v, want %v", i, got, want)
+		}
+	}
+	lo, _ := mem.Load32(28 * 4)
+	hi, _ := mem.Load32(29 * 4)
+	if d := math.Float64frombits(uint64(hi)<<32 | uint64(lo)); d != 1.375 {
+		t.Errorf("double chain = %v, want 1.375", d)
+	}
+}

@@ -1,0 +1,114 @@
+// Package barra is the functional GPU simulator — the stand-in for
+// the Barra simulator the paper drives its model with.
+//
+// It executes native-ISA kernels warp by warp on real data and
+// collects the dynamic program statistics the performance model
+// consumes: instruction counts per cost class, shared-memory
+// transactions with and without bank conflicts, hardware-level
+// global-memory transactions under the coalescing protocol, and the
+// program's division into stages by synchronization barriers
+// (paper Fig. 1, "Info extractor" inputs).
+package barra
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Memory is the device's byte-addressed global memory. All accesses
+// are 32-bit and must be 4-byte aligned, matching the single-word
+// loads and stores of the ISA.
+type Memory struct {
+	b []byte
+}
+
+// NewMemory allocates size bytes of zeroed global memory.
+func NewMemory(size int) *Memory { return &Memory{b: make([]byte, size)} }
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int { return len(m.b) }
+
+func (m *Memory) check(addr uint32) error {
+	if addr%4 != 0 {
+		return fmt.Errorf("barra: unaligned access at %#x", addr)
+	}
+	if int(addr)+4 > len(m.b) {
+		return fmt.Errorf("barra: access at %#x beyond memory size %#x", addr, len(m.b))
+	}
+	return nil
+}
+
+// Load32 reads the 32-bit word at byte address addr.
+func (m *Memory) Load32(addr uint32) (uint32, error) {
+	if err := m.check(addr); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(m.b[addr:]), nil
+}
+
+// Store32 writes the 32-bit word at byte address addr.
+func (m *Memory) Store32(addr, v uint32) error {
+	if err := m.check(addr); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(m.b[addr:], v)
+	return nil
+}
+
+// SetFloat32 stores a float at byte address addr.
+func (m *Memory) SetFloat32(addr uint32, f float32) error {
+	return m.Store32(addr, math.Float32bits(f))
+}
+
+// Float32 loads a float from byte address addr.
+func (m *Memory) Float32(addr uint32) (float32, error) {
+	v, err := m.Load32(addr)
+	return math.Float32frombits(v), err
+}
+
+// WriteFloats bulk-stores a float slice starting at base.
+func (m *Memory) WriteFloats(base uint32, fs []float32) error {
+	for i, f := range fs {
+		if err := m.SetFloat32(base+uint32(4*i), f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFloats bulk-loads n floats starting at base.
+func (m *Memory) ReadFloats(base uint32, n int) ([]float32, error) {
+	out := make([]float32, n)
+	for i := range out {
+		f, err := m.Float32(base + uint32(4*i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// WriteWords bulk-stores a word slice starting at base.
+func (m *Memory) WriteWords(base uint32, ws []uint32) error {
+	for i, w := range ws {
+		if err := m.Store32(base+uint32(4*i), w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWords bulk-loads n words starting at base.
+func (m *Memory) ReadWords(base uint32, n int) ([]uint32, error) {
+	out := make([]uint32, n)
+	for i := range out {
+		w, err := m.Load32(base + uint32(4*i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package barra
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gpuperf/internal/isa"
+)
+
+// Fprint renders the dynamic statistics as text — the "info
+// extractor" payload of paper Fig. 1 in human-readable form, the
+// counterpart of what profiling tools surface.
+func (s *Stats) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "launch: %d blocks x %d threads, %d barriers/block\n",
+		s.Grid, s.Block, s.Barriers)
+	fmt.Fprintf(w, "warp instructions: %d total", s.Total.WarpInstrs)
+	for cls := isa.Class(0); int(cls) < isa.NumClasses; cls++ {
+		fmt.Fprintf(w, ", %s %d", cls, s.Total.ByClass[cls])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "computational density: %.2f (%d MADs)\n",
+		s.InstructionDensity(), s.Total.FMADs)
+	fmt.Fprintf(w, "shared memory: %d accesses, %d transactions (%.2fx bank-conflict factor)\n",
+		s.Total.SharedAccesses, s.Total.SharedTx, s.BankConflictFactor())
+	fmt.Fprintf(w, "global memory: %d transactions, %d bytes moved, %d useful (%.0f%% coalescing efficiency)\n",
+		s.Total.Global.Transactions, s.Total.Global.Bytes,
+		s.Total.GlobalUsefulBytes, s.CoalescingEfficiency()*100)
+
+	if len(s.GlobalAt) > 1 {
+		segs := make([]int, 0, len(s.GlobalAt))
+		for seg := range s.GlobalAt {
+			segs = append(segs, seg)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(segs)))
+		fmt.Fprintf(w, "traffic by transaction granularity:")
+		for _, seg := range segs {
+			fmt.Fprintf(w, " %dB:%d bytes", seg, s.GlobalAt[seg].Bytes)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(s.RegionUseful) > 0 {
+		names := make([]string, 0, len(s.RegionUseful))
+		for n := range s.RegionUseful {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "traffic by region:")
+		for _, n := range names {
+			fmt.Fprintf(w, "  %s: %d useful bytes\n", n, s.RegionUseful[n])
+		}
+	}
+
+	if len(s.Stages) > 1 {
+		fmt.Fprintln(w, "barrier-delimited stages:")
+		for i, st := range s.Stages {
+			fmt.Fprintf(w, "  stage %d: %d instr, %d shared tx, %d global tx, %d warps with work\n",
+				i, st.WarpInstrs, st.SharedTx, st.Global.Transactions, st.WarpsWithWork)
+		}
+	}
+}
+
+// String renders the statistics report.
+func (s *Stats) String() string {
+	var b strings.Builder
+	s.Fprint(&b)
+	return b.String()
+}

@@ -1,0 +1,503 @@
+package barra
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/isa"
+)
+
+// Warp is the execution context of one warp: 32 lanes advancing in
+// lockstep through the program.
+//
+// Intra-warp divergence is supported for structured *forward*
+// branches: a divergent branch splits the warp into execution paths
+// ("splits"), each a (mask, pc) pair; the warp always advances the
+// split with the smallest PC, and splits whose PCs meet merge — the
+// min-PC reconvergence scheme, which rejoins if/else and nested
+// conditionals at their immediate post-dominators without explicit
+// SSY/join markers. Divergent *backward* branches (per-lane loop
+// trip counts) are rejected — express those with predication, as the
+// paper's kernels do. Barriers may not execute while diverged.
+type Warp struct {
+	prog *isa.Program
+	done bool
+
+	regs  []uint32 // regsPerThread × WarpSize, index r*WarpSize+lane
+	preds [isa.NumPreds][gpu.WarpSize]bool
+	// exists marks lanes that carry a real thread (the block size
+	// need not be a warp multiple).
+	exists [gpu.WarpSize]bool
+	// splits are the live execution paths, unordered; Step picks
+	// the minimum PC each time. There is always at least one.
+	splits []split
+
+	blockID  int
+	warpID   int // within the block
+	blockDim int
+	gridDim  int
+
+	shared []byte
+	global *Memory
+
+	// smemOpVal caches the current instruction's shared-memory ALU
+	// operand (warp-uniform by construction).
+	smemOpVal uint32
+}
+
+// StepInfo reports what one Step executed; it is reused across calls
+// to avoid allocation in the simulators' hot loop.
+type StepInfo struct {
+	// PC is the index of the executed instruction.
+	PC int
+	// In is the executed instruction.
+	In isa.Instruction
+	// Class caches isa.ClassOf(In.Op).
+	Class isa.Class
+	// Active marks lanes that actually executed (exists ∧ guard).
+	Active [gpu.WarpSize]bool
+	// ActiveCount is the number of true entries in Active.
+	ActiveCount int
+	// Addr holds per-lane byte addresses for memory instructions.
+	Addr [gpu.WarpSize]uint32
+	// SmemOperand is set when the instruction read a shared-memory
+	// ALU operand (s[imm]); SmemAddr is its byte address. The access
+	// is warp-uniform, so it broadcasts: one transaction per active
+	// half-warp.
+	SmemOperand bool
+	SmemAddr    uint32
+	// Barrier is set when the instruction was a BAR.
+	Barrier bool
+	// Done is set when the warp has exited.
+	Done bool
+	// BranchTaken is set when a BRA redirected the PC.
+	BranchTaken bool
+}
+
+// split is one SIMT execution path: the lanes it carries and its
+// program counter.
+type split struct {
+	mask [gpu.WarpSize]bool
+	pc   int
+}
+
+// maxSplits bounds pathological divergence (structured code needs
+// depth ≈ nesting level).
+const maxSplits = 64
+
+// NewWarp builds a warp ready to run prog. Lanes [0,lanes) exist.
+func NewWarp(prog *isa.Program, blockID, warpID, blockDim, gridDim, lanes int, shared []byte, global *Memory) (*Warp, error) {
+	if lanes <= 0 || lanes > gpu.WarpSize {
+		return nil, fmt.Errorf("barra: warp with %d lanes", lanes)
+	}
+	w := &Warp{
+		prog:     prog,
+		regs:     make([]uint32, prog.RegsPerThread*gpu.WarpSize),
+		blockID:  blockID,
+		warpID:   warpID,
+		blockDim: blockDim,
+		gridDim:  gridDim,
+		shared:   shared,
+		global:   global,
+	}
+	var m [gpu.WarpSize]bool
+	for l := 0; l < lanes; l++ {
+		w.exists[l] = true
+		m[l] = true
+	}
+	w.splits = []split{{mask: m, pc: 0}}
+	return w, nil
+}
+
+// Diverged reports whether the warp currently executes on more than
+// one SIMT path.
+func (w *Warp) Diverged() bool { return len(w.splits) > 1 }
+
+// current returns the index of the split to execute next (minimum
+// PC), merging any splits that have reconverged.
+func (w *Warp) current() int {
+	cur := 0
+	for i := 1; i < len(w.splits); i++ {
+		if w.splits[i].pc < w.splits[cur].pc {
+			cur = i
+		}
+	}
+	// Merge splits whose PCs meet the current one.
+	for i := len(w.splits) - 1; i >= 0; i-- {
+		if i == cur || w.splits[i].pc != w.splits[cur].pc {
+			continue
+		}
+		for l := range w.splits[cur].mask {
+			w.splits[cur].mask[l] = w.splits[cur].mask[l] || w.splits[i].mask[l]
+		}
+		if i < cur {
+			cur--
+		}
+		w.splits = append(w.splits[:i], w.splits[i+1:]...)
+	}
+	return cur
+}
+
+// Done reports whether the warp has exited.
+func (w *Warp) Done() bool { return w.done }
+
+// PC returns the program counter of the split that will execute
+// next.
+func (w *Warp) PC() int { return w.splits[w.current()].pc }
+
+func (w *Warp) reg(r isa.Reg, lane int) uint32 { return w.regs[int(r)*gpu.WarpSize+lane] }
+func (w *Warp) setReg(r isa.Reg, lane int, v uint32) {
+	w.regs[int(r)*gpu.WarpSize+lane] = v
+}
+
+func (w *Warp) sreg(s isa.SReg, lane int) uint32 {
+	switch s {
+	case isa.SRTid:
+		return uint32(w.warpID*gpu.WarpSize + lane)
+	case isa.SRCtaid:
+		return uint32(w.blockID)
+	case isa.SRNtid:
+		return uint32(w.blockDim)
+	case isa.SRNctaid:
+		return uint32(w.gridDim)
+	case isa.SRLane:
+		return uint32(lane)
+	case isa.SRWarp:
+		return uint32(w.warpID)
+	}
+	return 0
+}
+
+func (w *Warp) operand(o isa.Operand, imm uint32, lane int) uint32 {
+	switch o.Kind {
+	case isa.KindReg:
+		return w.reg(o.Reg, lane)
+	case isa.KindImm:
+		return imm
+	case isa.KindSReg:
+		return w.sreg(o.SReg, lane)
+	case isa.KindSmem:
+		return w.smemOpVal
+	}
+	return 0
+}
+
+func hasSmemOperand(in *isa.Instruction) bool {
+	return in.SrcA.Kind == isa.KindSmem || in.SrcB.Kind == isa.KindSmem || in.SrcC.Kind == isa.KindSmem
+}
+
+func (w *Warp) f64(r isa.Reg, lane int) float64 {
+	lo := uint64(w.reg(r, lane))
+	hi := uint64(w.reg(r+1, lane))
+	return math.Float64frombits(hi<<32 | lo)
+}
+
+func (w *Warp) setF64(r isa.Reg, lane int, v float64) {
+	bits := math.Float64bits(v)
+	w.setReg(r, lane, uint32(bits))
+	w.setReg(r+1, lane, uint32(bits>>32))
+}
+
+func (w *Warp) guardHolds(in *isa.Instruction, lane int) bool {
+	if in.Guard == isa.PT {
+		return !in.GuardNeg
+	}
+	v := w.preds[in.Guard][lane]
+	if in.GuardNeg {
+		return !v
+	}
+	return v
+}
+
+// Step executes the instruction at the current PC and fills info.
+// BAR advances the PC and sets info.Barrier; the scheduler is
+// responsible for holding the warp until the block synchronizes.
+func (w *Warp) Step(info *StepInfo) error {
+	if w.done {
+		return fmt.Errorf("barra: step after exit in %q", w.prog.Name)
+	}
+	cur := w.current()
+	pc := w.splits[cur].pc
+	if pc < 0 || pc >= len(w.prog.Code) {
+		return fmt.Errorf("barra: pc %d out of range in %q", pc, w.prog.Name)
+	}
+
+	in := &w.prog.Code[pc]
+	info.PC = pc
+	info.In = *in
+	info.Class = isa.ClassOf(in.Op)
+	info.Barrier = false
+	info.Done = false
+	info.BranchTaken = false
+	info.ActiveCount = 0
+	info.SmemOperand = false
+
+	for lane := 0; lane < gpu.WarpSize; lane++ {
+		info.Active[lane] = w.splits[cur].mask[lane] && w.guardHolds(in, lane)
+		if info.Active[lane] {
+			info.ActiveCount++
+		}
+	}
+
+	switch in.Op {
+	case isa.OpBRA:
+		return w.branch(in, info, cur)
+	case isa.OpEXIT:
+		if w.Diverged() {
+			return fmt.Errorf("barra: exit inside divergent region at pc %d in %q", pc, w.prog.Name)
+		}
+		w.done = true
+		info.Done = true
+		return nil
+	case isa.OpBAR:
+		if w.Diverged() {
+			return fmt.Errorf("barra: barrier inside divergent region at pc %d in %q (undefined on hardware)", pc, w.prog.Name)
+		}
+		info.Barrier = true
+		w.splits[cur].pc++
+		return nil
+	}
+
+	if info.ActiveCount > 0 && hasSmemOperand(in) {
+		v, err := w.sharedLoad(in.Imm)
+		if err != nil {
+			return fmt.Errorf("barra: %q pc=%d: shared operand: %w", w.prog.Name, pc, err)
+		}
+		w.smemOpVal = v
+		info.SmemOperand = true
+		info.SmemAddr = in.Imm
+	}
+
+	for lane := 0; lane < gpu.WarpSize; lane++ {
+		if !info.Active[lane] {
+			continue
+		}
+		if err := w.execLane(in, lane, info); err != nil {
+			return fmt.Errorf("barra: %q pc=%d lane=%d: %w", w.prog.Name, pc, lane, err)
+		}
+	}
+	w.splits[cur].pc++
+	return nil
+}
+
+// branch executes a (possibly divergent) branch on the split cur.
+// Uniform outcomes jump or fall through as a unit; a divergent
+// forward branch splits the path in two (fall-through lanes and
+// taken lanes), which the min-PC scheduler later re-merges at the
+// immediate post-dominator. Divergent backward branches are
+// rejected — unstructured loops need per-lane trip masking, which
+// the case-study kernels express with predication instead.
+func (w *Warp) branch(in *isa.Instruction, info *StepInfo, cur int) error {
+	pc := w.splits[cur].pc
+	takenCount, activeCount := 0, 0
+	var takenMask [gpu.WarpSize]bool
+	for lane := 0; lane < gpu.WarpSize; lane++ {
+		if !w.splits[cur].mask[lane] {
+			continue
+		}
+		activeCount++
+		if w.guardHolds(in, lane) {
+			takenMask[lane] = true
+			takenCount++
+		}
+	}
+	switch {
+	case activeCount == 0 || takenCount == 0:
+		w.splits[cur].pc++
+	case takenCount == activeCount:
+		w.splits[cur].pc = int(in.Target)
+		info.BranchTaken = true
+	case int(in.Target) > pc:
+		if len(w.splits) >= maxSplits {
+			return fmt.Errorf("barra: divergence fan-out exceeds %d paths at pc %d in %q",
+				maxSplits, pc, w.prog.Name)
+		}
+		for lane := range w.splits[cur].mask {
+			w.splits[cur].mask[lane] = w.splits[cur].mask[lane] && !takenMask[lane]
+		}
+		w.splits[cur].pc++
+		w.splits = append(w.splits, split{mask: takenMask, pc: int(in.Target)})
+		info.BranchTaken = true
+	default:
+		return fmt.Errorf("barra: divergent backward branch at pc %d in %q (use predication for per-lane loop trip counts)",
+			pc, w.prog.Name)
+	}
+	return nil
+}
+
+func (w *Warp) execLane(in *isa.Instruction, lane int, info *StepInfo) error {
+	a := w.operand(in.SrcA, in.Imm, lane)
+	b := w.operand(in.SrcB, in.Imm, lane)
+	c := w.operand(in.SrcC, in.Imm, lane)
+	fa, fb, fc := math.Float32frombits(a), math.Float32frombits(b), math.Float32frombits(c)
+
+	switch in.Op {
+	case isa.OpNOP:
+	case isa.OpMOV, isa.OpS2R:
+		w.setReg(in.Dst, lane, a)
+	case isa.OpIADD:
+		w.setReg(in.Dst, lane, a+b)
+	case isa.OpISUB:
+		w.setReg(in.Dst, lane, a-b)
+	case isa.OpIMUL:
+		w.setReg(in.Dst, lane, a*b)
+	case isa.OpIMAD:
+		w.setReg(in.Dst, lane, a*b+c)
+	case isa.OpIMIN:
+		w.setReg(in.Dst, lane, uint32(min(int32(a), int32(b))))
+	case isa.OpIMAX:
+		w.setReg(in.Dst, lane, uint32(max(int32(a), int32(b))))
+	case isa.OpSHL:
+		w.setReg(in.Dst, lane, a<<(b&31))
+	case isa.OpSHR:
+		w.setReg(in.Dst, lane, a>>(b&31))
+	case isa.OpAND:
+		w.setReg(in.Dst, lane, a&b)
+	case isa.OpOR:
+		w.setReg(in.Dst, lane, a|b)
+	case isa.OpXOR:
+		w.setReg(in.Dst, lane, a^b)
+	case isa.OpISETP:
+		w.preds[in.PDst][lane] = icmp(in.Cmp, int32(a), int32(b))
+	case isa.OpFADD:
+		w.setReg(in.Dst, lane, math.Float32bits(fa+fb))
+	case isa.OpFSUB:
+		w.setReg(in.Dst, lane, math.Float32bits(fa-fb))
+	case isa.OpFMUL:
+		w.setReg(in.Dst, lane, math.Float32bits(fa*fb))
+	case isa.OpFMAD:
+		w.setReg(in.Dst, lane, math.Float32bits(fa*fb+fc))
+	case isa.OpFNMAD:
+		w.setReg(in.Dst, lane, math.Float32bits(fc-fa*fb))
+	case isa.OpFMIN:
+		w.setReg(in.Dst, lane, math.Float32bits(float32(math.Min(float64(fa), float64(fb)))))
+	case isa.OpFMAX:
+		w.setReg(in.Dst, lane, math.Float32bits(float32(math.Max(float64(fa), float64(fb)))))
+	case isa.OpFSETP:
+		w.preds[in.PDst][lane] = fcmp(in.Cmp, fa, fb)
+	case isa.OpRCP:
+		w.setReg(in.Dst, lane, math.Float32bits(1/fa))
+	case isa.OpRSQ:
+		w.setReg(in.Dst, lane, math.Float32bits(float32(1/math.Sqrt(float64(fa)))))
+	case isa.OpSIN:
+		w.setReg(in.Dst, lane, math.Float32bits(float32(math.Sin(float64(fa)))))
+	case isa.OpCOS:
+		w.setReg(in.Dst, lane, math.Float32bits(float32(math.Cos(float64(fa)))))
+	case isa.OpLG2:
+		w.setReg(in.Dst, lane, math.Float32bits(float32(math.Log2(float64(fa)))))
+	case isa.OpEX2:
+		w.setReg(in.Dst, lane, math.Float32bits(float32(math.Exp2(float64(fa)))))
+	case isa.OpDADD:
+		w.execDouble(in, lane, func(x, y float64) float64 { return x + y })
+	case isa.OpDMUL:
+		w.execDouble(in, lane, func(x, y float64) float64 { return x * y })
+	case isa.OpDFMA:
+		x := w.srcF64(in.SrcA, lane)
+		y := w.srcF64(in.SrcB, lane)
+		z := w.srcF64(in.SrcC, lane)
+		w.setF64(in.Dst, lane, x*y+z)
+	case isa.OpGLD:
+		addr := a + in.Imm
+		info.Addr[lane] = addr
+		v, err := w.global.Load32(addr)
+		if err != nil {
+			return err
+		}
+		w.setReg(in.Dst, lane, v)
+	case isa.OpGST:
+		addr := a + in.Imm
+		info.Addr[lane] = addr
+		if err := w.global.Store32(addr, b); err != nil {
+			return err
+		}
+	case isa.OpSLD:
+		addr := a + in.Imm
+		info.Addr[lane] = addr
+		v, err := w.sharedLoad(addr)
+		if err != nil {
+			return err
+		}
+		w.setReg(in.Dst, lane, v)
+	case isa.OpSST:
+		addr := a + in.Imm
+		info.Addr[lane] = addr
+		if err := w.sharedStore(addr, b); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unimplemented opcode %s", in.Op)
+	}
+	return nil
+}
+
+func (w *Warp) srcF64(o isa.Operand, lane int) float64 {
+	if o.Kind == isa.KindReg {
+		return w.f64(o.Reg, lane)
+	}
+	return 0
+}
+
+func (w *Warp) execDouble(in *isa.Instruction, lane int, f func(x, y float64) float64) {
+	x := w.srcF64(in.SrcA, lane)
+	y := w.srcF64(in.SrcB, lane)
+	w.setF64(in.Dst, lane, f(x, y))
+}
+
+func (w *Warp) sharedLoad(addr uint32) (uint32, error) {
+	if addr%4 != 0 {
+		return 0, fmt.Errorf("unaligned shared load at %#x", addr)
+	}
+	if int(addr)+4 > len(w.shared) {
+		return 0, fmt.Errorf("shared load at %#x beyond allocation %#x", addr, len(w.shared))
+	}
+	return binary.LittleEndian.Uint32(w.shared[addr:]), nil
+}
+
+func (w *Warp) sharedStore(addr, v uint32) error {
+	if addr%4 != 0 {
+		return fmt.Errorf("unaligned shared store at %#x", addr)
+	}
+	if int(addr)+4 > len(w.shared) {
+		return fmt.Errorf("shared store at %#x beyond allocation %#x", addr, len(w.shared))
+	}
+	binary.LittleEndian.PutUint32(w.shared[addr:], v)
+	return nil
+}
+
+func icmp(c isa.CmpOp, a, b int32) bool {
+	switch c {
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	case isa.CmpGE:
+		return a >= b
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	}
+	return false
+}
+
+func fcmp(c isa.CmpOp, a, b float32) bool {
+	switch c {
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	case isa.CmpGE:
+		return a >= b
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	}
+	return false
+}

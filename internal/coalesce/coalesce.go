@@ -1,0 +1,150 @@
+// Package coalesce simulates global-memory transaction formation.
+//
+// It implements the CUDA compute-capability 1.2/1.3 coalescing
+// protocol the paper describes in §4.3: memory transactions are
+// issued per half-warp; the hardware (1) finds the memory segment
+// containing the address requested by the lowest-numbered active
+// thread, (2) folds in all other threads whose addresses fall in
+// that segment, (3) shrinks the segment while it still covers every
+// folded-in address, and (4) repeats until all threads are served.
+// The minimum segment is 32 bytes on real hardware; the paper's §5.3
+// evaluates a hypothetical 16-byte granularity, which this simulator
+// supports through gpu.WithMinSegment.
+package coalesce
+
+import (
+	"fmt"
+
+	"gpuperf/internal/gpu"
+)
+
+// Transaction is one hardware memory transaction.
+type Transaction struct {
+	// Addr is the segment-aligned base address.
+	Addr uint32
+	// Size is the segment size in bytes (power of two).
+	Size int
+}
+
+// Sim forms transactions under a device's segment-size rules.
+type Sim struct {
+	minSeg int
+	maxSeg int
+}
+
+// New builds a simulator with the given segment bounds (powers of
+// two, min ≤ max).
+func New(minSeg, maxSeg int) (*Sim, error) {
+	switch {
+	case minSeg <= 0 || minSeg&(minSeg-1) != 0:
+		return nil, fmt.Errorf("coalesce: bad min segment %d", minSeg)
+	case maxSeg < minSeg || maxSeg&(maxSeg-1) != 0:
+		return nil, fmt.Errorf("coalesce: bad max segment %d", maxSeg)
+	}
+	return &Sim{minSeg: minSeg, maxSeg: maxSeg}, nil
+}
+
+// ForGPU builds the simulator from a device configuration.
+func ForGPU(c gpu.Config) (*Sim, error) { return New(c.MinSegmentBytes, c.MaxSegmentBytes) }
+
+// HalfWarp forms the transactions for one half-warp access.
+// addrs[i] is the byte address requested by active lane i;
+// accessBytes is the per-thread access width (4 for float). Inactive
+// lanes must be omitted by the caller. The returned transactions are
+// in service order.
+func (s *Sim) HalfWarp(addrs []uint32, accessBytes int) []Transaction {
+	if len(addrs) == 0 {
+		return nil
+	}
+	if accessBytes <= 0 {
+		accessBytes = 4
+	}
+	pending := append([]uint32(nil), addrs...)
+	var txs []Transaction
+	for len(pending) > 0 {
+		// (1) Segment of the lowest-numbered remaining thread, at
+		// the maximum segment size.
+		segSize := uint32(s.maxSeg)
+		base := pending[0] / segSize * segSize
+
+		// (2) Serve every thread whose access falls inside.
+		var served, rest []uint32
+		lo, hi := uint32(0xffffffff), uint32(0)
+		for _, a := range pending {
+			end := a + uint32(accessBytes) - 1
+			if a/segSize*segSize == base && end/segSize*segSize == base {
+				served = append(served, a)
+				if a < lo {
+					lo = a
+				}
+				if end > hi {
+					hi = end
+				}
+			} else {
+				rest = append(rest, a)
+			}
+		}
+
+		// (3) Shrink the segment while it still covers [lo, hi].
+		size := segSize
+		addr := base
+		for size/2 >= uint32(s.minSeg) {
+			half := size / 2
+			loHalf := addr + half
+			switch {
+			case hi < loHalf: // all in lower half
+				size = half
+			case lo >= loHalf: // all in upper half
+				addr += half
+				size = half
+			default:
+				goto done
+			}
+		}
+	done:
+		txs = append(txs, Transaction{Addr: addr, Size: int(size)})
+		pending = rest
+	}
+	return txs
+}
+
+// Bytes sums the bytes moved by a transaction list.
+func Bytes(txs []Transaction) int {
+	n := 0
+	for _, t := range txs {
+		n += t.Size
+	}
+	return n
+}
+
+// Warp forms transactions for a full warp by splitting it into
+// half-warps, the hardware's issue granularity. active[i] reports
+// whether lane i participates; addrs is indexed by lane.
+func (s *Sim) Warp(addrs []uint32, active []bool, accessBytes int) []Transaction {
+	var txs []Transaction
+	for half := 0; half*gpu.HalfWarp < len(addrs); half++ {
+		var hw []uint32
+		for lane := half * gpu.HalfWarp; lane < (half+1)*gpu.HalfWarp && lane < len(addrs); lane++ {
+			if active == nil || active[lane] {
+				hw = append(hw, addrs[lane])
+			}
+		}
+		txs = append(txs, s.HalfWarp(hw, accessBytes)...)
+	}
+	return txs
+}
+
+// Efficiency returns useful bytes / transferred bytes for an access:
+// the coalescing-efficiency diagnostic the model reports (1.0 =
+// perfectly coalesced).
+func (s *Sim) Efficiency(addrs []uint32, accessBytes int) float64 {
+	if len(addrs) == 0 {
+		return 1
+	}
+	txs := s.HalfWarp(addrs, accessBytes)
+	moved := Bytes(txs)
+	if moved == 0 {
+		return 1
+	}
+	return float64(len(addrs)*accessBytes) / float64(moved)
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpuperf/internal/barra"
+	"gpuperf/internal/device"
+	"gpuperf/internal/kernels"
+	"gpuperf/internal/model"
+	"gpuperf/internal/tridiag"
+)
+
+func (s *Suite) crSystems() int { return s.pick(64, 512) }
+
+// crEquations is fixed at the paper's 512 (the stride/conflict
+// pattern depends on it).
+const crEquations = 512
+
+func (s *Suite) crRun(nbc, forwardOnly bool) (*kernels.CR, barra.Launch, *barra.Stats, *barra.Memory, error) {
+	solver, err := kernels.NewCR(s.Cfg, s.crSystems(), crEquations, nbc, forwardOnly)
+	if err != nil {
+		return nil, barra.Launch{}, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(99))
+	systems := make([]tridiag.System, s.crSystems())
+	for i := range systems {
+		systems[i] = tridiag.NewRandom(crEquations, rng)
+	}
+	mem, err := solver.NewMemory(systems)
+	if err != nil {
+		return nil, barra.Launch{}, nil, nil, err
+	}
+	stats, err := barra.Run(s.Cfg, solver.Launch(), mem, nil)
+	if err != nil {
+		return nil, barra.Launch{}, nil, nil, err
+	}
+	return solver, solver.Launch(), stats, mem, nil
+}
+
+// figure6 renders the per-step simulated breakdown for CR (nbc
+// false) or CR-NBC (nbc true) — paper Figs. 6(a) and 6(b), forward
+// reduction only. Steps 4..9 are reported individually (the paper
+// groups them because they are identical).
+func (s *Suite) figure6(nbc bool) (*Table, error) {
+	cal, err := s.Calibration()
+	if err != nil {
+		return nil, err
+	}
+	_, l, st, _, err := s.crRun(nbc, true)
+	if err != nil {
+		return nil, err
+	}
+	est, err := model.Analyze(cal, l, st)
+	if err != nil {
+		return nil, err
+	}
+	name := "CR"
+	if nbc {
+		name = "CR-NBC"
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Figure 6%s: %s per-step breakdown (%d systems x %d equations, ms)",
+			map[bool]string{false: "a", true: "b"}[nbc], name, s.crSystems(), crEquations),
+		Header: []string{"step", "global", "shared", "instr", "bottleneck", "warps"},
+	}
+	stages := est.Stages
+	if len(stages) > 10 {
+		stages = stages[:10] // steps 0..9; the trailing exit stage is noise
+	}
+	for _, stage := range stages {
+		t.Add(fmt.Sprintf("step %d", stage.Index),
+			stage.Times[model.CompGlobal]*1e3,
+			stage.Times[model.CompShared]*1e3,
+			stage.Times[model.CompInstruction]*1e3,
+			stage.Bottleneck.String(),
+			stage.Warps)
+	}
+	if nbc {
+		t.Notes = append(t.Notes, "paper shape: every step instruction-bound after padding removes conflicts")
+	} else {
+		t.Notes = append(t.Notes, "paper shape: step 0 global-bound, step 1 instruction-bound, steps 2+ shared-bound")
+	}
+	return t, nil
+}
+
+// Figure6a is the plain-CR breakdown.
+func (s *Suite) Figure6a() (*Table, error) { return s.figure6(false) }
+
+// Figure6b is the CR-NBC breakdown.
+func (s *Suite) Figure6b() (*Table, error) { return s.figure6(true) }
+
+// Figure7a reproduces paper Fig. 7(a): the sustained shared-memory
+// bandwidth available to each forward step, given its active warps.
+func (s *Suite) Figure7a() (*Table, error) {
+	cal, err := s.Calibration()
+	if err != nil {
+		return nil, err
+	}
+	_, l, st, _, err := s.crRun(false, true)
+	if err != nil {
+		return nil, err
+	}
+	est, err := model.Analyze(cal, l, st)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 7a: sustained shared memory bandwidth per CR step (GB/s)",
+		Header: []string{"step", "warps", "bandwidth"},
+	}
+	stages := est.Stages
+	if len(stages) > 10 {
+		stages = stages[:10]
+	}
+	var sum, count float64
+	for _, stage := range stages[1:] { // skip the load step
+		bw := cal.SharedBandwidth(stage.Warps) / 1e9
+		t.Add(fmt.Sprintf("step %d", stage.Index), stage.Warps, bw)
+		sum += bw
+		count++
+	}
+	t.Add("average", "", sum/count)
+	t.Notes = append(t.Notes, "paper: 1029, 723, 470, 330 GB/s for steps 1-4+, average 397")
+	return t, nil
+}
+
+// Figure7b reproduces paper Fig. 7(b): shared-memory transactions
+// per forward step, with and without bank conflicts.
+func (s *Suite) Figure7b() (*Table, error) {
+	_, _, cr, _, err := s.crRun(false, true)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 7b: shared memory transactions per CR forward step",
+		Header: []string{"step", "with conflicts", "no conflicts", "factor"},
+	}
+	for i, stage := range cr.Stages {
+		if i == 0 {
+			continue // load stage
+		}
+		factor := 0.0
+		if stage.SharedTxNoConflict > 0 {
+			factor = float64(stage.SharedTx) / float64(stage.SharedTxNoConflict)
+		}
+		t.Add(fmt.Sprintf("step %d", i), stage.SharedTx, stage.SharedTxNoConflict, factor)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: conflicted counts stay ≈constant across early steps while conflict-free counts halve")
+	return t, nil
+}
+
+// Figure8 reproduces paper Fig. 8: measured versus simulated total
+// time for the full CR and CR-NBC solvers.
+func (s *Suite) Figure8() (*Table, error) {
+	cal, err := s.Calibration()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Figure 8: CR vs CR-NBC, measured and simulated (%d systems x %d equations, ms)",
+			s.crSystems(), crEquations),
+		Header: []string{"solver", "measured", "simulated", "err%", "instr", "shared", "global", "bottleneck"},
+	}
+	var times [2]float64
+	for i, nbc := range []bool{false, true} {
+		solver, l, st, _, err := s.crRun(nbc, false)
+		if err != nil {
+			return nil, err
+		}
+		est, err := model.Analyze(cal, l, st)
+		if err != nil {
+			return nil, err
+		}
+		// Measured on fresh memory.
+		rng := rand.New(rand.NewSource(99))
+		systems := make([]tridiag.System, s.crSystems())
+		for j := range systems {
+			systems[j] = tridiag.NewRandom(crEquations, rng)
+		}
+		mem, err := solver.NewMemory(systems)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := device.Run(s.Cfg, l, mem)
+		if err != nil {
+			return nil, err
+		}
+		times[i] = meas.Seconds
+		name := "CR"
+		if nbc {
+			name = "CR-NBC"
+		}
+		t.Add(name, meas.Seconds*1e3, est.TotalSeconds*1e3,
+			est.CompareError(meas.Seconds)*100,
+			est.Component[model.CompInstruction]*1e3,
+			est.Component[model.CompShared]*1e3,
+			est.Component[model.CompGlobal]*1e3,
+			est.Bottleneck.String())
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"padding speedup: %.2fx (paper: 1.6x; paper times 0.757 vs 0.468 ms at 512 systems)",
+		times[0]/times[1]))
+	return t, nil
+}

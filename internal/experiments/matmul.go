@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpuperf/internal/barra"
+	"gpuperf/internal/device"
+	"gpuperf/internal/kernels"
+	"gpuperf/internal/model"
+	"gpuperf/internal/occupancy"
+)
+
+// matmulTiles are the three sub-matrix sizes of paper §5.1.
+var matmulTiles = []int{8, 16, 32}
+
+func (s *Suite) matmulSize() int { return s.pick(256, 512) }
+
+// Table2 reproduces paper Table 2: per-tile register and shared
+// memory usage and the resulting resident blocks and warps per SM.
+func (s *Suite) Table2() (*Table, error) {
+	t := &Table{
+		Title: "Table 2: matmul resource usage and occupancy",
+		Header: []string{"sub-matrix", "regs/thread", "smem/block",
+			"blocks(regs)", "blocks(smem)", "blocks", "active warps", "limiter"},
+	}
+	for _, tile := range matmulTiles {
+		mm, err := kernels.NewMatmul(s.matmulSize(), tile)
+		if err != nil {
+			return nil, err
+		}
+		l := mm.Launch()
+		occ, err := occupancy.Compute(s.ChipSlice(), occupancy.Usage{
+			ThreadsPerBlock:   l.Block,
+			RegsPerThread:     l.Prog.RegsPerThread,
+			SharedMemPerBlock: l.Prog.SharedMemBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%dx%d", tile, tile), l.Prog.RegsPerThread, l.Prog.SharedMemBytes,
+			occ.BlocksByRegs, occ.BlocksBySmem, occ.Blocks, occ.ActiveWarps, occ.Limiter)
+	}
+	return t, nil
+}
+
+// matmulRun executes one tile configuration functionally and returns
+// the launch plus dynamic statistics.
+func (s *Suite) matmulRun(tile int) (*kernels.Matmul, barra.Launch, *barra.Stats, *barra.Memory, error) {
+	n := s.matmulSize()
+	mm, err := kernels.NewMatmul(n, tile)
+	if err != nil {
+		return nil, barra.Launch{}, nil, nil, err
+	}
+	a := make([]float32, n*n)
+	bm := make([]float32, n*n)
+	for i := range a {
+		a[i] = float32(i%17) * 0.25
+		bm[i] = float32(i%13) * 0.5
+	}
+	mem, err := mm.NewMemory(a, bm)
+	if err != nil {
+		return nil, barra.Launch{}, nil, nil, err
+	}
+	stats, err := barra.Run(s.ChipSlice(), mm.Launch(), mem, nil)
+	if err != nil {
+		return nil, barra.Launch{}, nil, nil, err
+	}
+	return mm, mm.Launch(), stats, mem, nil
+}
+
+// Figure4a reproduces paper Fig. 4(a): dynamic counts of total
+// instructions, MADs, shared transactions and global transactions
+// per tile size (warp-level counts, in millions for Large scale).
+func (s *Suite) Figure4a() (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 4a: matmul dynamic statistics (N=%d, warp-level counts)", s.matmulSize()),
+		Header: []string{"sub-matrix", "instructions", "MAD", "shared tx", "global tx", "density"},
+	}
+	for _, tile := range matmulTiles {
+		_, _, st, _, err := s.matmulRun(tile)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%dx%d", tile, tile),
+			st.Total.WarpInstrs, st.Total.FMADs, st.Total.SharedTx,
+			st.Total.Global.Transactions, st.InstructionDensity())
+	}
+	t.Notes = append(t.Notes,
+		"MAD count is N³/32 for every tile; totals fall as the tile grows (paper Fig. 4a)")
+	return t, nil
+}
+
+// Figure4b reproduces paper Fig. 4(b): the model's per-component
+// time breakdown against the measured (device-simulator) time, and
+// achieved GFLOPS, per tile size.
+func (s *Suite) Figure4b() (*Table, error) {
+	cal, err := s.SliceCalibration()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Figure 4b: matmul time breakdown (N=%d, ms)", s.matmulSize()),
+		Header: []string{"sub-matrix", "instr", "shared", "global",
+			"predicted", "measured", "err%", "bottleneck", "GFLOPS"},
+	}
+	for _, tile := range matmulTiles {
+		mm, l, st, _, err := s.matmulRun(tile)
+		if err != nil {
+			return nil, err
+		}
+		est, err := model.Analyze(cal, l, st)
+		if err != nil {
+			return nil, err
+		}
+		// Measured: independent run on the timing simulator.
+		a := make([]float32, mm.N*mm.N)
+		mem2, err := mm.NewMemory(a, a)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := device.Run(s.ChipSlice(), l, mem2)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%dx%d", tile, tile),
+			est.Component[model.CompInstruction]*1e3,
+			est.Component[model.CompShared]*1e3,
+			est.Component[model.CompGlobal]*1e3,
+			est.TotalSeconds*1e3,
+			meas.Seconds*1e3,
+			est.CompareError(meas.Seconds)*100,
+			est.Bottleneck.String(),
+			float64(mm.FLOPs())/meas.Seconds/1e9)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: 16x16 fastest; 8x8 and 16x16 instruction-bound; 32x32 shifts to shared memory (6 warps)")
+	return t, nil
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpuperf/internal/isa"
+)
+
+// Table1 reproduces paper Table 1: the instruction cost classes,
+// their functional-unit counts, example instructions, and the
+// theoretical peak throughput each implies on the configured GPU.
+func (s *Suite) Table1() (*Table, error) {
+	t := &Table{
+		Title:  "Table 1: instruction types",
+		Header: []string{"type", "functional units", "examples", "peak Ginstr/s"},
+	}
+	examples := map[isa.Class]string{
+		isa.ClassI:   "mul",
+		isa.ClassII:  "mov, add, mad",
+		isa.ClassIII: "sin, cos, log, rcp",
+		isa.ClassIV:  "double precision",
+	}
+	for cls := isa.Class(0); int(cls) < isa.NumClasses; cls++ {
+		t.Add(cls.String(), cls.Units(), examples[cls],
+			s.Cfg.PeakInstrThroughput(cls.Units())/1e9)
+	}
+	return t, nil
+}
+
+// Figure2Instr reproduces paper Fig. 2 (left): instruction
+// throughput per class versus warps per SM, from the calibrated
+// microbenchmark curves.
+func (s *Suite) Figure2Instr() (*Table, error) {
+	cal, err := s.Calibration()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 2 (left): instruction throughput vs warps per SM (Ginstr/s)",
+		Header: []string{"warps", "Type I", "Type II", "Type III", "Type IV"},
+	}
+	for w := 1; w <= s.Cfg.MaxWarpsPerSM; w += 2 {
+		t.Add(w,
+			cal.InstrThroughput(isa.ClassI, w)/1e9,
+			cal.InstrThroughput(isa.ClassII, w)/1e9,
+			cal.InstrThroughput(isa.ClassIII, w)/1e9,
+			cal.InstrThroughput(isa.ClassIV, w)/1e9)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"Type II saturation suggests ≈%d pipeline stages (paper: 6)", s.saturationPoint(cal)))
+	return t, nil
+}
+
+func (s *Suite) saturationPoint(cal interface {
+	InstrThroughput(isa.Class, int) float64
+}) int {
+	sat := cal.InstrThroughput(isa.ClassII, s.Cfg.MaxWarpsPerSM)
+	for w := 1; w <= s.Cfg.MaxWarpsPerSM; w++ {
+		if cal.InstrThroughput(isa.ClassII, w) >= 0.95*sat {
+			return w
+		}
+	}
+	return s.Cfg.MaxWarpsPerSM
+}
+
+// Figure2Shared reproduces paper Fig. 2 (right): shared-memory
+// bandwidth versus warps per SM.
+func (s *Suite) Figure2Shared() (*Table, error) {
+	cal, err := s.Calibration()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 2 (right): shared memory bandwidth vs warps per SM (GB/s)",
+		Header: []string{"warps", "bandwidth"},
+	}
+	for w := 1; w <= s.Cfg.MaxWarpsPerSM; w += 2 {
+		t.Add(w, cal.SharedBandwidth(w)/1e9)
+	}
+	return t, nil
+}
+
+// Figure3Global reproduces paper Fig. 3: global-memory bandwidth
+// versus block count for several (threads-per-block, transactions-
+// per-thread) configurations, including the leftover sawtooth region
+// around multiples of the cluster count.
+func (s *Suite) Figure3Global() (*Table, error) {
+	cal, err := s.Calibration()
+	if err != nil {
+		return nil, err
+	}
+	type config struct{ threads, trans int }
+	configs := []config{
+		{512, 64}, {256, 64}, {256, 32}, {128, 64}, {128, 32}, {64, 64}, {512, 2}, {256, 2},
+	}
+	if s.Scale == Small {
+		configs = []config{{256, 32}, {128, 32}, {256, 2}}
+	}
+	var blocks []int
+	if s.Scale == Large {
+		for b := 1; b <= 56; b++ {
+			blocks = append(blocks, b)
+		}
+	} else {
+		blocks = []int{1, 2, 4, 6, 8, 10, 15, 20, 25, 30, 31, 35, 40, 50, 56}
+	}
+
+	t := &Table{Title: "Figure 3: global memory bandwidth vs number of blocks (GB/s)"}
+	t.Header = []string{"blocks"}
+	for _, c := range configs {
+		t.Header = append(t.Header, fmt.Sprintf("%dT,%dM", c.threads, c.trans))
+	}
+	for _, b := range blocks {
+		row := []any{b}
+		for _, c := range configs {
+			bw, err := cal.GlobalBandwidth(b, c.threads, c.trans)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, bw/1e9)
+		}
+		t.Add(row...)
+	}
+	t.Notes = append(t.Notes,
+		"the paper's M=256/128 transaction counts are scaled down (bandwidth saturates in M); the sawtooth with period 10 (cluster count) appears near the peak")
+	return t, nil
+}

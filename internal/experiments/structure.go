@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpuperf/internal/barra"
+	"gpuperf/internal/kernels"
+	"gpuperf/internal/sparse"
+)
+
+// ExtensionMatrixStructures generalizes Fig. 11 beyond the QCD
+// matrix: it sweeps the SpMV formats over three matrix families with
+// identical dimensions but different column structure — banded
+// (ideal for vector interleaving), QCD-like stencil (the paper's
+// case), and random uniform-degree (the adversarial case). The
+// paper's own intuition ("the more apart two rows are, the less
+// chance they will share a single memory transaction") predicts the
+// IMIV advantage shrinks as locality disappears; this experiment
+// quantifies it.
+func (s *Suite) ExtensionMatrixStructures() (*Table, error) {
+	rows := s.pick(2048, 8192)
+	rng := rand.New(rand.NewSource(123))
+	families := []struct {
+		name string
+		gen  func() (*sparse.Blocked, error)
+	}{
+		{"banded", func() (*sparse.Blocked, error) { return sparse.GenBanded(rows, 9, rng) }},
+		{"QCD-like", func() (*sparse.Blocked, error) { return sparse.GenQCDLike(rows, 9, rng) }},
+		{"random", func() (*sparse.Blocked, error) { return sparse.GenRandomUniform(rows, 9, rng) }},
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Extension: SpMV vector traffic by matrix structure (%d block rows)", rows),
+		Header: []string{"structure", "format", "vector B/entry", "coalescing eff",
+			"IMIV vector saving"},
+	}
+	native := s.Cfg.MinSegmentBytes
+	for _, fam := range families {
+		m, err := fam.gen()
+		if err != nil {
+			return nil, err
+		}
+		x := make([]float32, m.Rows())
+		for i := range x {
+			x[i] = rng.Float32()
+		}
+		nnz := float64(m.NNZ())
+		var imVec, imivVec float64
+		for _, kind := range []kernels.SpMVKind{kernels.BELLIM, kernels.BELLIMIV} {
+			sp, err := kernels.NewSpMV(kind, m)
+			if err != nil {
+				return nil, err
+			}
+			mem, err := sp.NewMemory(x)
+			if err != nil {
+				return nil, err
+			}
+			st, err := barra.Run(s.ChipSlice(), sp.Launch(), mem,
+				&barra.Options{Regions: sp.Regions()})
+			if err != nil {
+				return nil, err
+			}
+			vec := float64(st.RegionTraffic["vector"][native].Bytes) / nnz
+			if kind == kernels.BELLIM {
+				imVec = vec
+			} else {
+				imivVec = vec
+			}
+			saving := ""
+			if kind == kernels.BELLIMIV && imVec > 0 {
+				saving = fmt.Sprintf("%.2fx", imVec/imivVec)
+			}
+			t.Add(fam.name, kind.String(), vec, st.CoalescingEfficiency(), saving)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected: interleaving saves ~2x vector bytes on local structures (banded, QCD-like) and nothing on random columns — the locality mechanism behind the paper's 18% win; banded saves slightly less than QCD because its IM baseline is already partially coalesced")
+	return t, nil
+}

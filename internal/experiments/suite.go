@@ -1,0 +1,214 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (the per-experiment index lives in DESIGN.md).
+// Each experiment returns a Table of labelled series, printable as
+// text; cmd/experiments drives them all and EXPERIMENTS.md records
+// paper-vs-measured comparisons.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/timing"
+)
+
+// Scale selects workload sizes: Small keeps every experiment fast
+// enough for go test; Large approaches the paper's configurations.
+type Scale int
+
+// Workload scales.
+const (
+	Small Scale = iota
+	Large
+)
+
+// Suite carries the device configuration and its calibration across
+// experiments.
+type Suite struct {
+	Cfg   gpu.Config
+	Scale Scale
+
+	calOnce sync.Once
+	cal     *timing.Calibration
+	calErr  error
+
+	mmOnce sync.Once
+	mmCal  *timing.Calibration
+	mmErr  error
+}
+
+// New builds a suite for the GTX 285.
+func New(scale Scale) *Suite {
+	return &Suite{Cfg: gpu.GTX285(), Scale: scale}
+}
+
+// Calibration lazily calibrates the model (microbenchmarks on the
+// device simulator) and caches the result.
+func (s *Suite) Calibration() (*timing.Calibration, error) {
+	s.calOnce.Do(func() {
+		s.cal, s.calErr = timing.Calibrate(s.Cfg)
+	})
+	return s.cal, s.calErr
+}
+
+// ChipSlice returns the configuration the matmul and SpMV case
+// studies run on. At Small scale it is a 6-SM (two-cluster) slice of
+// the GTX 285: the paper's occupancy effects need several resident
+// blocks per SM, and a small workload cannot feed 240 blocks to the
+// full chip, but it can feed 48 to the slice. Per-SM behaviour is
+// identical; only absolute throughput scales.
+func (s *Suite) ChipSlice() gpu.Config {
+	if s.Scale == Large {
+		return s.Cfg
+	}
+	c := s.Cfg
+	c.Name += "-6sm"
+	c.NumSMs = 6
+	return c
+}
+
+// SliceCalibration calibrates the chip slice (cached).
+func (s *Suite) SliceCalibration() (*timing.Calibration, error) {
+	if s.Scale == Large {
+		return s.Calibration()
+	}
+	s.mmOnce.Do(func() {
+		s.mmCal, s.mmErr = timing.Calibrate(s.ChipSlice())
+	})
+	return s.mmCal, s.mmErr
+}
+
+// pick returns small for Small scale, large otherwise.
+func (s *Suite) pick(small, large int) int {
+	if s.Scale == Large {
+		return large
+	}
+	return small
+}
+
+// Table is one experiment's output: a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Cell returns row r, column c (for tests).
+func (t *Table) Cell(r, c int) string {
+	if r < 0 || r >= len(t.Rows) || c < 0 || c >= len(t.Rows[r]) {
+		return ""
+	}
+	return t.Rows[r][c]
+}
+
+// Chart renders one numeric column as an ASCII bar chart — enough to
+// eyeball the *figures* (saturation curves, sawtooth) in a terminal.
+// col indexes Rows; labels come from column 0.
+func (t *Table) Chart(col int, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxV := 0.0
+	vals := make([]float64, len(t.Rows))
+	ok := make([]bool, len(t.Rows))
+	for i, r := range t.Rows {
+		if col >= len(r) {
+			continue
+		}
+		if v, err := strconv.ParseFloat(r[col], 64); err == nil {
+			vals[i], ok[i] = v, true
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	var b strings.Builder
+	title := t.Title
+	if col < len(t.Header) {
+		title += " [" + t.Header[col] + "]"
+	}
+	fmt.Fprintf(&b, "%s\n", title)
+	if maxV == 0 {
+		fmt.Fprintln(&b, "(no data)")
+		return b.String()
+	}
+	labelW := 0
+	for _, r := range t.Rows {
+		if len(r) > 0 && len(r[0]) > labelW {
+			labelW = len(r[0])
+		}
+	}
+	for i, r := range t.Rows {
+		if !ok[i] {
+			continue
+		}
+		n := int(vals[i] / maxV * float64(width))
+		fmt.Fprintf(&b, "%-*s |%s %.4g\n", labelW, r[0], strings.Repeat("#", n), vals[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGTX285Defaults(t *testing.T) {
+	c := GTX285()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSMs != 30 || c.SPsPerSM != 8 || c.SMsPerCluster != 3 {
+		t.Errorf("processor counts: %d/%d/%d", c.NumSMs, c.SPsPerSM, c.SMsPerCluster)
+	}
+	if c.NumClusters() != 10 {
+		t.Errorf("NumClusters = %d, want 10", c.NumClusters())
+	}
+	if c.SharedMemPerSM != 16*1024 || c.SharedMemBanks != 16 || c.RegistersPerSM != 16384 {
+		t.Errorf("memory resources wrong")
+	}
+	if c.MaxBlocksPerSM != 8 || c.MaxWarpsPerSM != 32 {
+		t.Errorf("occupancy ceilings wrong")
+	}
+}
+
+func TestPeakNumbersMatchPaper(t *testing.T) {
+	c := GTX285()
+	// Paper §4.1: peak MAD throughput 8·1.48GHz·30/32 ≈ 11.1 Ginstr/s.
+	mad := c.PeakInstrThroughput(8) / 1e9
+	if math.Abs(mad-11.1) > 0.15 {
+		t.Errorf("peak MAD throughput = %.2f Ginstr/s, want ≈11.1", mad)
+	}
+	// Peak single-precision ≈ 710 GFLOPS.
+	if g := c.PeakGFLOPS(); math.Abs(g-710) > 5 {
+		t.Errorf("peak GFLOPS = %.1f, want ≈710", g)
+	}
+	// §4.2: shared memory peak ≈ 1420 GB/s.
+	if bw := c.PeakSharedBandwidth() / 1e9; math.Abs(bw-1417) > 10 {
+		t.Errorf("peak shared bandwidth = %.0f GB/s, want ≈1420", bw)
+	}
+	// §4.3: global memory peak ≈ 160 GB/s.
+	if bw := c.PeakGlobalBandwidth() / 1e9; math.Abs(bw-159) > 2 {
+		t.Errorf("peak global bandwidth = %.0f GB/s, want ≈159", bw)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	c := GTX285(WithMaxBlocks(16), WithBanks(17), WithRegisters(32768),
+		WithSharedMem(32*1024), WithMinSegment(16), WithEarlyRelease(true))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxBlocksPerSM != 16 || c.SharedMemBanks != 17 || c.RegistersPerSM != 32768 ||
+		c.SharedMemPerSM != 32*1024 || c.MinSegmentBytes != 16 || !c.EarlyRelease {
+		t.Errorf("options not applied: %+v", c)
+	}
+	if c.Name == "GTX285" {
+		t.Error("variant name not annotated")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.NumSMs = 0 },
+		func(c *Config) { c.SMsPerCluster = 4 }, // 30 % 4 != 0
+		func(c *Config) { c.SharedMemBanks = 0 },
+		func(c *Config) { c.MaxWarpsPerSM = 0 },
+		func(c *Config) { c.MinSegmentBytes = 48 }, // not a power of two
+		func(c *Config) { c.MaxSegmentBytes = 16 }, // below min
+		func(c *Config) { c.CoreClockHz = 0 },
+	}
+	for i, m := range mutations {
+		c := GTX285()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestVariantDevices(t *testing.T) {
+	for _, c := range []Config{GTX280(), TeslaC1060()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	g285, g280, tesla := GTX285(), GTX280(), TeslaC1060()
+	// Peaks scale with clocks: 285 > 280 = C1060 on compute;
+	// 285 > 280 > C1060 on memory bandwidth.
+	if !(g285.PeakGFLOPS() > g280.PeakGFLOPS()) {
+		t.Error("GTX285 not faster than GTX280")
+	}
+	if g280.PeakGFLOPS() != tesla.PeakGFLOPS() {
+		t.Error("GTX280 and C1060 compute peaks differ")
+	}
+	if !(g285.PeakGlobalBandwidth() > g280.PeakGlobalBandwidth() &&
+		g280.PeakGlobalBandwidth() > tesla.PeakGlobalBandwidth()) {
+		t.Error("memory bandwidth ordering wrong")
+	}
+	// GTX 280 official peak ≈ 622 GFLOPS (MAD only), ours counts
+	// 8 SPs × 2 flops: 1.296·30·8·2·32/32 = 622.
+	if g := g280.PeakGFLOPS(); g < 615 || g > 630 {
+		t.Errorf("GTX280 peak = %v", g)
+	}
+	// C1060 bandwidth ≈ 102 GB/s.
+	if bw := tesla.PeakGlobalBandwidth() / 1e9; bw < 100 || bw > 105 {
+		t.Errorf("C1060 bandwidth = %v", bw)
+	}
+}
+
+func TestOptionsApplyToVariants(t *testing.T) {
+	c := GTX280(WithBanks(17))
+	if c.SharedMemBanks != 17 {
+		t.Error("option not applied to GTX280")
+	}
+}

@@ -1,0 +1,141 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WordSize is the fixed machine-instruction width in bytes. Real
+// GT200 mixes 4- and 8-byte forms; we use a uniform 16-byte encoding
+// (one control word, one payload word) to keep the container format
+// simple while remaining a faithful "binary code" level for the
+// CUBIN-generator workflow.
+const WordSize = 16
+
+// Bit layout of the control word.
+const (
+	shiftOp       = 0  // 8 bits
+	shiftGuard    = 8  // 4 bits
+	shiftGuardNeg = 12 // 1 bit
+	shiftDst      = 13 // 8 bits
+	shiftPDst     = 21 // 4 bits
+	shiftAKind    = 25 // 3 bits
+	shiftAIdx     = 28 // 8 bits
+	shiftBKind    = 36 // 3 bits
+	shiftBIdx     = 39 // 8 bits
+	shiftCKind    = 47 // 3 bits
+	shiftCIdx     = 50 // 8 bits
+	shiftCmp      = 58 // 3 bits
+)
+
+func packOperand(o Operand) (kind, idx uint64) {
+	switch o.Kind {
+	case KindReg:
+		return uint64(KindReg), uint64(o.Reg)
+	case KindSReg:
+		return uint64(KindSReg), uint64(o.SReg)
+	case KindImm:
+		return uint64(KindImm), 0
+	case KindSmem:
+		return uint64(KindSmem), 0
+	default:
+		return uint64(KindNone), 0
+	}
+}
+
+func unpackOperand(kind, idx uint64) (Operand, error) {
+	switch OperandKind(kind) {
+	case KindNone:
+		return Operand{}, nil
+	case KindReg:
+		return R(Reg(idx)), nil
+	case KindImm:
+		return Imm(), nil
+	case KindSReg:
+		return SR(SReg(idx)), nil
+	case KindSmem:
+		return Smem(), nil
+	}
+	return Operand{}, fmt.Errorf("isa: bad operand kind %d", kind)
+}
+
+// Encode writes the instruction into dst, which must be at least
+// WordSize bytes, and returns WordSize.
+func (in Instruction) Encode(dst []byte) int {
+	var w uint64
+	w |= uint64(in.Op) << shiftOp
+	w |= uint64(in.Guard) << shiftGuard
+	if in.GuardNeg {
+		w |= 1 << shiftGuardNeg
+	}
+	w |= uint64(in.Dst) << shiftDst
+	w |= uint64(in.PDst) << shiftPDst
+	k, i := packOperand(in.SrcA)
+	w |= k<<shiftAKind | i<<shiftAIdx
+	k, i = packOperand(in.SrcB)
+	w |= k<<shiftBKind | i<<shiftBIdx
+	k, i = packOperand(in.SrcC)
+	w |= k<<shiftCKind | i<<shiftCIdx
+	w |= uint64(in.Cmp) << shiftCmp
+	binary.LittleEndian.PutUint64(dst, w)
+	binary.LittleEndian.PutUint32(dst[8:], in.Imm)
+	binary.LittleEndian.PutUint32(dst[12:], uint32(in.Target))
+	return WordSize
+}
+
+// Decode parses one instruction from src (at least WordSize bytes).
+func Decode(src []byte) (Instruction, error) {
+	if len(src) < WordSize {
+		return Instruction{}, fmt.Errorf("isa: short instruction word: %d bytes", len(src))
+	}
+	w := binary.LittleEndian.Uint64(src)
+	in := Instruction{
+		Op:       Opcode(w >> shiftOp),
+		Guard:    Pred(w >> shiftGuard & 0xf),
+		GuardNeg: w>>shiftGuardNeg&1 == 1,
+		Dst:      Reg(w >> shiftDst & 0xff),
+		PDst:     Pred(w >> shiftPDst & 0xf),
+		Cmp:      CmpOp(w >> shiftCmp & 0x7),
+		Imm:      binary.LittleEndian.Uint32(src[8:]),
+		Target:   int32(binary.LittleEndian.Uint32(src[12:])),
+	}
+	var err error
+	if in.SrcA, err = unpackOperand(w>>shiftAKind&7, w>>shiftAIdx&0xff); err != nil {
+		return Instruction{}, err
+	}
+	if in.SrcB, err = unpackOperand(w>>shiftBKind&7, w>>shiftBIdx&0xff); err != nil {
+		return Instruction{}, err
+	}
+	if in.SrcC, err = unpackOperand(w>>shiftCKind&7, w>>shiftCIdx&0xff); err != nil {
+		return Instruction{}, err
+	}
+	if err := in.Validate(); err != nil {
+		return Instruction{}, err
+	}
+	return in, nil
+}
+
+// EncodeProgram serializes all instructions of p back-to-back.
+func EncodeProgram(p *Program) []byte {
+	buf := make([]byte, len(p.Code)*WordSize)
+	for i, in := range p.Code {
+		in.Encode(buf[i*WordSize:])
+	}
+	return buf
+}
+
+// DecodeProgram parses a back-to-back instruction stream.
+func DecodeProgram(raw []byte) ([]Instruction, error) {
+	if len(raw)%WordSize != 0 {
+		return nil, fmt.Errorf("isa: code size %d not a multiple of %d", len(raw), WordSize)
+	}
+	code := make([]Instruction, len(raw)/WordSize)
+	for i := range code {
+		in, err := Decode(raw[i*WordSize:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		code[i] = in
+	}
+	return code, nil
+}

@@ -1,0 +1,202 @@
+// Package isa defines the native instruction set of the simulated
+// GT200-class GPU.
+//
+// The paper's central methodological claim is that performance
+// modeling must happen at the level of the GPU's *native* machine
+// instructions (recovered there with the Decuda disassembler), not
+// PTX or a high-level language. This package plays the role of that
+// native ISA: a scalar, predicated, load/store instruction set whose
+// instructions fall into the four cost classes of paper Table 1
+// according to how many functional units per SM can execute them.
+package isa
+
+import "fmt"
+
+// Opcode identifies one machine operation.
+type Opcode uint8
+
+// Machine opcodes. The set mirrors what Decuda exposes of the GT200
+// ISA closely enough to express the paper's microbenchmarks and case
+// studies: 32-bit integer and float ALU ops, transcendentals, double
+// precision, shared/global loads and stores, predicate-setting
+// compares, branches and barriers.
+const (
+	OpNOP Opcode = iota
+	OpEXIT
+	OpBRA // branch to Target if predicate holds
+	OpBAR // block-wide synchronization barrier
+	OpMOV
+	OpS2R // read special register (tid, ctaid, ...)
+
+	OpIADD
+	OpISUB
+	OpIMUL
+	OpIMAD
+	OpIMIN
+	OpIMAX
+	OpSHL
+	OpSHR
+	OpAND
+	OpOR
+	OpXOR
+	OpISETP // integer compare, writes predicate
+
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFMAD
+	OpFNMAD // dst = c - a*b (MAD with negated product, as GT200's
+	// operand-negation modifiers allow)
+	OpFMIN
+	OpFMAX
+	OpFSETP // float compare, writes predicate
+
+	OpRCP // reciprocal
+	OpRSQ // reciprocal square root
+	OpSIN
+	OpCOS
+	OpLG2
+	OpEX2
+
+	OpDADD // double precision, register pairs
+	OpDMUL
+	OpDFMA
+
+	OpGLD // global load
+	OpGST // global store
+	OpSLD // shared load
+	OpSST // shared store
+
+	numOpcodes // must remain last
+)
+
+var opNames = [...]string{
+	OpNOP: "nop", OpEXIT: "exit", OpBRA: "bra", OpBAR: "bar.sync",
+	OpMOV: "mov", OpS2R: "s2r",
+	OpIADD: "iadd", OpISUB: "isub", OpIMUL: "imul", OpIMAD: "imad",
+	OpIMIN: "imin", OpIMAX: "imax",
+	OpSHL: "shl", OpSHR: "shr", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpISETP: "isetp",
+	OpFADD:  "fadd", OpFSUB: "fsub", OpFMUL: "fmul", OpFMAD: "fmad", OpFNMAD: "fnmad",
+	OpFMIN: "fmin", OpFMAX: "fmax", OpFSETP: "fsetp",
+	OpRCP: "rcp", OpRSQ: "rsq", OpSIN: "sin", OpCOS: "cos",
+	OpLG2: "lg2", OpEX2: "ex2",
+	OpDADD: "dadd", OpDMUL: "dmul", OpDFMA: "dfma",
+	OpGLD: "gld", OpGST: "gst", OpSLD: "sld", OpSST: "sst",
+}
+
+// NumOpcodes is the count of defined opcodes, exported for
+// exhaustiveness checks in tests.
+const NumOpcodes = int(numOpcodes)
+
+func (op Opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// Class is the cost classification of paper Table 1: instructions
+// are grouped by the number of per-SM functional units that can
+// execute them, which sets their peak issue throughput.
+type Class uint8
+
+const (
+	// ClassI instructions (mul) can use 10 units per SM: the 8
+	// floating-point units plus 2 multipliers in the SFUs.
+	ClassI Class = iota
+	// ClassII instructions (mov, add, mad and all other "plain" ALU
+	// and control work) use the 8 SP units.
+	ClassII
+	// ClassIII transcendentals (sin, cos, log, rcp) run on 4 units.
+	ClassIII
+	// ClassIV double-precision instructions share 1 unit per SM.
+	ClassIV
+	// NumClasses is the number of cost classes.
+	NumClasses = 4
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassI:
+		return "Type I"
+	case ClassII:
+		return "Type II"
+	case ClassIII:
+		return "Type III"
+	case ClassIV:
+		return "Type IV"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Units returns the number of functional units per SM for the class
+// on GT200 (paper Table 1).
+func (c Class) Units() int {
+	switch c {
+	case ClassI:
+		return 10
+	case ClassII:
+		return 8
+	case ClassIII:
+		return 4
+	case ClassIV:
+		return 1
+	}
+	return 0
+}
+
+// ClassOf returns the cost class of an opcode. Memory instructions
+// are issued through the ALU pipeline like Type II instructions (the
+// transaction cost they generate is accounted separately by the
+// shared- and global-memory components of the model), so they
+// classify as ClassII here.
+func ClassOf(op Opcode) Class {
+	switch op {
+	case OpIMUL, OpFMUL:
+		return ClassI
+	case OpRCP, OpRSQ, OpSIN, OpCOS, OpLG2, OpEX2:
+		return ClassIII
+	case OpDADD, OpDMUL, OpDFMA:
+		return ClassIV
+	default:
+		return ClassII
+	}
+}
+
+// IsMemory reports whether the opcode accesses shared or global
+// memory.
+func IsMemory(op Opcode) bool {
+	switch op {
+	case OpGLD, OpGST, OpSLD, OpSST:
+		return true
+	}
+	return false
+}
+
+// IsGlobal reports whether the opcode accesses global memory.
+func IsGlobal(op Opcode) bool { return op == OpGLD || op == OpGST }
+
+// IsShared reports whether the opcode accesses shared memory.
+func IsShared(op Opcode) bool { return op == OpSLD || op == OpSST }
+
+// IsControl reports whether the opcode affects control flow or
+// synchronization.
+func IsControl(op Opcode) bool {
+	switch op {
+	case OpBRA, OpEXIT, OpBAR:
+		return true
+	}
+	return false
+}
+
+// WritesPredicate reports whether the opcode writes a predicate
+// register instead of a general-purpose destination.
+func WritesPredicate(op Opcode) bool { return op == OpISETP || op == OpFSETP }
+
+// IsDouble reports whether the opcode operates on 64-bit register
+// pairs.
+func IsDouble(op Opcode) bool { return ClassOf(op) == ClassIV }

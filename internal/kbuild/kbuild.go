@@ -1,0 +1,355 @@
+// Package kbuild is a small kernel-construction DSL on top of the
+// native ISA.
+//
+// The paper's microbenchmarks and case-study kernels are hand-built
+// native instruction streams (via the CUBIN generator); this builder
+// provides the same capability with structured helpers: a linear
+// register allocator, label/branch patching, and a counted-loop
+// combinator. It emits plain isa.Programs, so anything built here
+// can be containerized, disassembled and rewritten.
+package kbuild
+
+import (
+	"fmt"
+	"math"
+
+	"gpuperf/internal/isa"
+)
+
+// Builder accumulates instructions for one kernel.
+type Builder struct {
+	name    string
+	code    []isa.Instruction
+	nextReg int
+	smem    int
+	err     error
+}
+
+// New starts a kernel named name.
+func New(name string) *Builder { return &Builder{name: name} }
+
+// fail records the first error; subsequent calls keep building so
+// callers can defer error handling to Program().
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("kbuild: %s: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Reg allocates a fresh general-purpose register.
+func (b *Builder) Reg() isa.Reg {
+	if b.nextReg >= isa.NumRegs {
+		b.fail("out of registers")
+		return 0
+	}
+	r := isa.Reg(b.nextReg)
+	b.nextReg++
+	return r
+}
+
+// RegPair allocates an aligned register pair for double precision
+// and returns the low register.
+func (b *Builder) RegPair() isa.Reg {
+	if b.nextReg%2 == 1 {
+		b.nextReg++
+	}
+	lo := b.Reg()
+	b.Reg()
+	return lo
+}
+
+// Regs allocates n consecutive registers and returns the first.
+func (b *Builder) Regs(n int) isa.Reg {
+	if n <= 0 || b.nextReg+n > isa.NumRegs {
+		b.fail("cannot allocate %d registers at %d", n, b.nextReg)
+		return 0
+	}
+	r := isa.Reg(b.nextReg)
+	b.nextReg += n
+	return r
+}
+
+// SharedBytes declares the kernel's static shared-memory allocation.
+func (b *Builder) SharedBytes(n int) { b.smem = n }
+
+// Pos returns the index the next emitted instruction will have.
+func (b *Builder) Pos() int { return len(b.code) }
+
+// Emit appends a raw instruction and returns its index. Callers
+// wanting a guard other than PT should set it on the instruction or
+// use Guarded afterwards.
+func (b *Builder) Emit(in isa.Instruction) int {
+	b.code = append(b.code, in)
+	return len(b.code) - 1
+}
+
+func (b *Builder) emit(op isa.Opcode, dst isa.Reg, a, bb, c isa.Operand, imm uint32) int {
+	return b.Emit(isa.Instruction{Op: op, Guard: isa.PT, Dst: dst, SrcA: a, SrcB: bb, SrcC: c, Imm: imm})
+}
+
+// Guarded re-emits the most recent instruction's guard: it rewrites
+// instruction idx to execute only when pred (negated if neg) holds.
+func (b *Builder) Guarded(idx int, pred isa.Pred, neg bool) {
+	if idx < 0 || idx >= len(b.code) {
+		b.fail("guard index %d out of range", idx)
+		return
+	}
+	b.code[idx].Guard = pred
+	b.code[idx].GuardNeg = neg
+}
+
+// --- data movement -------------------------------------------------
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst, src isa.Reg) {
+	b.emit(isa.OpMOV, dst, isa.R(src), isa.Operand{}, isa.Operand{}, 0)
+}
+
+// MovImm emits dst = imm (32-bit pattern).
+func (b *Builder) MovImm(dst isa.Reg, imm uint32) {
+	b.emit(isa.OpMOV, dst, isa.Imm(), isa.Operand{}, isa.Operand{}, imm)
+}
+
+// MovF emits dst = float32 constant.
+func (b *Builder) MovF(dst isa.Reg, f float32) { b.MovImm(dst, math.Float32bits(f)) }
+
+// S2R emits dst = special register.
+func (b *Builder) S2R(dst isa.Reg, sr isa.SReg) {
+	b.emit(isa.OpS2R, dst, isa.SR(sr), isa.Operand{}, isa.Operand{}, 0)
+}
+
+// --- integer ALU ----------------------------------------------------
+
+// IAdd emits dst = a + b.
+func (b *Builder) IAdd(dst, a, src isa.Reg) {
+	b.emit(isa.OpIADD, dst, isa.R(a), isa.R(src), isa.Operand{}, 0)
+}
+
+// IAddImm emits dst = a + imm.
+func (b *Builder) IAddImm(dst, a isa.Reg, imm uint32) {
+	b.emit(isa.OpIADD, dst, isa.R(a), isa.Imm(), isa.Operand{}, imm)
+}
+
+// ISub emits dst = a - b.
+func (b *Builder) ISub(dst, a, src isa.Reg) {
+	b.emit(isa.OpISUB, dst, isa.R(a), isa.R(src), isa.Operand{}, 0)
+}
+
+// IMul emits dst = a * b (low 32 bits).
+func (b *Builder) IMul(dst, a, src isa.Reg) {
+	b.emit(isa.OpIMUL, dst, isa.R(a), isa.R(src), isa.Operand{}, 0)
+}
+
+// IMulImm emits dst = a * imm.
+func (b *Builder) IMulImm(dst, a isa.Reg, imm uint32) {
+	b.emit(isa.OpIMUL, dst, isa.R(a), isa.Imm(), isa.Operand{}, imm)
+}
+
+// IMad emits dst = a*b + c.
+func (b *Builder) IMad(dst, a, src, c isa.Reg) {
+	b.emit(isa.OpIMAD, dst, isa.R(a), isa.R(src), isa.R(c), 0)
+}
+
+// IMadImm emits dst = a*imm + c.
+func (b *Builder) IMadImm(dst, a isa.Reg, imm uint32, c isa.Reg) {
+	b.emit(isa.OpIMAD, dst, isa.R(a), isa.Imm(), isa.R(c), imm)
+}
+
+// ShlImm emits dst = a << imm.
+func (b *Builder) ShlImm(dst, a isa.Reg, imm uint32) {
+	b.emit(isa.OpSHL, dst, isa.R(a), isa.Imm(), isa.Operand{}, imm)
+}
+
+// ShrImm emits dst = a >> imm (logical).
+func (b *Builder) ShrImm(dst, a isa.Reg, imm uint32) {
+	b.emit(isa.OpSHR, dst, isa.R(a), isa.Imm(), isa.Operand{}, imm)
+}
+
+// AndImm emits dst = a & imm.
+func (b *Builder) AndImm(dst, a isa.Reg, imm uint32) {
+	b.emit(isa.OpAND, dst, isa.R(a), isa.Imm(), isa.Operand{}, imm)
+}
+
+// --- float ALU -------------------------------------------------------
+
+// FAdd emits dst = a + b.
+func (b *Builder) FAdd(dst, a, src isa.Reg) {
+	b.emit(isa.OpFADD, dst, isa.R(a), isa.R(src), isa.Operand{}, 0)
+}
+
+// FSub emits dst = a - b.
+func (b *Builder) FSub(dst, a, src isa.Reg) {
+	b.emit(isa.OpFSUB, dst, isa.R(a), isa.R(src), isa.Operand{}, 0)
+}
+
+// FMul emits dst = a * b.
+func (b *Builder) FMul(dst, a, src isa.Reg) {
+	b.emit(isa.OpFMUL, dst, isa.R(a), isa.R(src), isa.Operand{}, 0)
+}
+
+// FMad emits dst = a*b + c.
+func (b *Builder) FMad(dst, a, src, c isa.Reg) {
+	b.emit(isa.OpFMAD, dst, isa.R(a), isa.R(src), isa.R(c), 0)
+}
+
+// FNMad emits dst = c - a*b.
+func (b *Builder) FNMad(dst, a, src, c isa.Reg) {
+	b.emit(isa.OpFNMAD, dst, isa.R(a), isa.R(src), isa.R(c), 0)
+}
+
+// Rcp emits dst = 1/a.
+func (b *Builder) Rcp(dst, a isa.Reg) {
+	b.emit(isa.OpRCP, dst, isa.R(a), isa.Operand{}, isa.Operand{}, 0)
+}
+
+// Unary emits a one-source instruction (sin, cos, lg2, ex2, rsq...).
+func (b *Builder) Unary(op isa.Opcode, dst, a isa.Reg) {
+	b.emit(op, dst, isa.R(a), isa.Operand{}, isa.Operand{}, 0)
+}
+
+// DFma emits double dst = a*b + c over register pairs.
+func (b *Builder) DFma(dst, a, src, c isa.Reg) {
+	b.emit(isa.OpDFMA, dst, isa.R(a), isa.R(src), isa.R(c), 0)
+}
+
+// --- predicates and control ------------------------------------------
+
+// ISetpImm emits pd = (a cmp imm).
+func (b *Builder) ISetpImm(pd isa.Pred, cmp isa.CmpOp, a isa.Reg, imm uint32) {
+	b.Emit(isa.Instruction{Op: isa.OpISETP, Guard: isa.PT, PDst: pd, Cmp: cmp,
+		SrcA: isa.R(a), SrcB: isa.Imm(), Imm: imm})
+}
+
+// ISetp emits pd = (a cmp b).
+func (b *Builder) ISetp(pd isa.Pred, cmp isa.CmpOp, a, src isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpISETP, Guard: isa.PT, PDst: pd, Cmp: cmp,
+		SrcA: isa.R(a), SrcB: isa.R(src)})
+}
+
+// Bra emits an unconditional branch whose target is patched later
+// via SetTarget, returning the instruction index.
+func (b *Builder) Bra() int {
+	return b.Emit(isa.Instruction{Op: isa.OpBRA, Guard: isa.PT})
+}
+
+// BraIf emits a branch guarded by pred (negated if neg).
+func (b *Builder) BraIf(pred isa.Pred, neg bool) int {
+	return b.Emit(isa.Instruction{Op: isa.OpBRA, Guard: pred, GuardNeg: neg})
+}
+
+// SetTarget patches the branch at index idx to jump to target.
+func (b *Builder) SetTarget(idx, target int) {
+	if idx < 0 || idx >= len(b.code) || b.code[idx].Op != isa.OpBRA {
+		b.fail("SetTarget(%d): not a branch", idx)
+		return
+	}
+	b.code[idx].Target = int32(target)
+}
+
+// Bar emits a block-wide barrier.
+func (b *Builder) Bar() { b.Emit(isa.Instruction{Op: isa.OpBAR, Guard: isa.PT}) }
+
+// Exit emits the kernel terminator.
+func (b *Builder) Exit() { b.Emit(isa.Instruction{Op: isa.OpEXIT, Guard: isa.PT}) }
+
+// --- memory -----------------------------------------------------------
+
+// Gld emits dst = global[addr] (addr in bytes).
+func (b *Builder) Gld(dst, addr isa.Reg) { b.GldOff(dst, addr, 0) }
+
+// GldOff emits dst = global[addr + off].
+func (b *Builder) GldOff(dst, addr isa.Reg, off uint32) {
+	b.emit(isa.OpGLD, dst, isa.R(addr), isa.Operand{}, isa.Operand{}, off)
+}
+
+// Gst emits global[addr] = val.
+func (b *Builder) Gst(addr, val isa.Reg) { b.GstOff(addr, val, 0) }
+
+// GstOff emits global[addr + off] = val.
+func (b *Builder) GstOff(addr, val isa.Reg, off uint32) {
+	b.Emit(isa.Instruction{Op: isa.OpGST, Guard: isa.PT, SrcA: isa.R(addr), SrcB: isa.R(val), Imm: off})
+}
+
+// Sld emits dst = shared[addr].
+func (b *Builder) Sld(dst, addr isa.Reg) { b.SldOff(dst, addr, 0) }
+
+// SldOff emits dst = shared[addr + off].
+func (b *Builder) SldOff(dst, addr isa.Reg, off uint32) {
+	b.emit(isa.OpSLD, dst, isa.R(addr), isa.Operand{}, isa.Operand{}, off)
+}
+
+// Sst emits shared[addr] = val.
+func (b *Builder) Sst(addr, val isa.Reg) { b.SstOff(addr, val, 0) }
+
+// SstOff emits shared[addr + off] = val.
+func (b *Builder) SstOff(addr, val isa.Reg, off uint32) {
+	b.Emit(isa.Instruction{Op: isa.OpSST, Guard: isa.PT, SrcA: isa.R(addr), SrcB: isa.R(val), Imm: off})
+}
+
+// FMadS emits dst = a * shared[smemOff] + c — GT200's MAD with a
+// shared-memory operand, the workhorse of dense matrix multiply.
+func (b *Builder) FMadS(dst, a isa.Reg, smemOff uint32, c isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpFMAD, Guard: isa.PT, Dst: dst,
+		SrcA: isa.R(a), SrcB: isa.Smem(), SrcC: isa.R(c), Imm: smemOff})
+}
+
+// ReserveRegs declares that the kernel uses at least n registers,
+// matching a published per-thread register count even when the
+// builder's own allocation is smaller (register pressure is an
+// occupancy input, so reproducing Table 2 requires the real counts).
+func (b *Builder) ReserveRegs(n int) {
+	if n > isa.NumRegs {
+		b.fail("ReserveRegs(%d) exceeds register file", n)
+		return
+	}
+	if n > b.nextReg {
+		b.nextReg = n
+	}
+}
+
+// --- structured loops ---------------------------------------------------
+
+// Loop emits a counted loop running body n times using counter as
+// the induction register (counts up from 0; body may read it). The
+// predicate register p3 is reserved for the back-edge test.
+func (b *Builder) Loop(counter isa.Reg, n uint32, body func()) {
+	if n == 0 {
+		b.fail("zero-trip Loop")
+		return
+	}
+	b.MovImm(counter, 0)
+	top := b.Pos()
+	body()
+	b.IAddImm(counter, counter, 1)
+	b.ISetpImm(isa.P3, isa.CmpLT, counter, n)
+	br := b.BraIf(isa.P3, false)
+	b.SetTarget(br, top)
+}
+
+// Program finalizes and validates the kernel.
+func (b *Builder) Program() (*isa.Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := &isa.Program{
+		Name:           b.name,
+		Code:           b.code,
+		RegsPerThread:  b.nextReg,
+		SharedMemBytes: b.smem,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustProgram is Program for statically known-good kernels; it
+// panics on error and is intended for package-level kernel tables
+// and tests.
+func (b *Builder) MustProgram() *isa.Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

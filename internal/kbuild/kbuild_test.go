@@ -1,0 +1,162 @@
+package kbuild
+
+import (
+	"testing"
+
+	"gpuperf/internal/asm"
+	"gpuperf/internal/isa"
+)
+
+func TestBasicKernel(t *testing.T) {
+	b := New("saxpy")
+	tid := b.Reg()
+	addr := b.Reg()
+	x := b.Reg()
+	b.S2R(tid, isa.SRTid)
+	b.ShlImm(addr, tid, 2)
+	b.Gld(x, addr)
+	b.FMad(x, x, x, x)
+	b.Gst(addr, x)
+	b.Exit()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RegsPerThread != 3 {
+		t.Errorf("RegsPerThread = %d, want 3", p.RegsPerThread)
+	}
+	if len(p.Code) != 6 {
+		t.Errorf("code length %d", len(p.Code))
+	}
+	// The builder's output must survive the assembler round trip.
+	q, err := asm.Assemble(asm.Disassemble(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Code {
+		if p.Code[i] != q.Code[i] {
+			t.Errorf("instr %d: %v vs %v", i, p.Code[i], q.Code[i])
+		}
+	}
+}
+
+func TestLoopShape(t *testing.T) {
+	b := New("loop")
+	ctr := b.Reg()
+	acc := b.Reg()
+	b.MovF(acc, 1)
+	b.Loop(ctr, 10, func() {
+		b.FMul(acc, acc, acc)
+	})
+	b.Exit()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mov ctr,0 | fmul | iadd | isetp | bra | exit  (+ initial mov acc)
+	var bra *isa.Instruction
+	for i := range p.Code {
+		if p.Code[i].Op == isa.OpBRA {
+			bra = &p.Code[i]
+		}
+	}
+	if bra == nil {
+		t.Fatal("no back edge emitted")
+	}
+	if bra.Guard != isa.P3 || bra.GuardNeg {
+		t.Errorf("back edge guard %v", bra)
+	}
+	if p.Code[bra.Target].Op != isa.OpFMUL {
+		t.Errorf("back edge lands on %v", p.Code[bra.Target])
+	}
+}
+
+func TestZeroTripLoopRejected(t *testing.T) {
+	b := New("zero")
+	ctr := b.Reg()
+	b.Loop(ctr, 0, func() {})
+	b.Exit()
+	if _, err := b.Program(); err == nil {
+		t.Error("zero-trip loop accepted")
+	}
+}
+
+func TestRegisterExhaustion(t *testing.T) {
+	b := New("hog")
+	for i := 0; i < isa.NumRegs; i++ {
+		b.Reg()
+	}
+	b.Reg() // one too many
+	b.Exit()
+	if _, err := b.Program(); err == nil {
+		t.Error("register exhaustion not reported")
+	}
+}
+
+func TestRegPairAlignment(t *testing.T) {
+	b := New("pairs")
+	b.Reg() // r0 → next alloc would be r1
+	lo := b.RegPair()
+	if lo%2 != 0 {
+		t.Errorf("RegPair returned odd register r%d", lo)
+	}
+	first := b.Regs(4)
+	if int(first) != int(lo)+2 {
+		t.Errorf("Regs(4) started at r%d", first)
+	}
+}
+
+func TestGuardedAndSetTargetValidation(t *testing.T) {
+	b := New("patch")
+	r := b.Reg()
+	b.MovImm(r, 1)
+	idx := b.Pos() - 1
+	b.Guarded(idx, isa.P1, true)
+	b.Exit()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[idx].Guard != isa.P1 || !p.Code[idx].GuardNeg {
+		t.Errorf("guard not applied: %v", p.Code[idx])
+	}
+
+	b2 := New("badpatch")
+	b2.MovImm(b2.Reg(), 1)
+	b2.SetTarget(0, 0) // instruction 0 is not a branch
+	b2.Exit()
+	if _, err := b2.Program(); err == nil {
+		t.Error("SetTarget on non-branch accepted")
+	}
+
+	b3 := New("oob")
+	b3.Guarded(5, isa.P0, false)
+	b3.Exit()
+	if _, err := b3.Program(); err == nil {
+		t.Error("Guarded out of range accepted")
+	}
+}
+
+func TestSharedBytesPropagates(t *testing.T) {
+	b := New("smem")
+	b.SharedBytes(2048)
+	b.Exit()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SharedMemBytes != 2048 {
+		t.Errorf("SharedMemBytes = %d", p.SharedMemBytes)
+	}
+}
+
+func TestMustProgramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProgram did not panic on invalid kernel")
+		}
+	}()
+	b := New("invalid") // no exit
+	b.MovImm(b.Reg(), 1)
+	b.MustProgram()
+}

@@ -1,0 +1,468 @@
+package kernels
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gpuperf/internal/bank"
+	"gpuperf/internal/barra"
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/isa"
+	"gpuperf/internal/kbuild"
+	"gpuperf/internal/tridiag"
+)
+
+// CR is the cyclic-reduction tridiagonal solver of paper §5.2: each
+// block solves one N-equation system held entirely in shared memory
+// (arrays a, b, c, d, x), with N/2 threads. Forward reduction halves
+// the active equations each step behind a barrier; the access stride
+// doubles, so on a 16-bank shared memory the bank-conflict degree
+// doubles step by step. With NBC (no bank conflicts) the paper's
+// padding remedy — one pad word per 16 — remaps every shared-memory
+// index.
+type CR struct {
+	// Systems is the number of independent systems (= blocks);
+	// N the power-of-two equation count per system.
+	Systems, N int
+	// NBC applies the padding remedy.
+	NBC bool
+	// ForwardOnly stops after forward reduction (the phase paper
+	// Figs. 6 and 7 analyze); no results are written back.
+	ForwardOnly bool
+
+	prog  *isa.Program
+	banks int
+	// strideWords is the padded per-array size in words.
+	strideWords int
+	gBase       uint32 // global base of the system arrays
+	xBase       uint32 // global base of the solution vectors
+}
+
+// NewCR builds the solver kernel. n must be a power of two between
+// 64 and 1024 (block sizes n/2 ≤ 512); banks is taken from cfg.
+func NewCR(cfg gpu.Config, systems, n int, nbc, forwardOnly bool) (*CR, error) {
+	if systems <= 0 {
+		return nil, fmt.Errorf("kernels: non-positive system count")
+	}
+	if n < 64 || n > 1024 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("kernels: CR system size %d (want power of two in [64,1024])", n)
+	}
+	c := &CR{
+		Systems: systems, N: n, NBC: nbc, ForwardOnly: forwardOnly,
+		banks: cfg.SharedMemBanks,
+	}
+	c.strideWords = n
+	if nbc {
+		c.strideWords = bank.PaddedSize(n, c.banks)
+	}
+	smem := 5 * c.strideWords * 4
+	if smem > cfg.SharedMemPerSM {
+		return nil, fmt.Errorf("kernels: CR needs %d B shared memory, SM has %d", smem, cfg.SharedMemPerSM)
+	}
+	c.gBase = 0
+	c.xBase = uint32(systems * n * 16) // after the 4 coefficient arrays
+	prog, err := c.build(smem)
+	if err != nil {
+		return nil, err
+	}
+	c.prog = prog
+	return c, nil
+}
+
+func (c *CR) build(smem int) (*isa.Program, error) {
+	n := uint32(c.N)
+	threads := c.N / 2
+	b := kbuild.New(crName(c.NBC, c.ForwardOnly))
+	b.SharedBytes(smem)
+
+	tid := b.Reg()
+	bidReg := b.Reg()
+	idx := b.Reg()
+	pa := b.Reg() // physical byte address of idx
+	pm := b.Reg() // physical byte address of idx-step
+	pp := b.Reg() // physical byte address of idx+step
+	tmp := b.Reg()
+	gaddr := b.Reg()
+	v := b.Reg()
+	// Working values of one reduction step.
+	ai := b.Reg()
+	bi := b.Reg()
+	ci := b.Reg()
+	di := b.Reg()
+	am := b.Reg()
+	bm := b.Reg()
+	cm := b.Reg()
+	dm := b.Reg()
+	ap := b.Reg()
+	bp := b.Reg()
+	cp := b.Reg()
+	dp := b.Reg()
+	k1 := b.Reg()
+	k2 := b.Reg()
+	rb := b.Reg()
+	xm := b.Reg()
+	xp := b.Reg()
+
+	arrayStride := uint32(c.strideWords * 4)
+
+	// emitPhys computes the physical byte address of logical word
+	// index src into dst (within array 0; callers add array bases
+	// via instruction offsets). Plain: idx·4. NBC: (idx + idx/16)·4.
+	// dst must differ from src; the computation stays inside dst so
+	// callers may pass any live register as src (including tmp).
+	emitPhys := func(dst, src isa.Reg) {
+		if dst == src {
+			panic("kernels: emitPhys requires dst != src")
+		}
+		if c.NBC {
+			b.ShrImm(dst, src, uint32(bits.TrailingZeros(uint(c.banks))))
+			b.IAdd(dst, dst, src)
+			b.ShlImm(dst, dst, 2)
+		} else {
+			b.ShlImm(dst, src, 2)
+		}
+	}
+
+	b.S2R(tid, isa.SRTid)
+	b.S2R(bidReg, isa.SRCtaid)
+
+	// Stage 0: load a, b, c, d from global memory, two elements per
+	// thread per array, coalesced. Global layout: array ai of system
+	// s starts at gBase + (ai·Systems + s)·N·4. All eight loads
+	// issue before the first shared-memory store so the DRAM round
+	// trip is paid once, not eight times (as the compiler schedules
+	// the real kernel).
+	loadVals := [8]isa.Reg{ai, bi, ci, di, am, bm, cm, dm}
+	b.IAddImm(idx, tid, uint32(threads))
+	emitPhys(pa, tid)
+	emitPhys(pm, idx)
+	b.IMulImm(gaddr, bidReg, n*4)
+	b.ShlImm(tmp, tid, 2)
+	b.IAdd(tmp, tmp, gaddr) // half-0 global offset
+	b.ShlImm(v, idx, 2)
+	b.IAdd(gaddr, v, gaddr) // half-1 global offset
+	for arr := 0; arr < 4; arr++ {
+		base := c.gBase + uint32(arr*c.Systems)*n*4
+		b.GldOff(loadVals[arr], tmp, base)
+		b.GldOff(loadVals[4+arr], gaddr, base)
+	}
+	for arr := 0; arr < 4; arr++ {
+		b.SstOff(pa, loadVals[arr], uint32(arr)*arrayStride)
+		b.SstOff(pm, loadVals[4+arr], uint32(arr)*arrayStride)
+	}
+	b.Bar()
+
+	// Forward reduction: step strides 1, 2, 4, ... n/2.
+	for step := 1; step < c.N; step *= 2 {
+		active := c.N / (2 * step)
+		skip := c.emitGuards(b, tid, active, threads)
+		// idx = tid·2·step + 2·step − 1; tmp carries tid for the
+		// step's neighbour predicate.
+		b.Mov(tmp, tid)
+		b.ShlImm(idx, tid, uint32(bits.TrailingZeros(uint(2*step))))
+		b.IAddImm(idx, idx, uint32(2*step-1))
+		c.emitForwardStep(b, forwardRegs{
+			idx: idx, pa: pa, pm: pm, pp: pp, tmp: tmp,
+			ai: ai, bi: bi, ci: ci, di: di,
+			am: am, bm: bm, cm: cm, dm: dm,
+			ap: ap, bp: bp, cp: cp, dp: dp,
+			k1: k1, k2: k2, rb: rb,
+		}, step, active, arrayStride, emitPhys)
+		if skip >= 0 {
+			b.SetTarget(skip, b.Pos())
+		}
+		b.Bar()
+	}
+
+	if !c.ForwardOnly {
+		// x[n-1] = d[n-1]/b[n-1], thread 0 only.
+		skip := c.emitGuards(b, tid, 1, threads)
+		b.MovImm(idx, n-1)
+		emitPhys(pa, idx)
+		g := b.Pos()
+		b.SldOff(di, pa, 3*arrayStride)
+		b.Guarded(g, isa.P0, false)
+		g = b.Pos()
+		b.SldOff(bi, pa, 1*arrayStride)
+		b.Guarded(g, isa.P0, false)
+		g = b.Pos()
+		b.Rcp(rb, bi)
+		b.Guarded(g, isa.P0, false)
+		g = b.Pos()
+		b.FMul(di, di, rb)
+		b.Guarded(g, isa.P0, false)
+		g = b.Pos()
+		b.SstOff(pa, di, 4*arrayStride)
+		b.Guarded(g, isa.P0, false)
+		if skip >= 0 {
+			b.SetTarget(skip, b.Pos())
+		}
+		b.Bar()
+
+		// Backward substitution: strides n/2 down to 1.
+		for step := c.N / 2; step >= 1; step /= 2 {
+			active := c.N / (2 * step)
+			skip := c.emitGuards(b, tid, active, threads)
+			// idx = tid·2·step + step − 1.
+			b.Mov(tmp, tid)
+			b.ShlImm(idx, tid, uint32(bits.TrailingZeros(uint(2*step))))
+			b.IAddImm(idx, idx, uint32(step-1))
+			c.emitBackwardStep(b, backwardRegs{
+				idx: idx, pa: pa, pm: pm, pp: pp, tmp: tmp,
+				ai: ai, bi: bi, ci: ci, di: di, xm: xm, xp: xp, rb: rb, k1: k1,
+			}, step, active, arrayStride, emitPhys)
+			if skip >= 0 {
+				b.SetTarget(skip, b.Pos())
+			}
+			b.Bar()
+		}
+
+		// Store x back, coalesced, two elements per thread.
+		for half := 0; half < 2; half++ {
+			b.IAddImm(idx, tid, uint32(half*threads))
+			emitPhys(pa, idx)
+			b.SldOff(v, pa, 4*arrayStride)
+			b.IMulImm(gaddr, bidReg, n*4)
+			b.ShlImm(tmp, idx, 2)
+			b.IAdd(gaddr, gaddr, tmp)
+			b.GstOff(gaddr, v, c.xBase)
+		}
+	}
+	b.Exit()
+	return b.Program()
+}
+
+func crName(nbc, fwd bool) string {
+	name := "cr"
+	if nbc {
+		name += "-nbc"
+	}
+	if fwd {
+		name += "-fwd"
+	}
+	return name
+}
+
+// emitGuards sets P0 = tid < active for per-lane predication and,
+// when whole warps are inactive, emits a warp-uniform branch (on
+// P2 = tid ≥ ceil32(active)) that skips them to the step's barrier,
+// so idle warps stop issuing the step body — the mechanism by which
+// cyclic reduction's per-step instruction work halves (paper
+// Fig. 6). The caller must patch the returned branch (if ≥ 0) to
+// the barrier's instruction index. The partially-active warp, if
+// any, falls through with its excess lanes predicated off by P0.
+func (c *CR) emitGuards(b *kbuild.Builder, tid isa.Reg, active, blockDim int) int {
+	b.ISetpImm(isa.P0, isa.CmpLT, tid, uint32(active))
+	ceil := (active + gpu.WarpSize - 1) &^ (gpu.WarpSize - 1)
+	if ceil >= blockDim {
+		return -1
+	}
+	b.ISetpImm(isa.P2, isa.CmpGE, tid, uint32(ceil))
+	return b.BraIf(isa.P2, false)
+}
+
+type forwardRegs struct {
+	idx, pa, pm, pp, tmp                           isa.Reg
+	ai, bi, ci, di, am, bm, cm, dm, ap, bp, cp, dp isa.Reg
+	k1, k2, rb                                     isa.Reg
+}
+
+// emitForwardStep emits one guarded forward-reduction step at the
+// given stride, mirroring the lean instruction mix of the paper's
+// hand-tuned kernel: guarded loads (no default fills — inactive
+// lanes never load or store), single-compare neighbour predicates,
+// and negating MADs for the update arithmetic. Work is predicated
+// on P0 (active thread); upper-neighbour terms on P1 (idx+step in
+// range, which implies P0 because only the last active thread's
+// neighbour falls off the end).
+func (c *CR) emitForwardStep(b *kbuild.Builder, r forwardRegs, step, active int, arrayStride uint32, emitPhys func(dst, src isa.Reg)) {
+	guard := func() { b.Guarded(b.Pos()-1, isa.P0, false) }
+	guardP1 := func() { b.Guarded(b.Pos()-1, isa.P1, false) }
+
+	// P1 = tid < active-1: every active thread except the last has
+	// an in-range upper neighbour. (r.tmp still holds tid here —
+	// the caller computes idx from tid without clobbering tmp.)
+	b.ISetpImm(isa.P1, isa.CmpLT, r.tmp, uint32(active-1))
+
+	// Physical byte addresses of idx, idx−step, idx+step.
+	emitPhys(r.pa, r.idx)
+	if c.NBC {
+		b.IAddImm(r.idx, r.idx, uint32(int32(-step)))
+		emitPhys(r.pm, r.idx)
+		b.IAddImm(r.idx, r.idx, uint32(2*step))
+		emitPhys(r.pp, r.idx)
+	} else {
+		b.IAddImm(r.pm, r.pa, uint32(int32(-4*step)))
+		b.IAddImm(r.pp, r.pa, uint32(4*step))
+	}
+
+	ld := func(dst, addr isa.Reg, arr int, pred isa.Pred) {
+		g := b.Pos()
+		b.SldOff(dst, addr, uint32(arr)*arrayStride)
+		b.Guarded(g, pred, false)
+	}
+	ld(r.ai, r.pa, 0, isa.P0)
+	ld(r.bi, r.pa, 1, isa.P0)
+	ld(r.ci, r.pa, 2, isa.P0)
+	ld(r.di, r.pa, 3, isa.P0)
+	ld(r.am, r.pm, 0, isa.P0)
+	ld(r.bm, r.pm, 1, isa.P0)
+	ld(r.cm, r.pm, 2, isa.P0)
+	ld(r.dm, r.pm, 3, isa.P0)
+	ld(r.ap, r.pp, 0, isa.P1)
+	ld(r.bp, r.pp, 1, isa.P1)
+	ld(r.cp, r.pp, 2, isa.P1)
+	ld(r.dp, r.pp, 3, isa.P1)
+
+	// k1 = a[i]/b[i−s]; k2 = c[i]/b[i+s] (0 without an upper
+	// neighbour).
+	b.Rcp(r.rb, r.bm)
+	guard()
+	b.FMul(r.k1, r.ai, r.rb)
+	guard()
+	b.MovImm(r.k2, 0)
+	guard()
+	b.Rcp(r.rb, r.bp)
+	guardP1()
+	b.FMul(r.k2, r.ci, r.rb)
+	guardP1()
+
+	// b[i] −= c[i−s]·k1 + a[i+s]·k2 ; d[i] −= d[i−s]·k1 + d[i+s]·k2.
+	b.FNMad(r.bi, r.cm, r.k1, r.bi)
+	guard()
+	b.FNMad(r.bi, r.ap, r.k2, r.bi)
+	guardP1()
+	b.FNMad(r.di, r.dm, r.k1, r.di)
+	guard()
+	b.FNMad(r.di, r.dp, r.k2, r.di)
+	guardP1()
+	// a[i] = −a[i−s]·k1 ; c[i] = −c[i+s]·k2 (k2 = 0 covers the
+	// missing neighbour, so plain FNMad against a zeroed temp).
+	b.MovImm(r.tmp, 0)
+	guard()
+	b.FNMad(r.ai, r.am, r.k1, r.tmp)
+	guard()
+	b.FNMad(r.ci, r.cp, r.k2, r.tmp)
+	guard()
+
+	st := func(srcReg isa.Reg, arr int) {
+		g := b.Pos()
+		b.SstOff(r.pa, srcReg, uint32(arr)*arrayStride)
+		b.Guarded(g, isa.P0, false)
+	}
+	st(r.ai, 0)
+	st(r.bi, 1)
+	st(r.ci, 2)
+	st(r.di, 3)
+}
+
+type backwardRegs struct {
+	idx, pa, pm, pp, tmp       isa.Reg
+	ai, bi, ci, di, xm, xp, rb isa.Reg
+	k1                         isa.Reg
+}
+
+// emitBackwardStep emits one guarded backward-substitution step:
+// x[i] = (d[i] − a[i]·x[i−s] − c[i]·x[i+s]) / b[i]. The lower
+// neighbour exists for every active thread but the first (P1 =
+// 1 ≤ tid < active); the upper always exists and is already solved.
+func (c *CR) emitBackwardStep(b *kbuild.Builder, r backwardRegs, step, active int, arrayStride uint32, emitPhys func(dst, src isa.Reg)) {
+	guard := func() { b.Guarded(b.Pos()-1, isa.P0, false) }
+	guardP1 := func() { b.Guarded(b.Pos()-1, isa.P1, false) }
+
+	// P1 = 1 ≤ tid < active. r.tmp holds tid (see caller); active
+	// ≥ 1, so CmpGE against 1 plus the P0 restriction: emit
+	// P1 = tid ≥ 1, then clear it where P0 is false.
+	b.ISetpImm(isa.P1, isa.CmpGE, r.tmp, 1)
+	g := b.Pos()
+	b.ISetpImm(isa.P1, isa.CmpLT, r.tmp, 0)
+	b.Guarded(g, isa.P0, true)
+
+	emitPhys(r.pa, r.idx)
+	if c.NBC {
+		b.IAddImm(r.idx, r.idx, uint32(int32(-step)))
+		emitPhys(r.pm, r.idx)
+		b.IAddImm(r.idx, r.idx, uint32(2*step))
+		emitPhys(r.pp, r.idx)
+	} else {
+		b.IAddImm(r.pm, r.pa, uint32(int32(-4*step)))
+		b.IAddImm(r.pp, r.pa, uint32(4*step))
+	}
+
+	ld := func(dst, addr isa.Reg, arr int, pred isa.Pred) {
+		g := b.Pos()
+		b.SldOff(dst, addr, uint32(arr)*arrayStride)
+		b.Guarded(g, pred, false)
+	}
+	ld(r.ai, r.pa, 0, isa.P0)
+	ld(r.bi, r.pa, 1, isa.P0)
+	ld(r.ci, r.pa, 2, isa.P0)
+	ld(r.di, r.pa, 3, isa.P0)
+	b.MovImm(r.xm, 0)
+	guard()
+	ld(r.xm, r.pm, 4, isa.P1)
+	ld(r.xp, r.pp, 4, isa.P0)
+
+	b.FNMad(r.di, r.ai, r.xm, r.di)
+	guardP1()
+	b.FNMad(r.di, r.ci, r.xp, r.di)
+	guard()
+	b.Rcp(r.rb, r.bi)
+	guard()
+	b.FMul(r.di, r.di, r.rb)
+	guard()
+	g = b.Pos()
+	b.SstOff(r.pa, r.di, 4*arrayStride)
+	b.Guarded(g, isa.P0, false)
+}
+
+// Program returns the built kernel.
+func (c *CR) Program() *isa.Program { return c.prog }
+
+// Launch returns the launch geometry: one block per system, N/2
+// threads per block.
+func (c *CR) Launch() barra.Launch {
+	return barra.Launch{Prog: c.prog, Grid: c.Systems, Block: c.N / 2}
+}
+
+// MemoryBytes returns the global footprint: 4 coefficient arrays
+// plus the solution vector per system.
+func (c *CR) MemoryBytes() int { return c.Systems * c.N * 5 * 4 }
+
+// NewMemory lays out the systems in fresh simulator memory. Array
+// layout: all A arrays (system-major), then all B, C, D, then the
+// X output region.
+func (c *CR) NewMemory(systems []tridiag.System) (*barra.Memory, error) {
+	if len(systems) != c.Systems {
+		return nil, fmt.Errorf("kernels: %d systems, want %d", len(systems), c.Systems)
+	}
+	mem := barra.NewMemory(c.MemoryBytes())
+	for s, sys := range systems {
+		if sys.Size() != c.N {
+			return nil, fmt.Errorf("kernels: system %d has %d equations, want %d", s, sys.Size(), c.N)
+		}
+		if err := sys.Validate(); err != nil {
+			return nil, err
+		}
+		n := uint32(c.N)
+		arrays := [][]float32{sys.A, sys.B, sys.C, sys.D}
+		for ai, arr := range arrays {
+			base := c.gBase + (uint32(ai)*uint32(c.Systems)+uint32(s))*n*4
+			if err := mem.WriteFloats(base, arr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return mem, nil
+}
+
+// ReadX extracts the solution of system s after a full solve.
+func (c *CR) ReadX(mem *barra.Memory, s int) ([]float32, error) {
+	if c.ForwardOnly {
+		return nil, fmt.Errorf("kernels: forward-only kernel does not produce x")
+	}
+	if s < 0 || s >= c.Systems {
+		return nil, fmt.Errorf("kernels: system %d out of range", s)
+	}
+	return mem.ReadFloats(c.xBase+uint32(s*c.N*4), c.N)
+}

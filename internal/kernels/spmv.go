@@ -1,0 +1,344 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpuperf/internal/barra"
+	"gpuperf/internal/isa"
+	"gpuperf/internal/kbuild"
+	"gpuperf/internal/sparse"
+)
+
+// SpMVKind selects the storage format of paper §5.3.
+type SpMVKind int
+
+// The three formats Fig. 11 compares.
+const (
+	// ELL: scalar ELLPACK, one thread per row, coalesced matrix
+	// loads, scattered vector loads (Bell & Garland).
+	ELL SpMVKind = iota
+	// BELLIM: blocked ELLPACK with interleaved matrix storage, one
+	// thread per 3×3 block row (Choi et al.): 9 entries share one
+	// column index, vector loads still scattered.
+	BELLIM
+	// BELLIMIV: BELL+IM plus the paper's contribution — the vector
+	// (and output) stored interleaved, so consecutive threads'
+	// vector loads land in nearby addresses.
+	BELLIMIV
+)
+
+func (k SpMVKind) String() string {
+	switch k {
+	case ELL:
+		return "ELL"
+	case BELLIM:
+		return "BELL+IM"
+	case BELLIMIV:
+		return "BELL+IMIV"
+	}
+	return fmt.Sprintf("SpMVKind(%d)", int(k))
+}
+
+// SpMV is one sparse matrix–vector multiply kernel bound to a
+// matrix's dimensions (the instruction stream bakes in the layout
+// strides, as a tuned CUDA kernel would via compile-time constants).
+type SpMV struct {
+	Kind SpMVKind
+	Mat  *sparse.Blocked
+
+	prog *isa.Program
+	// Global layout.
+	entriesBase, colsBase, vecBase, outBase, memSize uint32
+	blockDim                                         int
+}
+
+// SpMVBlockDim is the thread-block size used by all variants.
+const SpMVBlockDim = 128
+
+// NewSpMV builds the kernel for the given format and matrix
+// structure (3×3 blocks required, matching the paper's QCD case).
+func NewSpMV(kind SpMVKind, m *sparse.Blocked) (*SpMV, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.BlockSize != 3 {
+		return nil, fmt.Errorf("kernels: SpMV needs 3x3 blocks, got %d", m.BlockSize)
+	}
+	threads := m.BlockRows
+	if kind == ELL {
+		threads = m.Rows()
+	}
+	if threads%SpMVBlockDim != 0 {
+		return nil, fmt.Errorf("kernels: %s needs thread count %d divisible by %d",
+			kind, threads, SpMVBlockDim)
+	}
+	s := &SpMV{Kind: kind, Mat: m, blockDim: SpMVBlockDim}
+
+	rows := uint32(m.Rows())
+	k := uint32(m.BlockRows)
+	r := uint32(m.BlocksPerRow)
+	switch kind {
+	case ELL:
+		w := r * 3 // scalar ELL width
+		s.entriesBase = 0
+		s.colsBase = s.entriesBase + rows*w*4
+		s.vecBase = s.colsBase + rows*w*4
+		s.outBase = s.vecBase + rows*4
+		s.memSize = s.outBase + rows*4
+	case BELLIM, BELLIMIV:
+		s.entriesBase = 0
+		s.colsBase = s.entriesBase + k*r*9*4
+		s.vecBase = s.colsBase + k*r*4
+		s.outBase = s.vecBase + rows*4
+		s.memSize = s.outBase + rows*4
+	default:
+		return nil, fmt.Errorf("kernels: unknown SpMV kind %d", kind)
+	}
+
+	prog, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	s.prog = prog
+	return s, nil
+}
+
+func (s *SpMV) build() (*isa.Program, error) {
+	switch s.Kind {
+	case ELL:
+		return s.buildELL()
+	default:
+		return s.buildBELL(s.Kind == BELLIMIV)
+	}
+}
+
+// buildELL emits the scalar ELL kernel: thread per row, loop over
+// the row's Width slots; every slot costs an entry load, a column
+// load and a scattered vector load feeding one MAD — the paper's
+// "about 1/10 of instructions do actual computation".
+func (s *SpMV) buildELL() (*isa.Program, error) {
+	m := s.Mat
+	rows := uint32(m.Rows())
+	width := uint32(m.BlocksPerRow * 3)
+
+	b := kbuild.New("spmv-ell")
+	tid := b.Reg()
+	ntid := b.Reg()
+	cta := b.Reg()
+	row := b.Reg()
+	rowAddr := b.Reg()
+	slotAddr := b.Reg()
+	val := b.Reg()
+	col := b.Reg()
+	xaddr := b.Reg()
+	xv := b.Reg()
+	acc := b.Reg()
+	j := b.Reg()
+
+	b.S2R(tid, isa.SRTid)
+	b.S2R(ntid, isa.SRNtid)
+	b.S2R(cta, isa.SRCtaid)
+	b.IMad(row, cta, ntid, tid)
+	b.ShlImm(rowAddr, row, 2)
+	b.MovImm(acc, 0)
+	b.Mov(slotAddr, rowAddr)
+	b.Loop(j, width, func() {
+		// Entry and column index, column-major: coalesced.
+		b.GldOff(val, slotAddr, s.entriesBase)
+		b.GldOff(col, slotAddr, s.colsBase)
+		// Vector entry: scattered by the column index.
+		b.ShlImm(xaddr, col, 2)
+		b.GldOff(xv, xaddr, s.vecBase)
+		b.FMad(acc, val, xv, acc)
+		b.IAddImm(slotAddr, slotAddr, rows*4)
+	})
+	b.GstOff(rowAddr, acc, s.outBase)
+	b.Exit()
+	return b.Program()
+}
+
+// buildBELL emits the blocked kernel (interleaved matrix): thread
+// per block-row, loop over the row's blocks; each block costs one
+// column-index load, three vector loads and nine entry loads feeding
+// nine MADs. With interleavedVector the vector and output use the
+// IMIV permutation (logical 3c+n at physical n·K + c).
+func (s *SpMV) buildBELL(interleavedVector bool) (*isa.Program, error) {
+	m := s.Mat
+	k := uint32(m.BlockRows)
+	r := uint32(m.BlocksPerRow)
+
+	name := "spmv-bell-im"
+	if interleavedVector {
+		name += "iv"
+	}
+	b := kbuild.New(name)
+	tid := b.Reg()
+	ntid := b.Reg()
+	cta := b.Reg()
+	q := b.Reg()
+	qAddr := b.Reg()
+	colAddr := b.Reg()
+	entAddr := b.Reg()
+	col := b.Reg()
+	xaddr := b.Reg()
+	e := b.Reg()
+	x0 := b.Reg()
+	x1 := b.Reg()
+	x2 := b.Reg()
+	acc0 := b.Reg()
+	acc1 := b.Reg()
+	acc2 := b.Reg()
+	j := b.Reg()
+
+	b.S2R(tid, isa.SRTid)
+	b.S2R(ntid, isa.SRNtid)
+	b.S2R(cta, isa.SRCtaid)
+	b.IMad(q, cta, ntid, tid)
+	b.ShlImm(qAddr, q, 2)
+	b.MovImm(acc0, 0)
+	b.MovImm(acc1, 0)
+	b.MovImm(acc2, 0)
+	b.Mov(colAddr, qAddr)
+	b.Mov(entAddr, qAddr)
+
+	xs := [3]isa.Reg{x0, x1, x2}
+	accs := [3]isa.Reg{acc0, acc1, acc2}
+
+	b.Loop(j, r, func() {
+		// One block-column index per 9 entries (the BELL saving).
+		b.GldOff(col, colAddr, s.colsBase)
+		if interleavedVector {
+			// x'[n·K + c]: base c·4, stride K·4 between components.
+			b.ShlImm(xaddr, col, 2)
+			for n := uint32(0); n < 3; n++ {
+				b.GldOff(xs[n], xaddr, s.vecBase+n*k*4)
+			}
+		} else {
+			// x[3c + n]: consecutive but scattered across threads;
+			// xaddr = col·12 (= col·4 + col·8).
+			b.ShlImm(xaddr, col, 2)
+			b.IMadImm(xaddr, col, 8, xaddr)
+			for n := uint32(0); n < 3; n++ {
+				b.GldOff(xs[n], xaddr, s.vecBase+n*4)
+			}
+		}
+		// Nine entries, interleaved: entry (m,n) of block j at
+		// ((j·9 + m·3 + n)·K + q)·4; entAddr tracks j·9·K·4 + q·4.
+		for mm := uint32(0); mm < 3; mm++ {
+			for n := uint32(0); n < 3; n++ {
+				b.GldOff(e, entAddr, s.entriesBase+(mm*3+n)*k*4)
+				b.FMad(accs[mm], e, xs[n], accs[mm])
+			}
+		}
+		b.IAddImm(colAddr, colAddr, k*4)
+		b.IAddImm(entAddr, entAddr, 9*k*4)
+	})
+
+	// Store the three output rows.
+	if interleavedVector {
+		// y'[m·K + q]: coalesced.
+		for mm := uint32(0); mm < 3; mm++ {
+			b.GstOff(qAddr, accs[mm], s.outBase+mm*k*4)
+		}
+	} else {
+		// y[3q + m]: stride-3 scatter.
+		yaddr := b.Reg()
+		b.ShlImm(yaddr, q, 2)
+		b.IMadImm(yaddr, q, 8, yaddr) // q*12
+		for mm := uint32(0); mm < 3; mm++ {
+			b.GstOff(yaddr, accs[mm], s.outBase+mm*4)
+		}
+	}
+	b.Exit()
+	return b.Program()
+}
+
+// Program returns the built kernel.
+func (s *SpMV) Program() *isa.Program { return s.prog }
+
+// Launch returns the launch geometry.
+func (s *SpMV) Launch() barra.Launch {
+	threads := s.Mat.BlockRows
+	if s.Kind == ELL {
+		threads = s.Mat.Rows()
+	}
+	return barra.Launch{Prog: s.prog, Grid: threads / s.blockDim, Block: s.blockDim}
+}
+
+// FLOPs returns 2 flops per stored entry.
+func (s *SpMV) FLOPs() int64 { return 2 * int64(s.Mat.NNZ()) }
+
+// Regions names the three traffic classes of Fig. 11a.
+func (s *SpMV) Regions() []barra.Region {
+	return []barra.Region{
+		{Name: "matrix", Lo: s.entriesBase, Hi: s.colsBase},
+		{Name: "colidx", Lo: s.colsBase, Hi: s.vecBase},
+		{Name: "vector", Lo: s.vecBase, Hi: s.outBase},
+	}
+}
+
+// NewMemory lays out the matrix (in its format) and the input
+// vector x (logical order; IMIV interleaves internally).
+func (s *SpMV) NewMemory(x []float32) (*barra.Memory, error) {
+	m := s.Mat
+	if len(x) != m.Rows() {
+		return nil, fmt.Errorf("kernels: vector length %d, want %d", len(x), m.Rows())
+	}
+	mem := barra.NewMemory(int(s.memSize))
+	vec := x
+	switch s.Kind {
+	case ELL:
+		e, err := m.ToELL()
+		if err != nil {
+			return nil, err
+		}
+		if err := mem.WriteFloats(s.entriesBase, e.Entries); err != nil {
+			return nil, err
+		}
+		cols := make([]uint32, len(e.ColIdx))
+		for i, c := range e.ColIdx {
+			cols[i] = uint32(c)
+		}
+		if err := mem.WriteWords(s.colsBase, cols); err != nil {
+			return nil, err
+		}
+	case BELLIM, BELLIMIV:
+		bell, err := m.ToBELL()
+		if err != nil {
+			return nil, err
+		}
+		if err := mem.WriteFloats(s.entriesBase, bell.Entries); err != nil {
+			return nil, err
+		}
+		cols := make([]uint32, len(bell.BlockCols))
+		for i, c := range bell.BlockCols {
+			cols[i] = uint32(c)
+		}
+		if err := mem.WriteWords(s.colsBase, cols); err != nil {
+			return nil, err
+		}
+		if s.Kind == BELLIMIV {
+			iv, err := sparse.InterleaveVector(x, m.BlockRows, 3)
+			if err != nil {
+				return nil, err
+			}
+			vec = iv
+		}
+	}
+	if err := mem.WriteFloats(s.vecBase, vec); err != nil {
+		return nil, err
+	}
+	return mem, nil
+}
+
+// ReadY extracts the result in logical row order.
+func (s *SpMV) ReadY(mem *barra.Memory) ([]float32, error) {
+	y, err := mem.ReadFloats(s.outBase, s.Mat.Rows())
+	if err != nil {
+		return nil, err
+	}
+	if s.Kind == BELLIMIV {
+		return sparse.DeinterleaveVector(y, s.Mat.BlockRows, 3)
+	}
+	return y, nil
+}

@@ -1,0 +1,144 @@
+// Package microbench generates the three microbenchmark kernel
+// families of paper §4 — instruction-pipeline chains, shared-memory
+// copies, and synthetic global-memory streams — as native-ISA
+// programs.
+//
+// The paper builds these by rewriting GPU binaries with a CUBIN
+// generator so the compiler cannot optimize them away; here the
+// kbuild builder emits the instruction streams directly. The timing
+// package runs them on the device simulator to calibrate the
+// model's throughput curves.
+package microbench
+
+import (
+	"fmt"
+
+	"gpuperf/internal/isa"
+	"gpuperf/internal/kbuild"
+)
+
+// InstrChain builds a kernel that executes a straight-line dependent
+// chain of n instructions of the given opcode — the §4.1 pipeline
+// microbenchmark. Dependence is total (each instruction consumes its
+// predecessor's result), so the only latency-hiding parallelism is
+// across warps, which is precisely what Fig. 2 (left) varies.
+func InstrChain(op isa.Opcode, n int) (*isa.Program, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("microbench: chain length %d", n)
+	}
+	b := kbuild.New(fmt.Sprintf("ichain_%s", op))
+	x := b.Reg()
+	if isa.IsDouble(op) {
+		x = b.RegPair()
+	}
+	b.MovF(x, 1.0)
+	for i := 0; i < n; i++ {
+		switch {
+		case op == isa.OpFMAD:
+			b.FMad(x, x, x, x)
+		case op == isa.OpFMUL:
+			b.FMul(x, x, x)
+		case op == isa.OpFADD:
+			b.FAdd(x, x, x)
+		case op == isa.OpMOV:
+			b.Mov(x, x)
+		case isa.ClassOf(op) == isa.ClassIII:
+			b.Unary(op, x, x)
+		case op == isa.OpDFMA:
+			b.DFma(x, x, x, x)
+		case op == isa.OpDMUL:
+			b.Emit(isa.Instruction{Op: isa.OpDMUL, Guard: isa.PT, Dst: x, SrcA: isa.R(x), SrcB: isa.R(x)})
+		case op == isa.OpDADD:
+			b.Emit(isa.Instruction{Op: isa.OpDADD, Guard: isa.PT, Dst: x, SrcA: isa.R(x), SrcB: isa.R(x)})
+		default:
+			return nil, fmt.Errorf("microbench: unsupported chain op %s", op)
+		}
+	}
+	b.Exit()
+	return b.Program()
+}
+
+// SharedCopy builds the §4.2 shared-memory microbenchmark: each
+// thread repeatedly moves a word between two shared-memory regions.
+// strideWords controls the inter-thread stride (1 = conflict-free;
+// 2^k produces 2^k-way bank conflicts on 16 banks). The copy pairs
+// are unrolled so loop bookkeeping does not throttle the memory
+// pipeline.
+func SharedCopy(iters, strideWords int) (*isa.Program, error) {
+	if iters <= 0 || strideWords <= 0 {
+		return nil, fmt.Errorf("microbench: bad shared copy params iters=%d stride=%d", iters, strideWords)
+	}
+	const unroll = 16
+	const region = 8192 // two 8 KB halves of the 16 KB shared memory
+	b := kbuild.New(fmt.Sprintf("scopy_s%d", strideWords))
+	b.SharedBytes(16 * 1024)
+	tid := b.Reg()
+	src := b.Reg()
+	dst := b.Reg()
+	v := b.Reg()
+	ctr := b.Reg()
+	b.S2R(tid, isa.SRTid)
+	b.IMulImm(src, tid, uint32(4*strideWords))
+	b.AndImm(src, src, region-1)
+	b.IAddImm(dst, src, region)
+	b.Loop(ctr, uint32(iters), func() {
+		for i := 0; i < unroll; i++ {
+			b.Sld(v, src)
+			b.Sst(dst, v)
+		}
+	})
+	b.Exit()
+	return b.Program()
+}
+
+// GlobalStream builds the §4.3 synthetic global-memory benchmark:
+// each thread issues transPerThread independent, perfectly coalesced
+// loads marching through memory with the whole grid's footprint as
+// the stride. memBytes must be a power of two covering the
+// footprint; addresses wrap inside it.
+func GlobalStream(transPerThread, totalThreads, memBytes int) (*isa.Program, error) {
+	if transPerThread <= 0 || totalThreads <= 0 {
+		return nil, fmt.Errorf("microbench: bad stream params M=%d threads=%d", transPerThread, totalThreads)
+	}
+	if memBytes <= 0 || memBytes&(memBytes-1) != 0 {
+		return nil, fmt.Errorf("microbench: memBytes %d not a power of two", memBytes)
+	}
+	const unroll = 4
+	b := kbuild.New(fmt.Sprintf("gstream_m%d", transPerThread))
+	tid := b.Reg()
+	ntid := b.Reg()
+	cta := b.Reg()
+	addr := b.Reg()
+	v := b.Reg()
+	ctr := b.Reg()
+	b.S2R(tid, isa.SRTid)
+	b.S2R(ntid, isa.SRNtid)
+	b.S2R(cta, isa.SRCtaid)
+	b.IMad(addr, cta, ntid, tid)
+	b.ShlImm(addr, addr, 2)
+	stride := uint32(totalThreads * 4)
+	mask := uint32(memBytes - 1)
+	n := transPerThread
+	emit := func() {
+		b.AndImm(addr, addr, mask)
+		b.Gld(v, addr)
+		b.IAddImm(addr, addr, stride)
+	}
+	if n < unroll {
+		for i := 0; i < n; i++ {
+			emit()
+		}
+	} else {
+		iters := n / unroll
+		b.Loop(ctr, uint32(iters), func() {
+			for i := 0; i < unroll; i++ {
+				emit()
+			}
+		})
+		for i := 0; i < n%unroll; i++ {
+			emit()
+		}
+	}
+	b.Exit()
+	return b.Program()
+}

@@ -1,0 +1,410 @@
+// Package model implements the paper's quantitative performance
+// model (§3): given the dynamic statistics of a kernel (from the
+// barra functional simulator) and microbenchmark-calibrated
+// throughput curves, it estimates the time three architectural
+// components would each need — the instruction pipeline, shared
+// memory, and global memory — identifies the bottleneck component,
+// breaks the program into barrier-delimited stages, and produces the
+// diagnostics that guide program and architecture optimization:
+// computational density, coalescing efficiency, bank-conflict
+// penalty, and warp-level parallelism.
+//
+// Key modeling assumptions, from the paper:
+//
+//   - The time of non-bottleneck components is hidden under the
+//     bottleneck (the GPU overlaps instruction, shared-memory and
+//     global-memory work across warps), so the program's time is the
+//     maximum of the component times — not their sum.
+//   - With a single resident block per SM, barrier-delimited stages
+//     serialize: the program's time is the sum over stages of each
+//     stage's bottleneck time, and each stage has its own bottleneck.
+//   - With multiple resident blocks, stages of different blocks
+//     overlap, so the whole program gets one bottleneck verdict (a
+//     slightly optimistic treatment, as the paper notes).
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"gpuperf/internal/barra"
+	"gpuperf/internal/isa"
+	"gpuperf/internal/occupancy"
+	"gpuperf/internal/timing"
+)
+
+// Component identifies one of the three modeled components.
+type Component int
+
+// The three components of GPU execution time.
+const (
+	CompInstruction Component = iota
+	CompShared
+	CompGlobal
+	// NumComponents is the component count.
+	NumComponents = 3
+)
+
+func (c Component) String() string {
+	switch c {
+	case CompInstruction:
+		return "instruction pipeline"
+	case CompShared:
+		return "shared memory"
+	case CompGlobal:
+		return "global memory"
+	}
+	return fmt.Sprintf("component(%d)", int(c))
+}
+
+// Times holds per-component time estimates in seconds.
+type Times [NumComponents]float64
+
+// Bottleneck returns the component with the largest time.
+func (t Times) Bottleneck() Component {
+	best := CompInstruction
+	for c := CompInstruction; int(c) < NumComponents; c++ {
+		if t[c] > t[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Second returns the runner-up component — the paper's "what becomes
+// the bottleneck if the current one is removed".
+func (t Times) Second() Component {
+	b := t.Bottleneck()
+	second := CompInstruction
+	if second == b {
+		second = CompShared
+	}
+	for c := CompInstruction; int(c) < NumComponents; c++ {
+		if c != b && t[c] > t[second] {
+			second = c
+		}
+	}
+	return second
+}
+
+// Max returns the bottleneck time.
+func (t Times) Max() float64 { return t[t.Bottleneck()] }
+
+// Add accumulates element-wise.
+func (t *Times) Add(o Times) {
+	for i := range t {
+		t[i] += o[i]
+	}
+}
+
+// StageEstimate is the model's verdict for one barrier-delimited
+// stage.
+type StageEstimate struct {
+	// Index is the stage number (0 = start to first barrier).
+	Index int
+	// Times are per-component estimates for the stage.
+	Times Times
+	// Bottleneck is the stage's slowest component.
+	Bottleneck Component
+	// Warps is the warp-level parallelism per SM assumed for the
+	// stage's throughput lookups.
+	Warps int
+}
+
+// Estimate is the model's output for a kernel.
+type Estimate struct {
+	// Component holds whole-program per-component times.
+	Component Times
+	// Stages carries the per-stage breakdown.
+	Stages []StageEstimate
+	// Serialized is true when one resident block per SM forces
+	// stages to run back to back.
+	Serialized bool
+	// TotalSeconds is the predicted execution time: the bottleneck
+	// component when overlapped, or the sum of stage bottlenecks
+	// when serialized.
+	TotalSeconds float64
+	// UpperBoundSeconds brackets the paper's acknowledged
+	// limitation (future-work item 4): TotalSeconds assumes perfect
+	// overlap of the non-bottleneck components, which under-predicts
+	// when barrier-delimited stages serialize dependent global and
+	// shared phases. UpperBoundSeconds is the fully-serial bound
+	// (sum of all component times over all stages); the real time
+	// lies between the two, nearer the lower bound the more
+	// independent warps the kernel keeps in flight.
+	UpperBoundSeconds float64
+	// Bottleneck and NextBottleneck are the whole-program verdicts.
+	Bottleneck     Component
+	NextBottleneck Component
+
+	// Diagnostics (paper Fig. 1's outputs).
+	WarpsPerSM           int
+	Occupancy            occupancy.Result
+	Density              float64
+	CoalescingEfficiency float64
+	BankConflictFactor   float64
+	TransPerThread       int
+
+	// InstrThroughput and bandwidths echo the curve values used.
+	InstrThroughputAtWarps float64 // ClassII instr/s
+	SharedBandwidthAtWarps float64 // B/s
+	GlobalBandwidthUsed    float64 // B/s
+}
+
+// Analyze runs the model for one launch whose dynamic statistics
+// have been collected by barra.Run.
+func Analyze(cal *timing.Calibration, l barra.Launch, stats *barra.Stats) (*Estimate, error) {
+	if cal == nil || stats == nil {
+		return nil, fmt.Errorf("model: nil calibration or stats")
+	}
+	cfg := cal.Config()
+	if err := l.Validate(cfg); err != nil {
+		return nil, err
+	}
+	occ, err := occupancy.Compute(cfg, occupancy.Usage{
+		ThreadsPerBlock:   l.Block,
+		RegsPerThread:     l.Prog.RegsPerThread,
+		SharedMemPerBlock: l.Prog.SharedMemBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fraction of the chip with work: chip-level curves assume all
+	// SMs busy; a grid smaller than the machine scales down.
+	busySMs := cfg.NumSMs
+	if l.Grid < busySMs {
+		busySMs = l.Grid
+	}
+	scale := float64(busySMs) / float64(cfg.NumSMs)
+
+	// A grid smaller than blocks-per-SM × SMs cannot reach the
+	// occupancy ceiling: derate the resident blocks to what the
+	// launch actually supplies.
+	gridBlocks := (l.Grid + busySMs - 1) / busySMs
+	if gridBlocks < occ.Blocks {
+		occ.Blocks = gridBlocks
+		occ.ActiveWarps = gridBlocks * occ.WarpsPerBlock
+		occ.Limiter = "grid size"
+	}
+
+	e := &Estimate{
+		WarpsPerSM:           occ.ActiveWarps,
+		Occupancy:            occ,
+		Density:              stats.InstructionDensity(),
+		CoalescingEfficiency: stats.CoalescingEfficiency(),
+		BankConflictFactor:   stats.BankConflictFactor(),
+		Serialized:           occ.Blocks == 1,
+	}
+
+	// Global memory: one synthetic-benchmark bandwidth for the whole
+	// kernel, configured like the program (paper §4.3).
+	threads := l.Grid * l.Block
+	accesses := stats.Total.GlobalUsefulBytes / 4
+	e.TransPerThread = int(accesses) / threads
+	if e.TransPerThread < 1 && accesses > 0 {
+		e.TransPerThread = 1
+	}
+	gbw := 0.0
+	if stats.Total.Global.Bytes > 0 {
+		gbw, err = cal.GlobalBandwidth(l.Grid, l.Block, e.TransPerThread)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.GlobalBandwidthUsed = gbw
+
+	for i := range stats.Stages {
+		st := &stats.Stages[i]
+		warps := stageWarps(st, stats, l, occ, cal.MaxWarps())
+		var times Times
+		for cls := isa.Class(0); int(cls) < isa.NumClasses; cls++ {
+			if st.ByClass[cls] == 0 {
+				continue
+			}
+			tp := cal.InstrThroughput(cls, warps) * scale
+			times[CompInstruction] += float64(st.ByClass[cls]) / tp
+		}
+		if st.SharedTx > 0 {
+			times[CompShared] = float64(st.SharedTx) / (cal.SharedTxRate(warps) * scale)
+		}
+		if st.Global.Bytes > 0 && gbw > 0 {
+			times[CompGlobal] = float64(st.Global.Bytes) / gbw
+		}
+		e.Stages = append(e.Stages, StageEstimate{
+			Index:      i,
+			Times:      times,
+			Bottleneck: times.Bottleneck(),
+			Warps:      warps,
+		})
+		e.Component.Add(times)
+	}
+
+	e.Bottleneck = e.Component.Bottleneck()
+	e.NextBottleneck = e.Component.Second()
+	e.InstrThroughputAtWarps = cal.InstrThroughput(isa.ClassII, occ.ActiveWarps) * scale
+	e.SharedBandwidthAtWarps = cal.SharedBandwidth(occ.ActiveWarps) * scale
+
+	if e.Serialized {
+		// One block per SM: stages run back to back, each limited by
+		// its own bottleneck.
+		for _, st := range e.Stages {
+			e.TotalSeconds += st.Times.Max()
+		}
+	} else {
+		e.TotalSeconds = e.Component.Max()
+	}
+	for c := Component(0); int(c) < NumComponents; c++ {
+		e.UpperBoundSeconds += e.Component[c]
+	}
+	if e.UpperBoundSeconds < e.TotalSeconds {
+		e.UpperBoundSeconds = e.TotalSeconds
+	}
+	return e, nil
+}
+
+// OverlapSensitive reports whether the prediction interval
+// [TotalSeconds, UpperBoundSeconds] is wide (runner-up component
+// within the given fraction of the bottleneck): such kernels are the
+// "non-perfect overlap" cases of the paper's future-work item 4,
+// where the single-bottleneck assumption is least safe.
+func (e *Estimate) OverlapSensitive(frac float64) bool {
+	b := e.Component[e.Bottleneck]
+	if b == 0 {
+		return false
+	}
+	return e.Component[e.NextBottleneck] >= frac*b
+}
+
+// stageWarps decides the warp-level parallelism for one stage: the
+// resident warps from occupancy, derated by the fraction of the
+// block's warps that did real work in the stage (cyclic reduction's
+// later steps idle most warps — paper Fig. 6's 8/8/4/2/1 row).
+func stageWarps(st *barra.StageStats, stats *barra.Stats, l barra.Launch, occ occupancy.Result, maxWarps int) int {
+	warps := occ.ActiveWarps
+	if st.WarpsWithWork > 0 && stats.Grid > 0 {
+		perBlock := float64(st.WarpsWithWork) / float64(stats.Grid)
+		w := int(perBlock*float64(occ.Blocks) + 0.5)
+		if w < warps {
+			warps = w
+		}
+	}
+	if warps < 1 {
+		warps = 1
+	}
+	if warps > maxWarps {
+		warps = maxWarps
+	}
+	return warps
+}
+
+// Causes lists the paper's §3 likely causes for the identified
+// bottleneck, filtered by the diagnostics.
+func (e *Estimate) Causes() []string {
+	var out []string
+	switch e.Bottleneck {
+	case CompInstruction:
+		if e.Density < 0.5 {
+			out = append(out, fmt.Sprintf("low computational density (%.0f%% of instructions are MADs)", e.Density*100))
+		}
+		if e.WarpsPerSM < 6 {
+			out = append(out, fmt.Sprintf("insufficient parallel warps (%d per SM)", e.WarpsPerSM))
+		}
+	case CompShared:
+		if e.BankConflictFactor > 1.05 {
+			out = append(out, fmt.Sprintf("bank conflicts inflate shared-memory transactions %.2fx", e.BankConflictFactor))
+		}
+		if e.WarpsPerSM < 10 {
+			out = append(out, fmt.Sprintf("insufficient parallel warps (%d per SM) for the shared-memory pipeline", e.WarpsPerSM))
+		}
+		if e.Density < 0.3 {
+			out = append(out, "shared-memory traffic from bookkeeping instructions")
+		}
+	case CompGlobal:
+		if e.CoalescingEfficiency < 0.9 {
+			out = append(out, fmt.Sprintf("uncoalesced accesses / large transaction granularity (%.0f%% of fetched bytes useful)", e.CoalescingEfficiency*100))
+		}
+		if e.WarpsPerSM < 10 {
+			out = append(out, fmt.Sprintf("insufficient parallelism (%d warps per SM) to cover memory latency", e.WarpsPerSM))
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, "component near its calibrated peak")
+	}
+	return out
+}
+
+// Report renders a human-readable analysis in the spirit of the
+// workflow outputs listed in paper Fig. 1.
+func (e *Estimate) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "predicted time: %.6g ms (serial upper bound %.6g ms)\n",
+		e.TotalSeconds*1e3, e.UpperBoundSeconds*1e3)
+	fmt.Fprintf(&b, "component times: instruction %.6g ms, shared %.6g ms, global %.6g ms\n",
+		e.Component[CompInstruction]*1e3, e.Component[CompShared]*1e3, e.Component[CompGlobal]*1e3)
+	fmt.Fprintf(&b, "bottleneck: %s (next: %s)\n", e.Bottleneck, e.NextBottleneck)
+	fmt.Fprintf(&b, "occupancy: %s\n", e.Occupancy)
+	fmt.Fprintf(&b, "computational density: %.2f\n", e.Density)
+	fmt.Fprintf(&b, "coalescing efficiency: %.2f\n", e.CoalescingEfficiency)
+	fmt.Fprintf(&b, "bank-conflict factor: %.2f\n", e.BankConflictFactor)
+	for _, c := range e.Causes() {
+		fmt.Fprintf(&b, "cause: %s\n", c)
+	}
+	if e.Serialized {
+		fmt.Fprintf(&b, "stages (serialized; one block per SM):\n")
+	} else {
+		fmt.Fprintf(&b, "stages (overlapped across blocks):\n")
+	}
+	for _, st := range e.Stages {
+		fmt.Fprintf(&b, "  stage %d: instr %.6g ms, shared %.6g ms, global %.6g ms — %s (%d warps)\n",
+			st.Index, st.Times[CompInstruction]*1e3, st.Times[CompShared]*1e3,
+			st.Times[CompGlobal]*1e3, st.Bottleneck, st.Warps)
+	}
+	return b.String()
+}
+
+// Predict is a convenience wrapper: run barra, then Analyze — the
+// full Fig. 1 workflow in one call. The memory is consumed by the
+// functional run.
+func Predict(cal *timing.Calibration, l barra.Launch, mem *barra.Memory, opt *barra.Options) (*Estimate, *barra.Stats, error) {
+	stats, err := barra.Run(cal.Config(), l, mem, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	est, err := Analyze(cal, l, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return est, stats, nil
+}
+
+// CompareError returns |predicted-measured|/measured for the
+// bottleneck-time prediction against a measured time in seconds —
+// the paper's 5-15% accuracy metric.
+func (e *Estimate) CompareError(measuredSeconds float64) float64 {
+	if measuredSeconds == 0 {
+		return 0
+	}
+	d := e.TotalSeconds - measuredSeconds
+	if d < 0 {
+		d = -d
+	}
+	return d / measuredSeconds
+}
+
+// GFLOPS converts the prediction into an achieved-GFLOPS figure for
+// a kernel performing flops floating-point operations.
+func (e *Estimate) GFLOPS(flops int64) float64 {
+	if e.TotalSeconds == 0 {
+		return 0
+	}
+	return float64(flops) / e.TotalSeconds / 1e9
+}
+
+// PeakFraction reports predicted ClassII instruction throughput as a
+// fraction of the configured peak — the paper's "sustained
+// instruction throughput is 81% of peak" style diagnostic.
+func PeakFraction(cal *timing.Calibration, warps int) float64 {
+	cfg := cal.Config()
+	return cal.InstrThroughput(isa.ClassII, warps) / cfg.PeakInstrThroughput(cfg.SPsPerSM)
+}

@@ -1,0 +1,361 @@
+package model
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"gpuperf/internal/barra"
+	"gpuperf/internal/device"
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/isa"
+	"gpuperf/internal/kbuild"
+	"gpuperf/internal/microbench"
+	"gpuperf/internal/timing"
+)
+
+var (
+	calMu   sync.Mutex
+	calMemo *timing.Calibration
+)
+
+func cal(t *testing.T) *timing.Calibration {
+	t.Helper()
+	calMu.Lock()
+	defer calMu.Unlock()
+	if calMemo == nil {
+		c, err := timing.Calibrate(gpu.GTX285())
+		if err != nil {
+			t.Fatal(err)
+		}
+		calMemo = c
+	}
+	return calMemo
+}
+
+// aluKernel is a dense FMAD kernel (instruction-bound).
+func aluKernel(t *testing.T) *isa.Program {
+	t.Helper()
+	p, err := microbench.InstrChain(isa.OpFMAD, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// conflictedSharedKernel copies shared memory at stride 8 (8-way
+// conflicts, shared-bound).
+func conflictedSharedKernel(t *testing.T) *isa.Program {
+	t.Helper()
+	p, err := microbench.SharedCopy(24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// streamKernel loads global memory (global-bound).
+func streamKernel(t *testing.T, threads int) *isa.Program {
+	t.Helper()
+	p, err := microbench.GlobalStream(32, threads, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// predictAndMeasure runs the full workflow plus the device
+// simulator and returns both.
+func predictAndMeasure(t *testing.T, c *timing.Calibration, l barra.Launch, memBytes int) (*Estimate, device.Result) {
+	t.Helper()
+	est, _, err := Predict(c, l, barra.NewMemory(memBytes), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := device.Run(c.Config(), l, barra.NewMemory(memBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est, meas
+}
+
+// TestBottleneckIdentification: the model's bottleneck verdict must
+// match the device simulator's observed dominant component on three
+// archetypal kernels.
+func TestBottleneckIdentification(t *testing.T) {
+	c := cal(t)
+	cases := []struct {
+		name string
+		l    barra.Launch
+		mem  int
+		want Component
+	}{
+		{"alu", barra.Launch{Prog: aluKernel(t), Grid: 60, Block: 256}, 4096, CompInstruction},
+		{"shared", barra.Launch{Prog: conflictedSharedKernel(t), Grid: 60, Block: 256}, 4096, CompShared},
+		{"global", barra.Launch{Prog: streamKernel(t, 60*128), Grid: 60, Block: 128}, 1 << 22, CompGlobal},
+	}
+	for _, cse := range cases {
+		est, meas := predictAndMeasure(t, c, cse.l, cse.mem)
+		if est.Bottleneck != cse.want {
+			t.Errorf("%s: model bottleneck = %s, want %s\n%s", cse.name, est.Bottleneck, cse.want, est.Report())
+		}
+		wantObserved := map[Component]string{
+			CompInstruction: "instruction", CompShared: "shared", CompGlobal: "global",
+		}[cse.want]
+		if got := meas.DominantComponent(); got != wantObserved {
+			t.Errorf("%s: device dominant = %s, want %s", cse.name, got, wantObserved)
+		}
+	}
+}
+
+// TestPredictionAccuracy: the paper claims 5-15%; we assert the
+// model's total-time prediction is within 25% of the device
+// simulator on the three archetypes (our bar allows for the
+// simulator's latency tails that the throughput model ignores).
+func TestPredictionAccuracy(t *testing.T) {
+	c := cal(t)
+	cases := []struct {
+		name string
+		l    barra.Launch
+		mem  int
+	}{
+		{"alu", barra.Launch{Prog: aluKernel(t), Grid: 60, Block: 256}, 4096},
+		{"shared", barra.Launch{Prog: conflictedSharedKernel(t), Grid: 60, Block: 256}, 4096},
+		{"global", barra.Launch{Prog: streamKernel(t, 60*128), Grid: 60, Block: 128}, 1 << 22},
+	}
+	for _, cse := range cases {
+		est, meas := predictAndMeasure(t, c, cse.l, cse.mem)
+		if err := est.CompareError(meas.Seconds); err > 0.25 {
+			t.Errorf("%s: prediction %.4g ms vs measured %.4g ms (%.0f%% error)",
+				cse.name, est.TotalSeconds*1e3, meas.Seconds*1e3, err*100)
+		}
+	}
+}
+
+// TestStageSerialization: a one-block-per-SM kernel with a barrier
+// between a shared phase and an ALU phase must be analyzed as
+// serialized stages with different bottlenecks.
+func TestStageSerialization(t *testing.T) {
+	c := cal(t)
+	b := kbuild.New("twophase")
+	b.SharedBytes(16 * 1024) // force one block per SM
+	tid := b.Reg()
+	addr := b.Reg()
+	v := b.Reg()
+	x := b.Reg()
+	ctr := b.Reg()
+	b.S2R(tid, isa.SRTid)
+	b.ShlImm(addr, tid, 5) // stride 8 words: 8-way conflicts
+	b.AndImm(addr, addr, 4095)
+	b.Loop(ctr, 40, func() {
+		b.Sld(v, addr)
+		b.Sst(addr, v)
+	})
+	b.Bar()
+	b.MovF(x, 1)
+	for i := 0; i < 300; i++ {
+		b.FMad(x, x, x, x)
+	}
+	b.Exit()
+	l := barra.Launch{Prog: b.MustProgram(), Grid: 30, Block: 128}
+	est, _, err := Predict(c, l, barra.NewMemory(4096), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Serialized {
+		t.Fatal("16 KB block not serialized (should be one block/SM)")
+	}
+	if len(est.Stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(est.Stages))
+	}
+	if est.Stages[0].Bottleneck != CompShared {
+		t.Errorf("stage 0 bottleneck = %s, want shared", est.Stages[0].Bottleneck)
+	}
+	if est.Stages[1].Bottleneck != CompInstruction {
+		t.Errorf("stage 1 bottleneck = %s, want instruction", est.Stages[1].Bottleneck)
+	}
+	// Serialized total = sum of stage maxima.
+	want := est.Stages[0].Times.Max() + est.Stages[1].Times.Max()
+	if est.TotalSeconds != want {
+		t.Errorf("serialized total %.4g != sum of stage maxima %.4g", est.TotalSeconds, want)
+	}
+}
+
+// TestOverlappedTotal: with multiple resident blocks the total is
+// the whole-program bottleneck component, not the stage sum.
+func TestOverlappedTotal(t *testing.T) {
+	c := cal(t)
+	l := barra.Launch{Prog: aluKernel(t), Grid: 60, Block: 256}
+	est, _, err := Predict(c, l, barra.NewMemory(4096), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Serialized {
+		t.Fatal("small kernel serialized unexpectedly")
+	}
+	if est.TotalSeconds != est.Component.Max() {
+		t.Errorf("overlapped total %v != component max %v", est.TotalSeconds, est.Component.Max())
+	}
+}
+
+// TestDiagnostics: density, conflicts and causes surface correctly.
+func TestDiagnostics(t *testing.T) {
+	c := cal(t)
+	// Conflicted shared kernel: factor ≈ 8, shared-bound.
+	l := barra.Launch{Prog: conflictedSharedKernel(t), Grid: 60, Block: 256}
+	est, _, err := Predict(c, l, barra.NewMemory(4096), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.BankConflictFactor < 7 || est.BankConflictFactor > 9 {
+		t.Errorf("conflict factor = %.2f, want ≈8", est.BankConflictFactor)
+	}
+	causes := strings.Join(est.Causes(), "; ")
+	if !strings.Contains(causes, "bank conflicts") {
+		t.Errorf("causes missing bank conflicts: %s", causes)
+	}
+	rep := est.Report()
+	for _, want := range []string{"bottleneck", "occupancy", "density", "stage 0"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+
+	// Dense ALU kernel: high density.
+	l2 := barra.Launch{Prog: aluKernel(t), Grid: 60, Block: 256}
+	est2, _, err := Predict(c, l2, barra.NewMemory(4096), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.Density < 0.9 {
+		t.Errorf("FMAD chain density = %.2f, want ≈1", est2.Density)
+	}
+}
+
+// TestWarpDeration: a kernel whose second stage idles 3 of 4 warps
+// must see reduced stage parallelism (the CR mechanism).
+func TestWarpDeration(t *testing.T) {
+	c := cal(t)
+	b := kbuild.New("shrink")
+	b.SharedBytes(16 * 1024) // one block per SM
+	tid := b.Reg()
+	x := b.Reg()
+	ctr := b.Reg()
+	b.S2R(tid, isa.SRTid)
+	b.MovF(x, 1)
+	b.Loop(ctr, 16, func() { b.FMad(x, x, x, x) })
+	b.Bar()
+	// Stage 1: only warp 0 works (tid < 32 predicated ALU).
+	b.ISetpImm(isa.P0, isa.CmpGE, tid, 32)
+	skip := b.BraIf(isa.P0, false)
+	ctr2 := b.Reg()
+	b.Loop(ctr2, 16, func() { b.FMad(x, x, x, x) })
+	end := b.Pos()
+	b.SetTarget(skip, end)
+	b.Exit()
+	l := barra.Launch{Prog: b.MustProgram(), Grid: 30, Block: 128}
+	est, _, err := Predict(c, l, barra.NewMemory(4096), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Stages) != 2 {
+		t.Fatalf("stages = %d", len(est.Stages))
+	}
+	if est.Stages[0].Warps != 4 {
+		t.Errorf("stage 0 warps = %d, want 4", est.Stages[0].Warps)
+	}
+	if est.Stages[1].Warps != 1 {
+		t.Errorf("stage 1 warps = %d, want 1", est.Stages[1].Warps)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	c := cal(t)
+	l := barra.Launch{Prog: aluKernel(t), Grid: 1, Block: 32}
+	if _, err := Analyze(nil, l, &barra.Stats{}); err == nil {
+		t.Error("nil calibration accepted")
+	}
+	if _, err := Analyze(c, l, nil); err == nil {
+		t.Error("nil stats accepted")
+	}
+	if _, err := Analyze(c, barra.Launch{Prog: nil, Grid: 1, Block: 32}, &barra.Stats{}); err == nil {
+		t.Error("nil program accepted")
+	}
+}
+
+func TestTimesHelpers(t *testing.T) {
+	tm := Times{1, 3, 2}
+	if tm.Bottleneck() != CompShared || tm.Second() != CompGlobal || tm.Max() != 3 {
+		t.Errorf("helpers wrong: %v %v %v", tm.Bottleneck(), tm.Second(), tm.Max())
+	}
+	tm2 := Times{5, 0, 0}
+	if tm2.Bottleneck() != CompInstruction || tm2.Second() != CompShared {
+		t.Errorf("degenerate helpers wrong")
+	}
+	tm.Add(tm2)
+	if tm[CompInstruction] != 6 {
+		t.Errorf("Add wrong: %v", tm)
+	}
+	if CompGlobal.String() != "global memory" || Component(9).String() == "" {
+		t.Error("String() wrong")
+	}
+	if (&Estimate{TotalSeconds: 2}).GFLOPS(4e9) != 2 {
+		t.Error("GFLOPS wrong")
+	}
+	e := &Estimate{TotalSeconds: 1.1}
+	if err := e.CompareError(1.0); err < 0.099 || err > 0.101 {
+		t.Errorf("CompareError = %v", err)
+	}
+}
+
+// TestOverlapBracket: the device-simulator time must fall inside the
+// model's [overlapped, fully-serial] prediction interval on all
+// three archetypes — the paper's future-work item 4 expressed as a
+// testable bound.
+func TestOverlapBracket(t *testing.T) {
+	c := cal(t)
+	cases := []struct {
+		name string
+		l    barra.Launch
+		mem  int
+	}{
+		{"alu", barra.Launch{Prog: aluKernel(t), Grid: 60, Block: 256}, 4096},
+		{"shared", barra.Launch{Prog: conflictedSharedKernel(t), Grid: 60, Block: 256}, 4096},
+		{"global", barra.Launch{Prog: streamKernel(t, 60*128), Grid: 60, Block: 128}, 1 << 22},
+	}
+	for _, cse := range cases {
+		est, meas := predictAndMeasure(t, c, cse.l, cse.mem)
+		if est.UpperBoundSeconds < est.TotalSeconds {
+			t.Fatalf("%s: upper bound below prediction", cse.name)
+		}
+		lo, hi := est.TotalSeconds*0.75, est.UpperBoundSeconds*1.25
+		if meas.Seconds < lo || meas.Seconds > hi {
+			t.Errorf("%s: measured %.4g ms outside [%.4g, %.4g]",
+				cse.name, meas.Seconds*1e3, lo*1e3, hi*1e3)
+		}
+	}
+}
+
+// TestOverlapSensitive: a kernel with balanced components is flagged;
+// a pure-ALU kernel is not.
+func TestOverlapSensitive(t *testing.T) {
+	c := cal(t)
+	est, _, err := Predict(c, barra.Launch{Prog: aluKernel(t), Grid: 60, Block: 256},
+		barra.NewMemory(4096), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.OverlapSensitive(0.5) {
+		t.Error("pure ALU kernel flagged overlap-sensitive")
+	}
+	est2 := &Estimate{Component: Times{1.0, 0.9, 0.1}}
+	est2.Bottleneck = est2.Component.Bottleneck()
+	est2.NextBottleneck = est2.Component.Second()
+	if !est2.OverlapSensitive(0.5) {
+		t.Error("balanced kernel not flagged")
+	}
+	empty := &Estimate{}
+	if empty.OverlapSensitive(0.5) {
+		t.Error("empty estimate flagged")
+	}
+}

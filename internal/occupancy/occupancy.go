@@ -1,0 +1,123 @@
+// Package occupancy computes how many blocks and warps fit on one
+// streaming multiprocessor given a kernel's resource demands.
+//
+// This reproduces the hardware-resource-allocation analysis of paper
+// Table 2: the number of resident blocks per SM is the minimum of
+// the ceilings imposed by the register file, shared memory, the
+// thread count, and the architectural maximum of resident blocks,
+// further capped by the resident-warp ceiling. Insufficient resident
+// warps is the root cause of the under-utilized pipeline and
+// shared-memory throughput the paper's model quantifies.
+package occupancy
+
+import (
+	"fmt"
+
+	"gpuperf/internal/gpu"
+)
+
+// Usage is a kernel launch's per-block resource demand.
+type Usage struct {
+	// ThreadsPerBlock is the block size.
+	ThreadsPerBlock int
+	// RegsPerThread is the register demand of one thread.
+	RegsPerThread int
+	// SharedMemPerBlock is the static + dynamic shared memory of
+	// one block, in bytes.
+	SharedMemPerBlock int
+}
+
+// Result is the occupancy verdict for one SM.
+type Result struct {
+	// BlocksByRegs, BlocksBySmem, BlocksByThreads are the individual
+	// ceilings (Table 2's "# blocks (register)" and "# blocks (smem)"
+	// columns, plus the thread ceiling).
+	BlocksByRegs    int
+	BlocksBySmem    int
+	BlocksByThreads int
+	// BlocksLimit is the architectural maximum of resident blocks.
+	BlocksLimit int
+	// Blocks is the resulting resident block count:
+	// min(regs, smem, threads, limit), further reduced if the warp
+	// ceiling binds.
+	Blocks int
+	// WarpsPerBlock is ceil(threads/warpSize).
+	WarpsPerBlock int
+	// ActiveWarps is Blocks · WarpsPerBlock, the model's
+	// "number of warps per SM" input.
+	ActiveWarps int
+	// Limiter names the binding constraint.
+	Limiter string
+}
+
+// Compute returns the occupancy of a kernel on the given GPU.
+func Compute(c gpu.Config, u Usage) (Result, error) {
+	if u.ThreadsPerBlock <= 0 {
+		return Result{}, fmt.Errorf("occupancy: non-positive block size %d", u.ThreadsPerBlock)
+	}
+	if u.ThreadsPerBlock > c.MaxThreadsPerBlock {
+		return Result{}, fmt.Errorf("occupancy: block size %d exceeds device limit %d",
+			u.ThreadsPerBlock, c.MaxThreadsPerBlock)
+	}
+	if u.RegsPerThread < 0 || u.SharedMemPerBlock < 0 {
+		return Result{}, fmt.Errorf("occupancy: negative resource usage")
+	}
+	if u.SharedMemPerBlock > c.SharedMemPerSM {
+		return Result{}, fmt.Errorf("occupancy: block needs %d B shared memory, SM has %d",
+			u.SharedMemPerBlock, c.SharedMemPerSM)
+	}
+	regsPerBlock := u.RegsPerThread * u.ThreadsPerBlock
+	if regsPerBlock > c.RegistersPerSM {
+		return Result{}, fmt.Errorf("occupancy: block needs %d registers, SM has %d",
+			regsPerBlock, c.RegistersPerSM)
+	}
+
+	r := Result{BlocksLimit: c.MaxBlocksPerSM}
+	r.WarpsPerBlock = (u.ThreadsPerBlock + gpu.WarpSize - 1) / gpu.WarpSize
+
+	r.BlocksByRegs = c.RegistersPerSM // unlimited when regs == 0
+	if regsPerBlock > 0 {
+		r.BlocksByRegs = c.RegistersPerSM / regsPerBlock
+	}
+	r.BlocksBySmem = c.SharedMemPerSM
+	if u.SharedMemPerBlock > 0 {
+		r.BlocksBySmem = c.SharedMemPerSM / u.SharedMemPerBlock
+	}
+	r.BlocksByThreads = c.MaxThreadsPerSM / u.ThreadsPerBlock
+
+	r.Blocks, r.Limiter = minWith(
+		bound{r.BlocksByRegs, "registers"},
+		bound{r.BlocksBySmem, "shared memory"},
+		bound{r.BlocksByThreads, "threads"},
+		bound{c.MaxBlocksPerSM, "max blocks"},
+	)
+	// The warp ceiling can further reduce resident blocks.
+	if r.Blocks*r.WarpsPerBlock > c.MaxWarpsPerSM {
+		r.Blocks = c.MaxWarpsPerSM / r.WarpsPerBlock
+		r.Limiter = "max warps"
+	}
+	r.ActiveWarps = r.Blocks * r.WarpsPerBlock
+	return r, nil
+}
+
+type bound struct {
+	n    int
+	name string
+}
+
+func minWith(bs ...bound) (int, string) {
+	best := bs[0]
+	for _, b := range bs[1:] {
+		if b.n < best.n {
+			best = b
+		}
+	}
+	return best.n, best.name
+}
+
+// String renders a Table 2-style row.
+func (r Result) String() string {
+	return fmt.Sprintf("blocks=min(regs:%d, smem:%d, threads:%d, limit:%d)=%d (%s), warps=%d",
+		r.BlocksByRegs, r.BlocksBySmem, r.BlocksByThreads, r.BlocksLimit,
+		r.Blocks, r.Limiter, r.ActiveWarps)
+}

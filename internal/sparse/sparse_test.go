@@ -1,0 +1,242 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func genMat(t *testing.T, rows, bpr int) *Blocked {
+	t.Helper()
+	m, err := GenQCDLike(rows, bpr, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randVec(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = 2*rng.Float32() - 1
+	}
+	return x
+}
+
+func TestGenQCDLikeStructure(t *testing.T) {
+	m := genMat(t, 256, 9)
+	if m.Rows() != 768 || m.NNZ() != 256*9*9 {
+		t.Errorf("dims: rows=%d nnz=%d", m.Rows(), m.NNZ())
+	}
+	// Banded-ness: most rows touch their own block column, and the
+	// median column distance is small relative to the matrix.
+	diagHits, nearCols := 0, 0
+	for q := 0; q < m.BlockRows; q++ {
+		for _, c := range m.Cols[q] {
+			d := int(c) - q
+			if d < 0 {
+				d = -d
+			}
+			if d > m.BlockRows/2 { // wrapped
+				d = m.BlockRows - d
+			}
+			if d == 0 {
+				diagHits++
+			}
+			if d <= 20 {
+				nearCols++
+			}
+		}
+	}
+	if diagHits < m.BlockRows*9/10 {
+		t.Errorf("only %d/%d rows have a diagonal block", diagHits, m.BlockRows)
+	}
+	if nearCols < m.BlockRows*9/2 {
+		t.Errorf("matrix not banded: %d near columns of %d", nearCols, m.BlockRows*9)
+	}
+}
+
+func TestGenQCDLikeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenQCDLike(0, 4, rng); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := GenQCDLike(4, 9, rng); err == nil {
+		t.Error("more blocks than columns accepted")
+	}
+}
+
+func TestELLRoundTrip(t *testing.T) {
+	m := genMat(t, 64, 5)
+	e, err := m.ToELL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Width != 15 || e.Rows != 192 {
+		t.Fatalf("ELL dims %dx%d", e.Rows, e.Width)
+	}
+	// Reference multiply through the ELL arrays must match MulDense.
+	x := randVec(m.Rows(), 7)
+	want, err := m.MulDense(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, e.Rows)
+	for r := 0; r < e.Rows; r++ {
+		var acc float64
+		for j := 0; j < e.Width; j++ {
+			acc += float64(e.Entries[j*e.Rows+r]) * float64(x[e.ColIdx[j*e.Rows+r]])
+		}
+		got[r] = float32(acc)
+	}
+	for i := range want {
+		if math.Abs(float64(want[i]-got[i])) > 1e-4 {
+			t.Fatalf("ELL y[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBELLRoundTrip(t *testing.T) {
+	m := genMat(t, 64, 5)
+	b, err := m.ToBELL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(m.Rows(), 8)
+	want, err := m.MulDense(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := b.BlockSize
+	bs2 := bs * bs
+	got := make([]float32, m.Rows())
+	for q := 0; q < b.BlockRows; q++ {
+		acc := make([]float64, bs)
+		for j := 0; j < b.BlocksPerRow; j++ {
+			c := int(b.BlockCols[j*b.BlockRows+q])
+			for r := 0; r < bs; r++ {
+				for cc := 0; cc < bs; cc++ {
+					v := b.Entries[(j*bs2+r*bs+cc)*b.BlockRows+q]
+					acc[r] += float64(v) * float64(x[c*bs+cc])
+				}
+			}
+		}
+		for r := 0; r < bs; r++ {
+			got[q*bs+r] = float32(acc[r])
+		}
+	}
+	for i := range want {
+		if math.Abs(float64(want[i]-got[i])) > 1e-4 {
+			t.Fatalf("BELL y[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVectorInterleaveRoundTrip(t *testing.T) {
+	x := randVec(3*32, 9)
+	ix, err := InterleaveVector(x, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the permutation: logical (q=5, r=2) → 2·32+5.
+	if ix[2*32+5] != x[5*3+2] {
+		t.Error("interleave permutation wrong")
+	}
+	back, err := DeinterleaveVector(ix, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if back[i] != x[i] {
+			t.Fatalf("round trip broke at %d", i)
+		}
+	}
+	if _, err := InterleaveVector(x[:10], 32, 3); err == nil {
+		t.Error("bad length accepted")
+	}
+	if _, err := DeinterleaveVector(x[:10], 32, 3); err == nil {
+		t.Error("bad length accepted")
+	}
+}
+
+func TestMulDenseValidation(t *testing.T) {
+	m := genMat(t, 16, 4)
+	if _, err := m.MulDense(make([]float32, 5)); err == nil {
+		t.Error("bad vector length accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := genMat(t, 16, 4)
+	m.Cols[3][1] = m.Cols[3][0] // non-increasing
+	if err := m.Validate(); err == nil {
+		t.Error("non-increasing columns accepted")
+	}
+	m2 := genMat(t, 16, 4)
+	m2.Cols[0][3] = 99 // out of range
+	if err := m2.Validate(); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	m3 := genMat(t, 16, 4)
+	m3.Vals[2][1] = m3.Vals[2][1][:5]
+	if err := m3.Validate(); err == nil {
+		t.Error("short block accepted")
+	}
+}
+
+func TestGenBandedAndRandomFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	banded, err := GenBanded(128, 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := GenRandomUniform(128, 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Banded: every column within h (+wrap) of the diagonal.
+	for q := 0; q < banded.BlockRows; q++ {
+		for _, c := range banded.Cols[q] {
+			d := int(c) - q
+			if d < 0 {
+				d = -d
+			}
+			if d > banded.BlockRows/2 {
+				d = banded.BlockRows - d
+			}
+			if d > 4 {
+				t.Fatalf("banded row %d has far column %d", q, c)
+			}
+		}
+	}
+	// Random: substantial spread (mean |distance| well above the
+	// banded half-width).
+	total, count := 0, 0
+	for q := 0; q < random.BlockRows; q++ {
+		for _, c := range random.Cols[q] {
+			d := int(c) - q
+			if d < 0 {
+				d = -d
+			}
+			total += d
+			count++
+		}
+	}
+	if mean := total / count; mean < 10 {
+		t.Errorf("random matrix mean column distance %d, want spread", mean)
+	}
+	// Both multiply correctly.
+	for _, m := range []*Blocked{banded, random} {
+		x := randVec(m.Rows(), 3)
+		if _, err := m.MulDense(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := GenBanded(0, 3, rng); err == nil {
+		t.Error("bad banded dims accepted")
+	}
+	if _, err := GenRandomUniform(4, 9, rng); err == nil {
+		t.Error("bad random dims accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Package texcache simulates a small read-only texture cache — the
+// paper's future-work item 1 ("incorporate a cache model in memory
+// system simulation") and the mechanism behind the +Cache variants
+// of paper Fig. 12, where SpMV binds the x-vector to a texture so
+// repeated vector-entry loads stop paying DRAM transactions.
+//
+// The model is a set-associative LRU cache with configurable line
+// size; on GT200 each texture unit has a small L1 (~8 KB per TPC/
+// cluster, 32-byte lines are a reasonable granularity for the
+// simulator's transactions).
+package texcache
+
+import "fmt"
+
+// Config sizes the cache.
+type Config struct {
+	// SizeBytes is the total capacity (default 8 KB).
+	SizeBytes int
+	// LineBytes is the line size (default 32).
+	LineBytes int
+	// Ways is the associativity (default 4).
+	Ways int
+}
+
+// Default returns the GT200-like per-cluster texture L1 geometry.
+func Default() Config { return Config{SizeBytes: 8 * 1024, LineBytes: 32, Ways: 4} }
+
+// Cache is one texture cache instance.
+type Cache struct {
+	cfg  Config
+	sets int
+	// tags[set][way], valid[set][way], age[set][way].
+	tags  [][]uint32
+	valid [][]bool
+	age   [][]uint64
+	tick  uint64
+
+	hits, misses int64
+}
+
+// New builds a cache; zero fields of cfg take defaults.
+func New(cfg Config) (*Cache, error) {
+	d := Default()
+	if cfg.SizeBytes == 0 {
+		cfg.SizeBytes = d.SizeBytes
+	}
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = d.LineBytes
+	}
+	if cfg.Ways == 0 {
+		cfg.Ways = d.Ways
+	}
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("texcache: line size %d not a power of two", cfg.LineBytes)
+	}
+	if cfg.SizeBytes <= 0 || cfg.SizeBytes%(cfg.LineBytes*cfg.Ways) != 0 {
+		return nil, fmt.Errorf("texcache: size %d not divisible by line*ways", cfg.SizeBytes)
+	}
+	sets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("texcache: set count %d not a power of two", sets)
+	}
+	c := &Cache{cfg: cfg, sets: sets}
+	c.tags = make([][]uint32, sets)
+	c.valid = make([][]bool, sets)
+	c.age = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint32, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+		c.age[i] = make([]uint64, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Access touches the byte address and reports whether it hit; on a
+// miss the line is filled (LRU eviction).
+func (c *Cache) Access(addr uint32) bool {
+	c.tick++
+	line := addr / uint32(c.cfg.LineBytes)
+	set := int(line) & (c.sets - 1)
+	tag := line / uint32(c.sets)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.age[set][w] = c.tick
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	// LRU victim.
+	victim := 0
+	for w := 1; w < c.cfg.Ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.age[set][w] < c.age[set][victim] {
+			victim = w
+		}
+	}
+	c.tags[set][victim] = tag
+	c.valid[set][victim] = true
+	c.age[set][victim] = c.tick
+	return false
+}
+
+// LineBytes returns the configured line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// Stats returns hit and miss counts so far.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// HitRate returns hits/(hits+misses), 0 when never accessed.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		for w := range c.valid[i] {
+			c.valid[i][w] = false
+		}
+	}
+	c.hits, c.misses, c.tick = 0, 0, 0
+}

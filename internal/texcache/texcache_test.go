@@ -1,0 +1,99 @@
+package texcache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{LineBytes: 33}); err == nil {
+		t.Error("odd line size accepted")
+	}
+	if _, err := New(Config{SizeBytes: 1000}); err == nil {
+		t.Error("non-divisible size accepted")
+	}
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LineBytes() != 32 {
+		t.Errorf("default line = %d", c.LineBytes())
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0x100) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x104) { // same 32B line
+		t.Error("same-line access missed")
+	}
+	if !c.Access(0x11c) {
+		t.Error("line-end access missed")
+	}
+	if c.Access(0x120) { // next line
+		t.Error("next-line access hit")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("stats %d/%d", hits, misses)
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate %v", c.HitRate())
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 4-way cache: five lines mapping to one set evict the oldest.
+	c, err := New(Config{SizeBytes: 4096, LineBytes: 32, Ways: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := 4096 / 32 / 4 // 32 sets
+	stride := uint32(32 * sets)
+	for i := uint32(0); i < 4; i++ {
+		c.Access(i * stride)
+	}
+	for i := uint32(0); i < 4; i++ {
+		if !c.Access(i * stride) {
+			t.Errorf("way %d evicted prematurely", i)
+		}
+	}
+	c.Access(4 * stride)      // evicts line 0 (LRU)
+	if c.Access(0 * stride) { // must miss now
+		t.Error("LRU line not evicted")
+	}
+	if !c.Access(2 * stride) {
+		t.Error("recently used line evicted")
+	}
+}
+
+func TestWorkingSetBehaviour(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small working set (fits in 8 KB): high hit rate.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		c.Access(uint32(rng.Intn(4096)) &^ 3)
+	}
+	if c.HitRate() < 0.9 {
+		t.Errorf("small working set hit rate %v", c.HitRate())
+	}
+	c.Reset()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("reset did not clear stats")
+	}
+	// Huge working set: low hit rate.
+	for i := 0; i < 20000; i++ {
+		c.Access(uint32(rng.Intn(1<<26)) &^ 3)
+	}
+	if c.HitRate() > 0.2 {
+		t.Errorf("large working set hit rate %v", c.HitRate())
+	}
+}

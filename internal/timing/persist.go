@@ -1,0 +1,86 @@
+package timing
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/isa"
+)
+
+// calibrationJSON is the serialized form of a Calibration: the
+// configuration it was measured on, the measured per-warp curves,
+// and any synthetic global-memory benchmark results cached so far
+// (keyed "blocks/threads/transactions").
+type calibrationJSON struct {
+	Version  int                       `json:"version"`
+	Config   gpu.Config                `json:"config"`
+	Instr    [isa.NumClasses][]float64 `json:"instr"`
+	SharedTx []float64                 `json:"shared_tx"`
+	Global   map[string]float64        `json:"global,omitempty"`
+}
+
+const persistVersion = 1
+
+// MarshalJSON serializes the calibration curves.
+func (c *Calibration) MarshalJSON() ([]byte, error) {
+	c.mu.Lock()
+	global := make(map[string]float64, len(c.gcache))
+	for k, v := range c.gcache {
+		global[fmt.Sprintf("%d/%d/%d", k.blocks, k.threads, k.trans)] = v
+	}
+	c.mu.Unlock()
+	return json.Marshal(calibrationJSON{
+		Version:  persistVersion,
+		Config:   c.cfg,
+		Instr:    c.instr,
+		SharedTx: c.sharedTx,
+		Global:   global,
+	})
+}
+
+// LoadCalibration reconstructs a Calibration from MarshalJSON
+// output, validating the embedded configuration and curve shapes.
+func LoadCalibration(data []byte) (*Calibration, error) {
+	var p calibrationJSON
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("timing: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("timing: unsupported calibration version %d", p.Version)
+	}
+	if err := p.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("timing: embedded config: %w", err)
+	}
+	want := p.Config.MaxWarpsPerSM + 1
+	if len(p.SharedTx) != want {
+		return nil, fmt.Errorf("timing: shared curve has %d points, want %d", len(p.SharedTx), want)
+	}
+	c := &Calibration{cfg: p.Config, gcache: map[gkey]float64{}}
+	for cls := range p.Instr {
+		if len(p.Instr[cls]) != want {
+			return nil, fmt.Errorf("timing: class %d curve has %d points, want %d",
+				cls, len(p.Instr[cls]), want)
+		}
+		for w := 1; w < want; w++ {
+			if p.Instr[cls][w] <= 0 {
+				return nil, fmt.Errorf("timing: class %d curve not positive at %d warps", cls, w)
+			}
+		}
+		c.instr[cls] = p.Instr[cls]
+	}
+	for w := 1; w < want; w++ {
+		if p.SharedTx[w] <= 0 {
+			return nil, fmt.Errorf("timing: shared curve not positive at %d warps", w)
+		}
+	}
+	c.sharedTx = p.SharedTx
+	for k, v := range p.Global {
+		var g gkey
+		if _, err := fmt.Sscanf(k, "%d/%d/%d", &g.blocks, &g.threads, &g.trans); err != nil {
+			return nil, fmt.Errorf("timing: bad global cache key %q", k)
+		}
+		c.gcache[g] = v
+	}
+	return c, nil
+}

@@ -1,0 +1,109 @@
+package tridiag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestThomasSolvesKnownSystem(t *testing.T) {
+	// x = [1, 2, 3] for a hand-built system.
+	s := System{
+		A: []float32{0, -1, -1},
+		B: []float32{4, 4, 4},
+		C: []float32{-1, -1, 0},
+		D: []float32{4*1 - 2, -1 + 8 - 3, -2 + 12},
+	}
+	x, err := s.SolveThomas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float32{1, 2, 3} {
+		if math.Abs(float64(x[i]-want)) > 1e-5 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want)
+		}
+	}
+}
+
+func TestCRMatchesThomas(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 4, 8, 64, 512} {
+		s := NewRandom(n, rng)
+		xt, err := s.SolveThomas()
+		if err != nil {
+			t.Fatal(err)
+		}
+		xc, err := s.SolveCR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xt {
+			if math.Abs(float64(xt[i]-xc[i])) > 2e-3 {
+				t.Fatalf("n=%d: x[%d]: thomas %v vs CR %v", n, i, xt[i], xc[i])
+			}
+		}
+		if r := s.Residual(xc); r > 1e-3 {
+			t.Errorf("n=%d: CR residual %v", n, r)
+		}
+	}
+}
+
+func TestCRRejectsNonPowerOfTwo(t *testing.T) {
+	s := NewRandom(12, rand.New(rand.NewSource(1)))
+	if _, err := s.SolveCR(); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := NewRandom(8, rand.New(rand.NewSource(2)))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := s.Clone()
+	bad.A = bad.A[:4]
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged system accepted")
+	}
+	bad2 := s.Clone()
+	bad2.A[0] = 1
+	if err := bad2.Validate(); err == nil {
+		t.Error("nonzero boundary accepted")
+	}
+	var empty System
+	if err := empty.Validate(); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := empty.SolveThomas(); err == nil {
+		t.Error("Thomas on empty system accepted")
+	}
+}
+
+func TestResidualDetectsWrongSolution(t *testing.T) {
+	s := NewRandom(16, rand.New(rand.NewSource(3)))
+	x, err := s.SolveThomas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Residual(x); r > 1e-5 {
+		t.Errorf("residual of exact solution %v", r)
+	}
+	x[7] += 10
+	if r := s.Residual(x); r < 0.1 {
+		t.Errorf("perturbed residual only %v", r)
+	}
+}
+
+func TestManyRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		s := NewRandom(128, rng)
+		x, err := s.SolveCR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := s.Residual(x); r > 1e-3 {
+			t.Fatalf("trial %d: residual %v", trial, r)
+		}
+	}
+}
