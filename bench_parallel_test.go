@@ -1,0 +1,61 @@
+// BenchmarkRunParallel measures the sharded execution engine's
+// scaling: one large SpMV launch (ELL format, >4096 blocks — the
+// shape of the paper's Fig. 11 sweeps at production size) run
+// serially (p1) and with one worker per host core (pN). The Stats
+// are bit-identical between the two; only wall clock changes.
+//
+//	go test -run - -bench BenchmarkRunParallel -benchtime 2x
+package gpuperf
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"gpuperf/internal/barra"
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/kernels"
+	"gpuperf/internal/sparse"
+)
+
+// benchBlockRows sizes the ELL launch at 3·175104/128 = 4104 blocks.
+const benchBlockRows = 175104
+
+func BenchmarkRunParallel(b *testing.B) {
+	m, err := sparse.GenQCDLike(benchBlockRows, 9, rand.New(rand.NewSource(42)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := kernels.NewSpMV(kernels.ELL, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float32, m.Rows())
+	rng := rand.New(rand.NewSource(43))
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	l := sp.Launch()
+	if l.Grid < 4096 {
+		b.Fatalf("benchmark grid %d below the 4096-block target", l.Grid)
+	}
+	cfg := gpu.GTX285()
+
+	for _, p := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mem, err := sp.NewMemory(x)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := barra.Run(cfg, l, mem, &barra.Options{Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(l.Grid)*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+		})
+	}
+}

@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	experiments [-large] [-only substring]
+//	experiments [-large] [-only substring] [-p workers]
 //
 // -large runs paper-scale workloads (minutes); the default small
 // scale finishes in under a minute. -only filters experiments by
-// title substring.
+// title substring. -p sets the functional-simulation worker count
+// per launch (0 = all cores, 1 = serial); results are identical at
+// any setting.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 func main() {
 	large := flag.Bool("large", false, "run paper-scale workloads")
 	only := flag.String("only", "", "run only experiments whose title contains this substring")
+	parallel := flag.Int("p", 0, "functional-simulation worker goroutines (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	scale := experiments.Small
@@ -30,6 +33,7 @@ func main() {
 		scale = experiments.Large
 	}
 	suite := experiments.New(scale)
+	suite.Parallelism = *parallel
 
 	tables, err := suite.All()
 	// Print whatever completed even on error.

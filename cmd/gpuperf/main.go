@@ -8,7 +8,7 @@
 //
 //	gpuperf -kernel matmul16 | matmul8 | matmul32 | cr | cr-nbc |
 //	        spmv-ell | spmv-bell-im | spmv-bell-imiv
-//	        [-disasm] [-n size]
+//	        [-disasm] [-n size] [-p workers]
 package main
 
 import (
@@ -33,15 +33,16 @@ func main() {
 	disasm := flag.Bool("disasm", false, "print the kernel disassembly and exit")
 	n := flag.Int("n", 0, "problem size override (matrix dim / systems / block rows)")
 	calFile := flag.String("cal", "", "calibration cache file (loaded if present, written after calibrating)")
+	parallel := flag.Int("p", 0, "functional-simulation worker goroutines (0 = all cores, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*kernel, *disasm, *n, *calFile); err != nil {
+	if err := run(*kernel, *disasm, *n, *calFile, *parallel); err != nil {
 		fmt.Fprintf(os.Stderr, "gpuperf: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernel string, disasm bool, n int, calFile string) error {
+func run(kernel string, disasm bool, n int, calFile string, parallel int) error {
 	cfg := gpu.GTX285()
 	l, mem, err := buildKernel(cfg, kernel, n)
 	if err != nil {
@@ -60,7 +61,7 @@ func run(kernel string, disasm bool, n int, calFile string) error {
 		return err
 	}
 
-	est, _, err := model.Predict(cal, l, mem, nil)
+	est, _, err := model.Predict(cal, l, mem, &barra.Options{Parallelism: parallel})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module gpuperf
+
+go 1.24

@@ -1,0 +1,65 @@
+package barra
+
+import "gpuperf/internal/coalesce"
+
+// StepTrace is one executed warp instruction plus the memory-system
+// outcome the execution engine derived for it: serialized
+// shared-memory transactions after bank conflicts and the global
+// transactions formed at every configured segment granularity. It is
+// the event unit of the Collector layer. The struct and everything it
+// points to are scratch owned by the worker — valid only during the
+// BlockCollector.Step call that delivers it.
+type StepTrace struct {
+	// Info describes the executed instruction (active mask, per-lane
+	// addresses, cost class).
+	Info *StepInfo
+	// SharedAccesses counts the warp-level shared-memory accesses of
+	// this step (an instruction can both read a shared ALU operand and
+	// be a shared load/store). SharedTx are the serialized transactions
+	// after bank conflicts, SharedTxIdeal the conflict-free ideal (one
+	// per active half-warp), SharedBytes the useful bytes moved.
+	SharedAccesses int64
+	SharedTx       int64
+	SharedTxIdeal  int64
+	SharedBytes    int64
+	// Global has one entry per active half-warp of a global-memory
+	// instruction (empty otherwise).
+	Global []GlobalHalfWarp
+}
+
+// GlobalHalfWarp is one half-warp's global-memory access.
+type GlobalHalfWarp struct {
+	// Addrs are the active lanes' byte addresses.
+	Addrs []uint32
+	// Tx[i] are the hardware transactions formed at the i-th
+	// granularity of the run's segment list (Segments()); index 0 is
+	// always the device's native granularity.
+	Tx [][]coalesce.Transaction
+}
+
+// BlockCollector receives the execution events of a single block. The
+// engine guarantees that one BlockCollector is driven by exactly one
+// worker goroutine, that Step is called once per executed warp
+// instruction in program-scheduling order, and that StageEnd closes
+// every barrier-delimited stage (the last one at block exit).
+type BlockCollector interface {
+	// Step records one executed warp instruction.
+	Step(stage int, tr *StepTrace)
+	// StageEnd closes a stage; workCount[w] is warp w's unskipped
+	// non-control instruction count within the stage.
+	StageEnd(stage int, workCount []int64)
+}
+
+// Collector is the pluggable statistics layer of a run. The engine
+// calls Block from worker goroutines (it must be safe for concurrent
+// use) to obtain a per-block sink, then — after all workers have
+// joined — calls Merge exactly once per block in ascending block-ID
+// order on a single goroutine. Because every block's events are
+// recorded against its own BlockCollector and folded back in block
+// order, a collector observes the same event stream no matter how
+// many workers ran the launch: serial and parallel runs produce
+// bit-identical results.
+type Collector interface {
+	Block(blockID int) BlockCollector
+	Merge(blockID int, bc BlockCollector, barriers int) error
+}

@@ -1,0 +1,85 @@
+package barra
+
+// Parallel workers cannot invoke Options.GlobalAccessHook directly:
+// cache-replay experiments (paper Fig. 12) depend on observing blocks
+// in launch order, one at a time. Instead each worker journals its
+// block's accesses into a hookLog and hands the finished log to a
+// dispatcher goroutine, which replays logs to the user callback
+// strictly in ascending block-ID order — the same order the serial
+// engine produces. Single-worker runs skip the journal and call the
+// hook inline.
+
+// hookEvent is one half-warp global access in a hookLog; its
+// addresses are the next n entries of the log's addrs arena.
+type hookEvent struct {
+	load bool
+	n    int32
+}
+
+// hookLog journals one block's global accesses.
+type hookLog struct {
+	blockID int
+	events  []hookEvent
+	addrs   []uint32
+}
+
+func (l *hookLog) add(load bool, addrs []uint32) {
+	l.events = append(l.events, hookEvent{load: load, n: int32(len(addrs))})
+	l.addrs = append(l.addrs, addrs...)
+}
+
+// replay invokes hook for every journaled access in program order.
+func (l *hookLog) replay(hook func(blockID int, load bool, addrs []uint32)) {
+	off := 0
+	for _, ev := range l.events {
+		hook(l.blockID, ev.load, l.addrs[off:off+int(ev.n)])
+		off += int(ev.n)
+	}
+}
+
+// hookDispatcher serializes per-block hook logs into block order.
+type hookDispatcher struct {
+	hook func(blockID int, load bool, addrs []uint32)
+	ch   chan *hookLog
+	done chan struct{}
+}
+
+func newHookDispatcher(hook func(blockID int, load bool, addrs []uint32), workers int) *hookDispatcher {
+	d := &hookDispatcher{
+		hook: hook,
+		ch:   make(chan *hookLog, workers),
+		done: make(chan struct{}),
+	}
+	go d.run()
+	return d
+}
+
+func (d *hookDispatcher) run() {
+	defer close(d.done)
+	pending := map[int]*hookLog{}
+	next := 0
+	for log := range d.ch {
+		pending[log.blockID] = log
+		for {
+			l, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			l.replay(d.hook)
+			next++
+		}
+	}
+	// Aborted runs leave gaps; drop the stragglers rather than replay
+	// them out of order.
+}
+
+// submit hands one finished block's log to the dispatcher.
+func (d *hookDispatcher) submit(l *hookLog) { d.ch <- l }
+
+// close stops intake and waits until every deliverable log has been
+// replayed.
+func (d *hookDispatcher) close() {
+	close(d.ch)
+	<-d.done
+}

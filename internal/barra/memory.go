@@ -14,13 +14,39 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Memory is the device's byte-addressed global memory. All accesses
 // are 32-bit and must be 4-byte aligned, matching the single-word
 // loads and stores of the ISA.
+//
+// # Disjoint-writes contract
+//
+// The parallel execution engine runs blocks concurrently against one
+// Memory with no locking, which is sound under the same contract the
+// CUDA programming model imposes on a kernel's blocks: within one
+// run, a word written by a block may not be written or read by any
+// other block. (Blocks cannot synchronize with each other, so a
+// kernel that violates this is racy on real hardware too.) Reads of
+// words no block writes — input arrays — may be shared freely, and
+// the host-side accessors below may touch anything between runs.
+// Options.VerifyBlockIsolation arms a per-word last-writer tracker
+// that turns a contract violation into a run error instead of a
+// silent data race.
 type Memory struct {
 	b []byte
+	// writers/readers hold the per-word last-writer and last-reader
+	// block IDs (-1 = untouched this run) while VerifyBlockIsolation
+	// tracking is armed; nil otherwise. Entries are updated with
+	// atomics so the detector itself is race-free under concurrent
+	// workers. The reader side keeps only the most recent block, so
+	// the detector is exact for write-after-write and
+	// read-after-foreign-write, and catches write-after-foreign-read
+	// against the latest reader (a lossy but alarm-only
+	// approximation: any flagged access is a real violation).
+	writers []int32
+	readers []int32
 }
 
 // NewMemory allocates size bytes of zeroed global memory.
@@ -39,7 +65,8 @@ func (m *Memory) check(addr uint32) error {
 	return nil
 }
 
-// Load32 reads the 32-bit word at byte address addr.
+// Load32 reads the 32-bit word at byte address addr (host access:
+// never checked against the disjoint-writes tracker).
 func (m *Memory) Load32(addr uint32) (uint32, error) {
 	if err := m.check(addr); err != nil {
 		return 0, err
@@ -47,10 +74,60 @@ func (m *Memory) Load32(addr uint32) (uint32, error) {
 	return binary.LittleEndian.Uint32(m.b[addr:]), nil
 }
 
-// Store32 writes the 32-bit word at byte address addr.
+// Store32 writes the 32-bit word at byte address addr (host access:
+// never checked against the disjoint-writes tracker).
 func (m *Memory) Store32(addr, v uint32) error {
 	if err := m.check(addr); err != nil {
 		return err
+	}
+	binary.LittleEndian.PutUint32(m.b[addr:], v)
+	return nil
+}
+
+// startTracking arms the disjoint-writes detector for one run.
+func (m *Memory) startTracking() {
+	m.writers = make([]int32, len(m.b)/4)
+	m.readers = make([]int32, len(m.b)/4)
+	for i := range m.writers {
+		m.writers[i] = -1
+		m.readers[i] = -1
+	}
+}
+
+// stopTracking disarms the detector.
+func (m *Memory) stopTracking() { m.writers, m.readers = nil, nil }
+
+// load32 is the device-side load: block is the reading block, checked
+// against the tracker when armed.
+func (m *Memory) load32(addr uint32, block int) (uint32, error) {
+	if err := m.check(addr); err != nil {
+		return 0, err
+	}
+	if m.writers != nil {
+		if w := atomic.LoadInt32(&m.writers[addr>>2]); w >= 0 && int(w) != block {
+			return 0, fmt.Errorf("barra: block %d reads word %#x written by block %d in the same run — cross-block sharing violates the disjoint-writes contract",
+				block, addr, w)
+		}
+		atomic.StoreInt32(&m.readers[addr>>2], int32(block))
+	}
+	return binary.LittleEndian.Uint32(m.b[addr:]), nil
+}
+
+// store32 is the device-side store: block is the writing block,
+// recorded and checked against the tracker when armed.
+func (m *Memory) store32(addr, v uint32, block int) error {
+	if err := m.check(addr); err != nil {
+		return err
+	}
+	if m.writers != nil {
+		if prev := atomic.SwapInt32(&m.writers[addr>>2], int32(block)); prev >= 0 && prev != int32(block) {
+			return fmt.Errorf("barra: blocks %d and %d both write word %#x — cross-block writes violate the disjoint-writes contract",
+				prev, block, addr)
+		}
+		if r := atomic.LoadInt32(&m.readers[addr>>2]); r >= 0 && r != int32(block) {
+			return fmt.Errorf("barra: block %d writes word %#x that block %d read in the same run — cross-block sharing violates the disjoint-writes contract",
+				block, addr, r)
+		}
 	}
 	binary.LittleEndian.PutUint32(m.b[addr:], v)
 	return nil

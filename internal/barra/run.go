@@ -2,6 +2,7 @@ package barra
 
 import (
 	"fmt"
+	"runtime"
 
 	"gpuperf/internal/bank"
 	"gpuperf/internal/coalesce"
@@ -57,125 +58,50 @@ type Options struct {
 	ExtraSegments []int
 	// Regions attributes global traffic to named arrays.
 	Regions []Region
-	// MaxWarpInstructions aborts a runaway kernel (default 4e9).
+	// MaxWarpInstructions aborts a runaway kernel (default 4e9). The
+	// budget is per-run, not per-block: all workers draw on one
+	// atomically shared pool, so a grid whose blocks are individually
+	// modest but collectively over budget still aborts. Workers
+	// reserve the budget in batches, so with Parallelism > 1 the
+	// abort may trigger up to workers×8192 instructions before the
+	// limit is fully consumed; a serial run aborts at exactly the
+	// configured count.
 	MaxWarpInstructions int64
 	// GlobalAccessHook, when set, receives every global-memory
 	// half-warp access: the issuing block, whether it was a load,
 	// and the active lanes' byte addresses (valid only during the
 	// call). Used by cache-replay experiments (paper Fig. 12's
-	// texture-cache variants).
+	// texture-cache variants). Calls are serialized and delivered in
+	// ascending block order regardless of Parallelism, so stateful
+	// consumers observe the same stream a serial run produces.
 	GlobalAccessHook func(blockID int, load bool, addrs []uint32)
-}
-
-// MemTraffic tallies global-memory traffic at one transaction
-// granularity.
-type MemTraffic struct {
-	// Transactions is the hardware transaction count.
-	Transactions int64
-	// Bytes is the total bytes moved.
-	Bytes int64
-}
-
-// StageStats aggregates dynamic statistics for one barrier-delimited
-// stage (accumulated across all blocks; stage k is the code between
-// the k-th and k+1-th barriers).
-type StageStats struct {
-	// WarpInstrs is the warp-level dynamic instruction count.
-	WarpInstrs int64
-	// ByClass splits WarpInstrs by cost class.
-	ByClass [isa.NumClasses]int64
-	// FMADs counts fused multiply-add instructions (the "actual
-	// computation" of the paper's density diagnostic).
-	FMADs int64
-	// SharedAccesses counts warp-level shared-memory instructions;
-	// SharedTx the serialized transactions after bank conflicts;
-	// SharedTxNoConflict the conflict-free ideal (one per active
-	// half-warp).
-	SharedAccesses     int64
-	SharedTx           int64
-	SharedTxNoConflict int64
-	// SharedBytes is useful shared traffic (4 B per active lane).
-	SharedBytes int64
-	// Global is traffic at the device's native granularity;
-	// GlobalUsefulBytes counts 4 B per active lane.
-	Global            MemTraffic
-	GlobalUsefulBytes int64
-	// WarpsWithWork is the number of warps (summed over blocks)
-	// that did substantial work in this stage: warps whose executed
-	// non-control, unskipped instruction count reaches at least half
-	// of the busiest warp's count in their block. Guard-test
-	// boilerplate (a compare plus a skipping branch) therefore does
-	// not count as work — this is the paper's per-step active-warp
-	// count for cyclic reduction (Fig. 6).
-	WarpsWithWork int64
-}
-
-// Stats is the dynamic-statistics output of a functional run: the
-// "info extractor" payload of paper Fig. 1.
-type Stats struct {
-	// Totals over all stages.
-	Total StageStats
-	// Stages in barrier order. Kernels without barriers have one.
-	Stages []StageStats
-	// Barriers is the number of barrier releases per block.
-	Barriers int
-	// GlobalAt tallies global traffic per transaction granularity
-	// (always includes the device's own).
-	GlobalAt map[int]MemTraffic
-	// RegionTraffic attributes global traffic per named region and
-	// granularity; RegionUseful counts useful bytes per region.
-	RegionTraffic map[string]map[int]MemTraffic
-	// RegionUseful is 4 B per active lane per region.
-	RegionUseful map[string]int64
-
-	// Launch echoes the launch geometry.
-	Grid, Block int
-}
-
-// InstructionDensity returns FMADs / total warp instructions — the
-// computational-density diagnostic (≈0.8 for Volkov matmul, ≈0.1
-// for cyclic reduction, per the paper).
-func (s *Stats) InstructionDensity() float64 {
-	if s.Total.WarpInstrs == 0 {
-		return 0
-	}
-	return float64(s.Total.FMADs) / float64(s.Total.WarpInstrs)
-}
-
-// CoalescingEfficiency returns useful / transferred global bytes.
-func (s *Stats) CoalescingEfficiency() float64 {
-	if s.Total.Global.Bytes == 0 {
-		return 1
-	}
-	return float64(s.Total.GlobalUsefulBytes) / float64(s.Total.Global.Bytes)
-}
-
-// BankConflictFactor returns SharedTx / SharedTxNoConflict (1.0 =
-// conflict-free).
-func (s *Stats) BankConflictFactor() float64 {
-	if s.Total.SharedTxNoConflict == 0 {
-		return 1
-	}
-	return float64(s.Total.SharedTx) / float64(s.Total.SharedTxNoConflict)
-}
-
-type runner struct {
-	cfg      gpu.Config
-	banks    *bank.Sim
-	coal     map[int]*coalesce.Sim // by min-segment granularity
-	segs     []int                 // granularities in coal
-	regions  []Region
-	stats    *Stats
-	maxInstr int64
-	executed int64
-	hook     func(blockID int, load bool, addrs []uint32)
-	curBlock int
+	// Parallelism is the number of worker goroutines the grid's
+	// blocks are sharded across. 0 (the default) uses
+	// runtime.GOMAXPROCS(0); 1 runs every block on one goroutine,
+	// preserving the serial engine's behaviour exactly. Every setting
+	// produces bit-identical Stats: per-block statistics are merged
+	// in ascending block-ID order after the workers join.
+	Parallelism int
+	// Collectors are additional statistics sinks driven alongside the
+	// built-in Stats collector; they receive every execution event
+	// and are merged in block order (see Collector).
+	Collectors []Collector
+	// VerifyBlockIsolation enables the cross-block sharing detector:
+	// the run fails if a block reads or writes a global-memory word
+	// another block wrote during the same run, or writes a word
+	// another block read (checked against the word's most recent
+	// reader). Every alarm is a real contract violation. See the
+	// disjoint-writes contract on Memory.
+	VerifyBlockIsolation bool
 }
 
 // Run executes the launch functionally and returns its dynamic
-// statistics. Blocks run sequentially (functional semantics are
-// independent of scheduling); warps within a block interleave at
-// barriers.
+// statistics. Blocks are sharded across Options.Parallelism worker
+// goroutines (the CUDA model guarantees block independence — see
+// Memory's disjoint-writes contract); warps within a block
+// interleave at barriers. Functional semantics and the returned
+// Stats are independent of scheduling: statistics are collected per
+// block and merged deterministically in block order.
 func Run(cfg gpu.Config, l Launch, mem *Memory, opt *Options) (*Stats, error) {
 	if err := l.Validate(cfg); err != nil {
 		return nil, err
@@ -191,20 +117,18 @@ func Run(cfg gpu.Config, l Launch, mem *Memory, opt *Options) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &runner{
-		cfg:      cfg,
-		banks:    bsim,
-		coal:     map[int]*coalesce.Sim{},
-		regions:  opt.Regions,
-		maxInstr: opt.MaxWarpInstructions,
-		hook:     opt.GlobalAccessHook,
-	}
-	if r.maxInstr <= 0 {
-		r.maxInstr = 4e9
+	ctx := &runContext{
+		cfg:    cfg,
+		launch: l,
+		mem:    mem,
+		banks:  bsim,
+		hook:   opt.GlobalAccessHook,
 	}
 	addSeg := func(seg int) error {
-		if _, ok := r.coal[seg]; ok {
-			return nil
+		for _, s := range ctx.segs {
+			if s == seg {
+				return nil
+			}
 		}
 		maxSeg := cfg.MaxSegmentBytes
 		if seg > maxSeg {
@@ -214,8 +138,8 @@ func Run(cfg gpu.Config, l Launch, mem *Memory, opt *Options) (*Stats, error) {
 		if err != nil {
 			return err
 		}
-		r.coal[seg] = c
-		r.segs = append(r.segs, seg)
+		ctx.coal = append(ctx.coal, c)
+		ctx.segs = append(ctx.segs, seg)
 		return nil
 	}
 	if err := addSeg(cfg.MinSegmentBytes); err != nil {
@@ -227,286 +151,49 @@ func Run(cfg gpu.Config, l Launch, mem *Memory, opt *Options) (*Stats, error) {
 		}
 	}
 
-	r.stats = &Stats{
-		GlobalAt:      map[int]MemTraffic{},
-		RegionTraffic: map[string]map[int]MemTraffic{},
-		RegionUseful:  map[string]int64{},
-		Grid:          l.Grid,
-		Block:         l.Block,
+	ctx.maxInstr = opt.MaxWarpInstructions
+	if ctx.maxInstr <= 0 {
+		ctx.maxInstr = 4e9
 	}
-	for _, reg := range opt.Regions {
-		r.stats.RegionTraffic[reg.Name] = map[int]MemTraffic{}
-		r.stats.RegionUseful[reg.Name] = 0
+	ctx.budget.Store(ctx.maxInstr)
+
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > l.Grid {
+		workers = l.Grid
+	}
+	if ctx.hook != nil && workers > 1 {
+		ctx.dispatch = newHookDispatcher(ctx.hook, workers)
 	}
 
-	for b := 0; b < l.Grid; b++ {
-		if err := r.runBlock(l, mem, b); err != nil {
-			return nil, err
-		}
-	}
-	// Totals.
-	for i := range r.stats.Stages {
-		accumulate(&r.stats.Total, &r.stats.Stages[i])
-	}
-	return r.stats, nil
-}
+	sc := newStatsCollector(l, opt.Regions, ctx.segs)
+	ctx.collectors = append([]Collector{sc}, opt.Collectors...)
 
-func accumulate(dst, src *StageStats) {
-	dst.WarpInstrs += src.WarpInstrs
-	for c := range dst.ByClass {
-		dst.ByClass[c] += src.ByClass[c]
-	}
-	dst.FMADs += src.FMADs
-	dst.SharedAccesses += src.SharedAccesses
-	dst.SharedTx += src.SharedTx
-	dst.SharedTxNoConflict += src.SharedTxNoConflict
-	dst.SharedBytes += src.SharedBytes
-	dst.Global.Transactions += src.Global.Transactions
-	dst.Global.Bytes += src.Global.Bytes
-	dst.GlobalUsefulBytes += src.GlobalUsefulBytes
-	dst.WarpsWithWork += src.WarpsWithWork
-}
-
-func (r *runner) runBlock(l Launch, mem *Memory, blockID int) error {
-	r.curBlock = blockID
-	nw := l.WarpsPerBlock()
-	shared := make([]byte, l.Prog.SharedMemBytes)
-	warps := make([]*Warp, nw)
-	for wi := 0; wi < nw; wi++ {
-		lanes := l.Block - wi*gpu.WarpSize
-		if lanes > gpu.WarpSize {
-			lanes = gpu.WarpSize
-		}
-		w, err := NewWarp(l.Prog, blockID, wi, l.Block, l.Grid, lanes, shared, mem)
-		if err != nil {
-			return err
-		}
-		warps[wi] = w
+	if opt.VerifyBlockIsolation {
+		mem.startTracking()
+		defer mem.stopTracking()
 	}
 
-	stage := 0
-	atBarrier := make([]bool, nw)
-	workCount := make([]int64, nw)
-	barriers := 0
-	var info StepInfo
-
-	for {
-		ranAny := false
-		for wi, w := range warps {
-			if w.Done() || atBarrier[wi] {
-				continue
-			}
-			// Run this warp until it blocks.
-			for {
-				if r.executed >= r.maxInstr {
-					return fmt.Errorf("barra: instruction budget exhausted (%d warp instructions) — runaway kernel %q?",
-						r.maxInstr, l.Prog.Name)
-				}
-				if err := w.Step(&info); err != nil {
-					return err
-				}
-				r.executed++
-				r.record(stage, &info, workCount, wi)
-				if info.Barrier {
-					atBarrier[wi] = true
-					break
-				}
-				if info.Done {
-					break
-				}
-			}
-			ranAny = true
-		}
-
-		allDone := true
-		allBlocked := true
-		anyExited := false
-		for wi, w := range warps {
-			if w.Done() {
-				anyExited = true
-				continue
-			}
-			allDone = false
-			if !atBarrier[wi] {
-				allBlocked = false
-			}
-		}
-		if allDone {
-			break
-		}
-		if allBlocked {
-			if anyExited {
-				// A warp exited while siblings wait at a barrier:
-				// undefined behaviour on hardware, a bug here.
-				return fmt.Errorf("barra: %q: warps wait at a barrier after others exited", l.Prog.Name)
-			}
-			// Barrier release: everyone advances to the next stage.
-			for wi := range atBarrier {
-				atBarrier[wi] = false
-			}
-			r.flushWork(stage, workCount)
-			stage++
-			barriers++
-			continue
-		}
-		if !ranAny {
-			return fmt.Errorf("barra: deadlock in %q: warps blocked at a barrier while others exited", l.Prog.Name)
+	barriers, results, err := ctx.execute(workers)
+	if err != nil {
+		return nil, err
+	}
+	for b := 1; b < l.Grid; b++ {
+		if barriers[b] != barriers[0] {
+			return nil, fmt.Errorf("barra: block %d passed %d barriers, block 0 passed %d — irregular staging",
+				b, barriers[b], barriers[0])
 		}
 	}
-	r.flushWork(stage, workCount)
-	if blockID == 0 {
-		r.stats.Barriers = barriers
-	} else if barriers != r.stats.Barriers {
-		return fmt.Errorf("barra: block %d passed %d barriers, block 0 passed %d — irregular staging",
-			blockID, barriers, r.stats.Barriers)
-	}
-	return nil
-}
-
-// flushWork folds per-warp stage work counts into the stage stats
-// and clears them. A warp counts as working when it executed at
-// least half as many unskipped non-control instructions as the
-// busiest warp of its block — enough to exclude warps that only ran
-// the guard test and skip branch.
-func (r *runner) flushWork(stage int, workCount []int64) {
-	st := r.stage(stage)
-	var max int64
-	for _, c := range workCount {
-		if c > max {
-			max = c
-		}
-	}
-	threshold := (max + 1) / 2
-	for wi, c := range workCount {
-		if max > 0 && c >= threshold {
-			st.WarpsWithWork++
-		}
-		workCount[wi] = 0
-	}
-}
-
-func (r *runner) stage(i int) *StageStats {
-	for len(r.stats.Stages) <= i {
-		r.stats.Stages = append(r.stats.Stages, StageStats{})
-	}
-	return &r.stats.Stages[i]
-}
-
-func (r *runner) record(stage int, info *StepInfo, workCount []int64, wi int) {
-	st := r.stage(stage)
-	st.WarpInstrs++
-	st.ByClass[info.Class]++
-	op := info.In.Op
-	if op == isa.OpFMAD {
-		st.FMADs++
-	}
-	if info.ActiveCount > 0 && !isa.IsControl(op) && op != isa.OpNOP {
-		workCount[wi]++
-	}
-
-	if info.SmemOperand {
-		// Broadcast read of one shared word per half-warp: one
-		// conflict-free transaction per active half-warp.
-		st.SharedAccesses++
-		for half := 0; half < gpu.WarpSize/gpu.HalfWarp; half++ {
-			active := false
-			for lane := half * gpu.HalfWarp; lane < (half+1)*gpu.HalfWarp; lane++ {
-				if info.Active[lane] {
-					active = true
-					break
-				}
-			}
-			if active {
-				st.SharedTx++
-				st.SharedTxNoConflict++
-				st.SharedBytes += 4
+	// Deterministic join: fold every block back in ascending block
+	// order, whatever order the workers finished in.
+	for ci, c := range ctx.collectors {
+		for b := 0; b < l.Grid; b++ {
+			if err := c.Merge(b, results[b][ci], barriers[b]); err != nil {
+				return nil, err
 			}
 		}
 	}
-
-	switch {
-	case isa.IsShared(op):
-		st.SharedAccesses++
-		st.SharedBytes += int64(info.ActiveCount) * 4
-		for half := 0; half < gpu.WarpSize/gpu.HalfWarp; half++ {
-			var addrs []uint32
-			var buf [gpu.HalfWarp]uint32
-			n := 0
-			for lane := half * gpu.HalfWarp; lane < (half+1)*gpu.HalfWarp; lane++ {
-				if info.Active[lane] {
-					buf[n] = info.Addr[lane]
-					n++
-				}
-			}
-			if n == 0 {
-				continue
-			}
-			addrs = buf[:n]
-			st.SharedTx += int64(r.banks.Transactions(addrs))
-			st.SharedTxNoConflict++
-		}
-
-	case isa.IsGlobal(op):
-		st.GlobalUsefulBytes += int64(info.ActiveCount) * 4
-		for half := 0; half < gpu.WarpSize/gpu.HalfWarp; half++ {
-			var buf [gpu.HalfWarp]uint32
-			n := 0
-			for lane := half * gpu.HalfWarp; lane < (half+1)*gpu.HalfWarp; lane++ {
-				if info.Active[lane] {
-					buf[n] = info.Addr[lane]
-					n++
-				}
-			}
-			if n == 0 {
-				continue
-			}
-			if r.hook != nil {
-				r.hook(r.curBlock, op == isa.OpGLD, buf[:n])
-			}
-			r.recordGlobalHalf(st, buf[:n], info)
-		}
-	}
-}
-
-func (r *runner) recordGlobalHalf(st *StageStats, addrs []uint32, info *StepInfo) {
-	native := r.cfg.MinSegmentBytes
-	for _, seg := range r.segs {
-		txs := r.coal[seg].HalfWarp(addrs, 4)
-		var bytes int64
-		for _, tx := range txs {
-			bytes += int64(tx.Size)
-		}
-		t := r.stats.GlobalAt[seg]
-		t.Transactions += int64(len(txs))
-		t.Bytes += bytes
-		r.stats.GlobalAt[seg] = t
-		if seg == native {
-			st.Global.Transactions += int64(len(txs))
-			st.Global.Bytes += bytes
-		}
-		// Region attribution per transaction base address.
-		for _, tx := range txs {
-			if reg := r.regionOf(tx.Addr); reg != "" {
-				rt := r.stats.RegionTraffic[reg][seg]
-				rt.Transactions++
-				rt.Bytes += int64(tx.Size)
-				r.stats.RegionTraffic[reg][seg] = rt
-			}
-		}
-	}
-	for _, a := range addrs {
-		if reg := r.regionOf(a); reg != "" {
-			r.stats.RegionUseful[reg] += 4
-		}
-	}
-	_ = info
-}
-
-func (r *runner) regionOf(addr uint32) string {
-	for _, reg := range r.regions {
-		if addr >= reg.Lo && addr < reg.Hi {
-			return reg.Name
-		}
-	}
-	return ""
+	return sc.finish(), nil
 }

@@ -1,0 +1,294 @@
+package barra
+
+import (
+	"fmt"
+
+	"gpuperf/internal/isa"
+)
+
+// MemTraffic tallies global-memory traffic at one transaction
+// granularity.
+type MemTraffic struct {
+	// Transactions is the hardware transaction count.
+	Transactions int64
+	// Bytes is the total bytes moved.
+	Bytes int64
+}
+
+// StageStats aggregates dynamic statistics for one barrier-delimited
+// stage (accumulated across all blocks; stage k is the code between
+// the k-th and k+1-th barriers).
+type StageStats struct {
+	// WarpInstrs is the warp-level dynamic instruction count.
+	WarpInstrs int64
+	// ByClass splits WarpInstrs by cost class.
+	ByClass [isa.NumClasses]int64
+	// FMADs counts fused multiply-add instructions (the "actual
+	// computation" of the paper's density diagnostic).
+	FMADs int64
+	// SharedAccesses counts warp-level shared-memory instructions;
+	// SharedTx the serialized transactions after bank conflicts;
+	// SharedTxNoConflict the conflict-free ideal (one per active
+	// half-warp).
+	SharedAccesses     int64
+	SharedTx           int64
+	SharedTxNoConflict int64
+	// SharedBytes is useful shared traffic (4 B per active lane).
+	SharedBytes int64
+	// Global is traffic at the device's native granularity;
+	// GlobalUsefulBytes counts 4 B per active lane.
+	Global            MemTraffic
+	GlobalUsefulBytes int64
+	// WarpsWithWork is the number of warps (summed over blocks)
+	// that did substantial work in this stage: warps whose executed
+	// non-control, unskipped instruction count reaches at least half
+	// of the busiest warp's count in their block. Guard-test
+	// boilerplate (a compare plus a skipping branch) therefore does
+	// not count as work — this is the paper's per-step active-warp
+	// count for cyclic reduction (Fig. 6).
+	WarpsWithWork int64
+}
+
+// Stats is the dynamic-statistics output of a functional run: the
+// "info extractor" payload of paper Fig. 1. Sharded runs merge
+// per-block statistics in ascending block order, so Stats is
+// bit-identical for every Options.Parallelism setting.
+type Stats struct {
+	// Totals over all stages.
+	Total StageStats
+	// Stages in barrier order. Kernels without barriers have one.
+	Stages []StageStats
+	// Barriers is the number of barrier releases per block.
+	Barriers int
+	// GlobalAt tallies global traffic per transaction granularity
+	// (always includes the device's own).
+	GlobalAt map[int]MemTraffic
+	// RegionTraffic attributes global traffic per named region and
+	// granularity; RegionUseful counts useful bytes per region.
+	RegionTraffic map[string]map[int]MemTraffic
+	// RegionUseful is 4 B per active lane per region.
+	RegionUseful map[string]int64
+
+	// Launch echoes the launch geometry.
+	Grid, Block int
+}
+
+// InstructionDensity returns FMADs / total warp instructions — the
+// computational-density diagnostic (≈0.8 for Volkov matmul, ≈0.1
+// for cyclic reduction, per the paper).
+func (s *Stats) InstructionDensity() float64 {
+	if s.Total.WarpInstrs == 0 {
+		return 0
+	}
+	return float64(s.Total.FMADs) / float64(s.Total.WarpInstrs)
+}
+
+// CoalescingEfficiency returns useful / transferred global bytes.
+func (s *Stats) CoalescingEfficiency() float64 {
+	if s.Total.Global.Bytes == 0 {
+		return 1
+	}
+	return float64(s.Total.GlobalUsefulBytes) / float64(s.Total.Global.Bytes)
+}
+
+// BankConflictFactor returns SharedTx / SharedTxNoConflict (1.0 =
+// conflict-free).
+func (s *Stats) BankConflictFactor() float64 {
+	if s.Total.SharedTxNoConflict == 0 {
+		return 1
+	}
+	return float64(s.Total.SharedTx) / float64(s.Total.SharedTxNoConflict)
+}
+
+func accumulate(dst, src *StageStats) {
+	dst.WarpInstrs += src.WarpInstrs
+	for c := range dst.ByClass {
+		dst.ByClass[c] += src.ByClass[c]
+	}
+	dst.FMADs += src.FMADs
+	dst.SharedAccesses += src.SharedAccesses
+	dst.SharedTx += src.SharedTx
+	dst.SharedTxNoConflict += src.SharedTxNoConflict
+	dst.SharedBytes += src.SharedBytes
+	dst.Global.Transactions += src.Global.Transactions
+	dst.Global.Bytes += src.Global.Bytes
+	dst.GlobalUsefulBytes += src.GlobalUsefulBytes
+	dst.WarpsWithWork += src.WarpsWithWork
+}
+
+// statsCollector is the built-in Collector producing *Stats. Blocks
+// record into index-keyed slices (cheaper than maps in the hot loop);
+// Merge converts to the public map form.
+type statsCollector struct {
+	regions []Region
+	segs    []int // granularities, segs[0] native
+	stats   *Stats
+}
+
+func newStatsCollector(l Launch, regions []Region, segs []int) *statsCollector {
+	c := &statsCollector{
+		regions: regions,
+		segs:    segs,
+		stats: &Stats{
+			GlobalAt:      map[int]MemTraffic{},
+			RegionTraffic: map[string]map[int]MemTraffic{},
+			RegionUseful:  map[string]int64{},
+			Grid:          l.Grid,
+			Block:         l.Block,
+		},
+	}
+	for _, reg := range regions {
+		c.stats.RegionTraffic[reg.Name] = map[int]MemTraffic{}
+		c.stats.RegionUseful[reg.Name] = 0
+	}
+	return c
+}
+
+// blockStats is one block's shard of the statistics.
+type blockStats struct {
+	c             *statsCollector
+	stages        []StageStats
+	globalAt      []MemTraffic   // indexed like c.segs
+	regionTraffic [][]MemTraffic // [region][seg]
+	regionUseful  []int64        // [region]
+}
+
+func (c *statsCollector) Block(blockID int) BlockCollector {
+	bs := &blockStats{
+		c:            c,
+		globalAt:     make([]MemTraffic, len(c.segs)),
+		regionUseful: make([]int64, len(c.regions)),
+	}
+	if len(c.regions) > 0 {
+		bs.regionTraffic = make([][]MemTraffic, len(c.regions))
+		for i := range bs.regionTraffic {
+			bs.regionTraffic[i] = make([]MemTraffic, len(c.segs))
+		}
+	}
+	return bs
+}
+
+func (b *blockStats) stage(i int) *StageStats {
+	for len(b.stages) <= i {
+		b.stages = append(b.stages, StageStats{})
+	}
+	return &b.stages[i]
+}
+
+// regionOf returns the index in c.regions containing addr, or -1.
+func (c *statsCollector) regionOf(addr uint32) int {
+	for i, reg := range c.regions {
+		if addr >= reg.Lo && addr < reg.Hi {
+			return i
+		}
+	}
+	return -1
+}
+
+func (b *blockStats) Step(stage int, tr *StepTrace) {
+	st := b.stage(stage)
+	info := tr.Info
+	st.WarpInstrs++
+	st.ByClass[info.Class]++
+	if info.In.Op == isa.OpFMAD {
+		st.FMADs++
+	}
+	st.SharedAccesses += tr.SharedAccesses
+	st.SharedTx += tr.SharedTx
+	st.SharedTxNoConflict += tr.SharedTxIdeal
+	st.SharedBytes += tr.SharedBytes
+
+	if len(tr.Global) == 0 {
+		return
+	}
+	st.GlobalUsefulBytes += int64(info.ActiveCount) * 4
+	for i := range tr.Global {
+		hw := &tr.Global[i]
+		for si, txs := range hw.Tx {
+			var bytes int64
+			for _, tx := range txs {
+				bytes += int64(tx.Size)
+			}
+			b.globalAt[si].Transactions += int64(len(txs))
+			b.globalAt[si].Bytes += bytes
+			if si == 0 { // native granularity
+				st.Global.Transactions += int64(len(txs))
+				st.Global.Bytes += bytes
+			}
+			// Region attribution per transaction base address.
+			for _, tx := range txs {
+				if ri := b.c.regionOf(tx.Addr); ri >= 0 {
+					b.regionTraffic[ri][si].Transactions++
+					b.regionTraffic[ri][si].Bytes += int64(tx.Size)
+				}
+			}
+		}
+		for _, a := range hw.Addrs {
+			if ri := b.c.regionOf(a); ri >= 0 {
+				b.regionUseful[ri] += 4
+			}
+		}
+	}
+}
+
+// StageEnd folds the block's per-warp stage work counts into the
+// stage stats. A warp counts as working when it executed at least
+// half as many unskipped non-control instructions as the busiest warp
+// of its block — enough to exclude warps that only ran the guard test
+// and skip branch.
+func (b *blockStats) StageEnd(stage int, workCount []int64) {
+	st := b.stage(stage)
+	var max int64
+	for _, c := range workCount {
+		if c > max {
+			max = c
+		}
+	}
+	threshold := (max + 1) / 2
+	for _, c := range workCount {
+		if max > 0 && c >= threshold {
+			st.WarpsWithWork++
+		}
+	}
+}
+
+func (c *statsCollector) Merge(blockID int, bc BlockCollector, barriers int) error {
+	bs, ok := bc.(*blockStats)
+	if !ok {
+		return fmt.Errorf("barra: foreign BlockCollector %T merged into statsCollector", bc)
+	}
+	s := c.stats
+	if blockID == 0 {
+		s.Barriers = barriers
+	}
+	for i := range bs.stages {
+		for len(s.Stages) <= i {
+			s.Stages = append(s.Stages, StageStats{})
+		}
+		accumulate(&s.Stages[i], &bs.stages[i])
+	}
+	for si, seg := range c.segs {
+		t := s.GlobalAt[seg]
+		t.Transactions += bs.globalAt[si].Transactions
+		t.Bytes += bs.globalAt[si].Bytes
+		s.GlobalAt[seg] = t
+	}
+	for ri, reg := range c.regions {
+		for si, seg := range c.segs {
+			rt := s.RegionTraffic[reg.Name][seg]
+			rt.Transactions += bs.regionTraffic[ri][si].Transactions
+			rt.Bytes += bs.regionTraffic[ri][si].Bytes
+			s.RegionTraffic[reg.Name][seg] = rt
+		}
+		s.RegionUseful[reg.Name] += bs.regionUseful[ri]
+	}
+	return nil
+}
+
+// finish computes the run totals after all blocks have merged.
+func (c *statsCollector) finish() *Stats {
+	for i := range c.stats.Stages {
+		accumulate(&c.stats.Total, &c.stats.Stages[i])
+	}
+	return c.stats
+}

@@ -111,6 +111,24 @@ func NewWarp(prog *isa.Program, blockID, warpID, blockDim, gridDim, lanes int, s
 	return w, nil
 }
 
+// Reset rebinds the warp to a new block without reallocating: it
+// clears registers, predicates and divergence state and restarts at
+// PC 0. The lane-existence mask, geometry and memory bindings are
+// unchanged — the worker pool reuses one set of warp contexts across
+// every block it executes (the caller zeroes the shared-memory arena
+// between blocks).
+func (w *Warp) Reset(blockID int) {
+	w.blockID = blockID
+	w.done = false
+	clear(w.regs)
+	for p := range w.preds {
+		w.preds[p] = [gpu.WarpSize]bool{}
+	}
+	w.splits = w.splits[:1]
+	w.splits[0] = split{mask: w.exists, pc: 0}
+	w.smemOpVal = 0
+}
+
 // Diverged reports whether the warp currently executes on more than
 // one SIMT path.
 func (w *Warp) Diverged() bool { return len(w.splits) > 1 }
@@ -401,7 +419,7 @@ func (w *Warp) execLane(in *isa.Instruction, lane int, info *StepInfo) error {
 	case isa.OpGLD:
 		addr := a + in.Imm
 		info.Addr[lane] = addr
-		v, err := w.global.Load32(addr)
+		v, err := w.global.load32(addr, w.blockID)
 		if err != nil {
 			return err
 		}
@@ -409,7 +427,7 @@ func (w *Warp) execLane(in *isa.Instruction, lane int, info *StepInfo) error {
 	case isa.OpGST:
 		addr := a + in.Imm
 		info.Addr[lane] = addr
-		if err := w.global.Store32(addr, b); err != nil {
+		if err := w.global.store32(addr, b, w.blockID); err != nil {
 			return err
 		}
 	case isa.OpSLD:

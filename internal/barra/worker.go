@@ -1,0 +1,375 @@
+package barra
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gpuperf/internal/bank"
+	"gpuperf/internal/coalesce"
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/isa"
+)
+
+// warpHalves is the number of half-warps per warp.
+const warpHalves = gpu.WarpSize / gpu.HalfWarp
+
+// budgetBatch is the instruction-budget reservation a worker takes
+// from the shared pool at a time: large enough that the atomic
+// compare-and-swap stays off the per-instruction path, small enough
+// that a runaway kernel is caught within workers×budgetBatch
+// instructions of the configured limit.
+const budgetBatch = 8192
+
+// runContext is the immutable state of one Run, shared read-only by
+// every worker: launch, device, simulators (bank and coalesce are
+// stateless), collectors, and the two pieces of cross-worker
+// coordination — the block cursor and the shared instruction budget.
+type runContext struct {
+	cfg        gpu.Config
+	launch     Launch
+	mem        *Memory
+	banks      *bank.Sim
+	coal       []*coalesce.Sim // parallel to segs
+	segs       []int           // granularities; segs[0] is the device's native
+	collectors []Collector
+
+	hook     func(blockID int, load bool, addrs []uint32)
+	dispatch *hookDispatcher // non-nil iff hook set and >1 worker
+
+	// maxInstr is the per-run warp-instruction budget
+	// (Options.MaxWarpInstructions); budget counts the unreserved
+	// remainder, drawn down by workers in budgetBatch chunks.
+	maxInstr int64
+	budget   atomic.Int64
+
+	// nextBlock hands out block IDs; failed aborts the other workers
+	// once one has errored.
+	nextBlock atomic.Int64
+	failed    atomic.Bool
+}
+
+// reserveBudget draws up to budgetBatch instructions from the shared
+// pool, returning 0 when the run's budget is exhausted.
+func (ctx *runContext) reserveBudget() int64 {
+	for {
+		rem := ctx.budget.Load()
+		if rem <= 0 {
+			return 0
+		}
+		n := rem
+		if n > budgetBatch {
+			n = budgetBatch
+		}
+		if ctx.budget.CompareAndSwap(rem, rem-n) {
+			return n
+		}
+	}
+}
+
+// errCancelled marks a worker stopped because a sibling failed first;
+// the sibling's error is the one reported.
+var errCancelled = fmt.Errorf("barra: run cancelled by another worker's failure")
+
+// worker executes blocks one at a time on its own goroutine. All of
+// its state — shared-memory arena, warp contexts, scheduling scratch,
+// the StepTrace handed to collectors — is reused from block to block,
+// so steady-state execution allocates only the per-block
+// BlockCollectors.
+type worker struct {
+	ctx *runContext
+
+	shared    []byte  // shared-memory arena, zeroed per block
+	warps     []*Warp // reused via Reset
+	atBarrier []bool
+	workCount []int64
+
+	info  StepInfo
+	trace StepTrace
+	// addrBuf gathers active-lane addresses per half-warp; txScratch
+	// backs the per-granularity transaction lists of trace.Global.
+	addrBuf   [warpHalves][gpu.HalfWarp]uint32
+	txScratch [warpHalves][][]coalesce.Transaction
+
+	curBlock int      // block in flight
+	avail    int64    // unspent instruction-budget reservation
+	log      *hookLog // per-block hook journal (nil when hook inline/absent)
+
+	bcs []BlockCollector // collectors of the block in flight
+}
+
+// initBlock (re)binds the worker's scratch state to blockID.
+func (w *worker) initBlock(blockID int) error {
+	w.curBlock = blockID
+	l := w.ctx.launch
+	nw := l.WarpsPerBlock()
+	if w.shared == nil {
+		w.shared = make([]byte, l.Prog.SharedMemBytes)
+		w.warps = make([]*Warp, nw)
+		for wi := 0; wi < nw; wi++ {
+			lanes := l.Block - wi*gpu.WarpSize
+			if lanes > gpu.WarpSize {
+				lanes = gpu.WarpSize
+			}
+			warp, err := NewWarp(l.Prog, blockID, wi, l.Block, l.Grid, lanes, w.shared, w.ctx.mem)
+			if err != nil {
+				return err
+			}
+			w.warps[wi] = warp
+		}
+		w.atBarrier = make([]bool, nw)
+		w.workCount = make([]int64, nw)
+	} else {
+		clear(w.shared)
+		for _, warp := range w.warps {
+			warp.Reset(blockID)
+		}
+		clear(w.atBarrier)
+		clear(w.workCount)
+	}
+	w.bcs = w.bcs[:0]
+	for _, c := range w.ctx.collectors {
+		w.bcs = append(w.bcs, c.Block(blockID))
+	}
+	if w.ctx.hook != nil && w.ctx.dispatch != nil {
+		w.log = &hookLog{blockID: blockID}
+	}
+	return nil
+}
+
+// runBlock executes one block to completion and returns its barrier
+// count plus the finished per-collector block sinks.
+func (w *worker) runBlock(blockID int) (int, []BlockCollector, error) {
+	if err := w.initBlock(blockID); err != nil {
+		return 0, nil, err
+	}
+	l := w.ctx.launch
+
+	stage := 0
+	barriers := 0
+	for {
+		ranAny := false
+		for wi, warp := range w.warps {
+			if warp.Done() || w.atBarrier[wi] {
+				continue
+			}
+			// Run this warp until it blocks.
+			for {
+				if w.avail == 0 {
+					if w.ctx.failed.Load() {
+						return 0, nil, errCancelled
+					}
+					w.avail = w.ctx.reserveBudget()
+					if w.avail == 0 {
+						return 0, nil, fmt.Errorf("barra: instruction budget exhausted (%d warp instructions across the run) — runaway kernel %q?",
+							w.ctx.maxInstr, l.Prog.Name)
+					}
+				}
+				if err := warp.Step(&w.info); err != nil {
+					return 0, nil, err
+				}
+				w.avail--
+				w.record(stage, wi)
+				if w.info.Barrier {
+					w.atBarrier[wi] = true
+					break
+				}
+				if w.info.Done {
+					break
+				}
+			}
+			ranAny = true
+		}
+
+		allDone := true
+		allBlocked := true
+		anyExited := false
+		for wi, warp := range w.warps {
+			if warp.Done() {
+				anyExited = true
+				continue
+			}
+			allDone = false
+			if !w.atBarrier[wi] {
+				allBlocked = false
+			}
+		}
+		if allDone {
+			break
+		}
+		if allBlocked {
+			if anyExited {
+				// A warp exited while siblings wait at a barrier:
+				// undefined behaviour on hardware, a bug here.
+				return 0, nil, fmt.Errorf("barra: %q: warps wait at a barrier after others exited", l.Prog.Name)
+			}
+			// Barrier release: everyone advances to the next stage.
+			clear(w.atBarrier)
+			w.stageEnd(stage)
+			stage++
+			barriers++
+			continue
+		}
+		if !ranAny {
+			return 0, nil, fmt.Errorf("barra: deadlock in %q: warps blocked at a barrier while others exited", l.Prog.Name)
+		}
+	}
+	w.stageEnd(stage)
+
+	bcs := make([]BlockCollector, len(w.bcs))
+	copy(bcs, w.bcs)
+	if w.log != nil {
+		w.ctx.dispatch.submit(w.log)
+		w.log = nil
+	}
+	return barriers, bcs, nil
+}
+
+// stageEnd closes a stage for every collector and resets the per-warp
+// work counters.
+func (w *worker) stageEnd(stage int) {
+	for _, bc := range w.bcs {
+		bc.StageEnd(stage, w.workCount)
+	}
+	clear(w.workCount)
+}
+
+// record derives the memory-system outcome of the step just executed
+// (bank conflicts, coalesced transactions at every granularity) into
+// the worker's StepTrace scratch and feeds it to the block's
+// collectors.
+func (w *worker) record(stage, wi int) {
+	info := &w.info
+	tr := &w.trace
+	tr.Info = info
+	tr.SharedAccesses, tr.SharedTx, tr.SharedTxIdeal, tr.SharedBytes = 0, 0, 0, 0
+	tr.Global = tr.Global[:0]
+
+	op := info.In.Op
+	if info.ActiveCount > 0 && !isa.IsControl(op) && op != isa.OpNOP {
+		w.workCount[wi]++
+	}
+
+	if info.SmemOperand {
+		// Broadcast read of one shared word per half-warp: one
+		// conflict-free transaction per active half-warp.
+		tr.SharedAccesses++
+		for half := 0; half < warpHalves; half++ {
+			active := false
+			for lane := half * gpu.HalfWarp; lane < (half+1)*gpu.HalfWarp; lane++ {
+				if info.Active[lane] {
+					active = true
+					break
+				}
+			}
+			if active {
+				tr.SharedTx++
+				tr.SharedTxIdeal++
+				tr.SharedBytes += 4
+			}
+		}
+	}
+
+	switch {
+	case isa.IsShared(op):
+		tr.SharedAccesses++
+		tr.SharedBytes += int64(info.ActiveCount) * 4
+		for half := 0; half < warpHalves; half++ {
+			addrs := w.gatherHalf(half)
+			if len(addrs) == 0 {
+				continue
+			}
+			tr.SharedTx += int64(w.ctx.banks.Transactions(addrs))
+			tr.SharedTxIdeal++
+		}
+
+	case isa.IsGlobal(op):
+		for half := 0; half < warpHalves; half++ {
+			addrs := w.gatherHalf(half)
+			if len(addrs) == 0 {
+				continue
+			}
+			switch {
+			case w.log != nil:
+				w.log.add(op == isa.OpGLD, addrs)
+			case w.ctx.hook != nil:
+				w.ctx.hook(w.curBlock, op == isa.OpGLD, addrs)
+			}
+			txs := w.txScratch[half][:0]
+			for _, c := range w.ctx.coal {
+				txs = append(txs, c.HalfWarp(addrs, 4))
+			}
+			w.txScratch[half] = txs
+			tr.Global = append(tr.Global, GlobalHalfWarp{Addrs: addrs, Tx: txs})
+		}
+	}
+
+	for _, bc := range w.bcs {
+		bc.Step(stage, tr)
+	}
+}
+
+// gatherHalf collects the active lanes' addresses of one half-warp
+// into the worker's scratch buffer.
+func (w *worker) gatherHalf(half int) []uint32 {
+	n := 0
+	for lane := half * gpu.HalfWarp; lane < (half+1)*gpu.HalfWarp; lane++ {
+		if w.info.Active[lane] {
+			w.addrBuf[half][n] = w.info.Addr[lane]
+			n++
+		}
+	}
+	return w.addrBuf[half][:n]
+}
+
+// execute shards the grid across the given number of workers and
+// returns each block's barrier count and finished collectors, indexed
+// by block ID.
+func (ctx *runContext) execute(workers int) ([]int, [][]BlockCollector, error) {
+	grid := ctx.launch.Grid
+	barriers := make([]int, grid)
+	results := make([][]BlockCollector, grid)
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		if err != errCancelled {
+			errOnce.Do(func() { firstErr = err })
+		}
+		ctx.failed.Store(true)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &worker{ctx: ctx}
+			for {
+				b := int(ctx.nextBlock.Add(1)) - 1
+				if b >= grid || ctx.failed.Load() {
+					return
+				}
+				nb, bcs, err := w.runBlock(b)
+				if err != nil {
+					fail(err)
+					return
+				}
+				barriers[b] = nb
+				results[b] = bcs
+			}
+		}()
+	}
+	wg.Wait()
+	if ctx.dispatch != nil {
+		ctx.dispatch.close()
+	}
+	if ctx.failed.Load() {
+		if firstErr == nil {
+			firstErr = errCancelled
+		}
+		return nil, nil, firstErr
+	}
+	return barriers, results, nil
+}

@@ -31,7 +31,7 @@ func (s *Suite) crRun(nbc, forwardOnly bool) (*kernels.CR, barra.Launch, *barra.
 	if err != nil {
 		return nil, barra.Launch{}, nil, nil, err
 	}
-	stats, err := barra.Run(s.Cfg, solver.Launch(), mem, nil)
+	stats, err := barra.Run(s.Cfg, solver.Launch(), mem, s.runOptions())
 	if err != nil {
 		return nil, barra.Launch{}, nil, nil, err
 	}

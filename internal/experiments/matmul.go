@@ -61,7 +61,7 @@ func (s *Suite) matmulRun(tile int) (*kernels.Matmul, barra.Launch, *barra.Stats
 	if err != nil {
 		return nil, barra.Launch{}, nil, nil, err
 	}
-	stats, err := barra.Run(s.ChipSlice(), mm.Launch(), mem, nil)
+	stats, err := barra.Run(s.ChipSlice(), mm.Launch(), mem, s.runOptions())
 	if err != nil {
 		return nil, barra.Launch{}, nil, nil, err
 	}

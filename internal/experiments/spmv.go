@@ -45,6 +45,7 @@ func (s *Suite) spmvRun(kind kernels.SpMVKind, m *sparse.Blocked, x []float32, o
 		opt = &barra.Options{}
 	}
 	opt.Regions = sp.Regions()
+	opt.Parallelism = s.Parallelism
 	st, err := barra.Run(s.ChipSlice(), sp.Launch(), mem, opt)
 	if err != nil {
 		return nil, nil, err
@@ -158,7 +159,8 @@ func (s *Suite) Figure12() (*Table, error) {
 			var tc *texcache.Cache
 			lastBlock := -1
 			var hookErr error
-			opt := &barra.Options{Regions: sp.Regions()}
+			opt := s.runOptions()
+			opt.Regions = sp.Regions()
 			if cache {
 				tc, err = texcache.New(texcache.Default())
 				if err != nil {

@@ -56,8 +56,9 @@ func (s *Suite) ExtensionMatrixStructures() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, err := barra.Run(s.ChipSlice(), sp.Launch(), mem,
-				&barra.Options{Regions: sp.Regions()})
+			opt := s.runOptions()
+			opt.Regions = sp.Regions()
+			st, err := barra.Run(s.ChipSlice(), sp.Launch(), mem, opt)
 			if err != nil {
 				return nil, err
 			}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"gpuperf/internal/barra"
 	"gpuperf/internal/gpu"
 	"gpuperf/internal/timing"
 )
@@ -31,6 +32,10 @@ const (
 type Suite struct {
 	Cfg   gpu.Config
 	Scale Scale
+	// Parallelism is passed to every functional (barra) run: worker
+	// goroutines per launch (0 = all host cores, 1 = serial). Results
+	// are bit-identical at any setting.
+	Parallelism int
 
 	calOnce sync.Once
 	cal     *timing.Calibration
@@ -80,6 +85,12 @@ func (s *Suite) SliceCalibration() (*timing.Calibration, error) {
 		s.mmCal, s.mmErr = timing.Calibrate(s.ChipSlice())
 	})
 	return s.mmCal, s.mmErr
+}
+
+// runOptions returns a fresh barra.Options carrying the suite's
+// parallelism; experiments layer their own knobs on top.
+func (s *Suite) runOptions() *barra.Options {
+	return &barra.Options{Parallelism: s.Parallelism}
 }
 
 // pick returns small for Small scale, large otherwise.

@@ -365,7 +365,9 @@ func (e *Estimate) Report() string {
 
 // Predict is a convenience wrapper: run barra, then Analyze — the
 // full Fig. 1 workflow in one call. The memory is consumed by the
-// functional run.
+// functional run. opt.Parallelism shards the functional run across
+// host cores (the statistics are bit-identical at any setting); the
+// remaining options thread through to barra.Run unchanged.
 func Predict(cal *timing.Calibration, l barra.Launch, mem *barra.Memory, opt *barra.Options) (*Estimate, *barra.Stats, error) {
 	stats, err := barra.Run(cal.Config(), l, mem, opt)
 	if err != nil {
