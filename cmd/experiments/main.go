@@ -5,6 +5,7 @@
 // Usage:
 //
 //	experiments [-large] [-only substring] [-p workers]
+//	            [-cpuprofile file] [-memprofile file]
 //
 // -large runs paper-scale workloads (minutes); the default small
 // scale finishes in under a minute. -only filters experiments by
@@ -20,13 +21,22 @@ import (
 	"strings"
 
 	"gpuperf/internal/experiments"
+	"gpuperf/internal/prof"
 )
 
 func main() {
 	large := flag.Bool("large", false, "run paper-scale workloads")
 	only := flag.String("only", "", "run only experiments whose title contains this substring")
 	parallel := flag.Int("p", 0, "functional-simulation worker goroutines (0 = all cores, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 
 	scale := experiments.Small
 	if *large {
@@ -36,6 +46,9 @@ func main() {
 	suite.Parallelism = *parallel
 
 	tables, err := suite.All()
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
 	// Print whatever completed even on error.
 	for _, tb := range tables {
 		if *only != "" && !strings.Contains(strings.ToLower(tb.Title), strings.ToLower(*only)) {

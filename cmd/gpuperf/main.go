@@ -9,6 +9,7 @@
 //	gpuperf -kernel matmul16 | matmul8 | matmul32 | cr | cr-nbc |
 //	        spmv-ell | spmv-bell-im | spmv-bell-imiv
 //	        [-disasm] [-n size] [-p workers]
+//	        [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"gpuperf/internal/gpu"
 	"gpuperf/internal/kernels"
 	"gpuperf/internal/model"
+	"gpuperf/internal/prof"
 	"gpuperf/internal/sparse"
 	"gpuperf/internal/timing"
 	"gpuperf/internal/tridiag"
@@ -34,10 +36,21 @@ func main() {
 	n := flag.Int("n", 0, "problem size override (matrix dim / systems / block rows)")
 	calFile := flag.String("cal", "", "calibration cache file (loaded if present, written after calibrating)")
 	parallel := flag.Int("p", 0, "functional-simulation worker goroutines (0 = all cores, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
 
-	if err := run(*kernel, *disasm, *n, *calFile, *parallel); err != nil {
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpuperf: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(*kernel, *disasm, *n, *calFile, *parallel)
+	if err := stopProf(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "gpuperf: %v\n", runErr)
 		os.Exit(1)
 	}
 }

@@ -49,12 +49,69 @@ func (s *Sim) Banks() int { return s.banks }
 // serialize. The result is the maximum, over banks, of the distinct
 // word count — 1 for conflict-free, k for a k-way conflict, 0 for no
 // active lanes.
+//
+// The half-warp path (≤16 addresses — every call the execution
+// engine makes) runs on fixed-size stack arrays and allocates
+// nothing; it is safe for concurrent use from many workers.
 func (s *Sim) Transactions(addrs []uint32) int {
 	if len(addrs) == 0 {
 		return 0
 	}
-	// Count distinct words per bank. Half-warps are at most 16
-	// lanes, so a small slice of slices beats maps.
+	if len(addrs) <= gpu.HalfWarp {
+		return s.transactionsHalfWarp(addrs)
+	}
+	return s.transactionsLarge(addrs)
+}
+
+// transactionsHalfWarp is the allocation-free conflict count for up
+// to 16 lanes: dedup the words into a fixed array, then take the
+// densest bank by an O(n²) scan — at n ≤ 16 that is at most 256
+// compares on registers, far cheaper than building per-bank tables.
+func (s *Sim) transactionsHalfWarp(addrs []uint32) int {
+	var words [gpu.HalfWarp]uint32
+	n := 0
+outer:
+	for _, a := range addrs {
+		w := a / uint32(s.wordBytes)
+		for i := 0; i < n; i++ {
+			if words[i] == w {
+				continue outer
+			}
+		}
+		words[n] = w
+		n++
+	}
+	var bankOf [gpu.HalfWarp]uint32
+	for i := 0; i < n; i++ {
+		bankOf[i] = words[i] % uint32(s.banks)
+	}
+	maxWords := 0
+	for i := 0; i < n; i++ {
+		c := 1
+		for j := 0; j < i; j++ {
+			if bankOf[j] == bankOf[i] {
+				c = 0 // bank already counted at its first word
+				break
+			}
+		}
+		if c == 0 {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if bankOf[j] == bankOf[i] {
+				c++
+			}
+		}
+		if c > maxWords {
+			maxWords = c
+		}
+	}
+	return maxWords
+}
+
+// transactionsLarge handles arbitrary address counts (synthetic
+// sweeps beyond half-warp width) with per-bank tables.
+func (s *Sim) transactionsLarge(addrs []uint32) int {
 	perBank := make([][]uint32, s.banks)
 	maxWords := 0
 	for _, a := range addrs {

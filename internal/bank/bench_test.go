@@ -1,0 +1,45 @@
+package bank
+
+// Microbenchmarks for the bank-conflict simulator's half-warp path:
+//
+//	go test -run - -bench BenchmarkBankTransactions -benchmem ./internal/bank/
+//
+// The engine calls Transactions once per active half-warp of every
+// shared-memory instruction, so this is a first-order term of
+// functional-simulation throughput.
+
+import "testing"
+
+var sinkTx int
+
+func benchAddrs(stride int) []uint32 {
+	addrs := make([]uint32, 16)
+	for i := range addrs {
+		addrs[i] = uint32(i * stride * 4)
+	}
+	return addrs
+}
+
+func BenchmarkBankTransactions(b *testing.B) {
+	s, err := New(16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		addrs []uint32
+	}{
+		{"conflict-free", benchAddrs(1)},
+		{"broadcast", benchAddrs(0)},
+		{"4way", benchAddrs(4)},
+		{"16way", benchAddrs(16)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkTx += s.Transactions(c.addrs)
+			}
+		})
+	}
+}

@@ -1,0 +1,139 @@
+package barra
+
+// Allocation-regression tests: steady-state block execution — the
+// per-instruction data path through Warp.Step, the bank and coalesce
+// simulators, half-warp gathering and stats collection — must not
+// allocate. A future PR that reintroduces hot-path garbage (a fresh
+// slice per access, a copied instruction per step) fails here long
+// before it shows up on a profile.
+
+import (
+	"testing"
+
+	"gpuperf/internal/bank"
+	"gpuperf/internal/coalesce"
+	"gpuperf/internal/isa"
+	"gpuperf/internal/kbuild"
+)
+
+// allocProbeKernel touches every hot path: ALU work, a divergent
+// forward branch, shared stores/loads (with bank conflicts via the
+// ×2 stride), a shared ALU operand, a barrier, and strided global
+// loads/stores (imperfect coalescing).
+func allocProbeKernel() *isa.Program {
+	b := kbuild.New("alloc-probe")
+	b.SharedBytes(4096)
+	tid, flat, ntid, cta := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	saddr, v, gaddr, acc := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.S2R(tid, isa.SRTid)
+	b.S2R(ntid, isa.SRNtid)
+	b.S2R(cta, isa.SRCtaid)
+	b.IMad(flat, cta, ntid, tid)
+
+	// Divergent forward branch: odd lanes skip one add.
+	b.AndImm(v, tid, 1)
+	b.ISetpImm(isa.P0, isa.CmpNE, v, 0)
+	br := b.BraIf(isa.P0, false)
+	b.IAddImm(tid, tid, 0) // fall-through work for even lanes
+	b.SetTarget(br, b.Pos())
+
+	// Shared store/load at a conflicted ×2 word stride.
+	b.ShlImm(saddr, tid, 3)
+	b.Sst(saddr, tid)
+	b.Bar()
+	b.Sld(v, saddr)
+
+	// Shared ALU operand (broadcast read of s[0]).
+	b.FMadS(acc, v, 0, v)
+
+	// Global round trip at a 2-word lane stride: two 128 B segments
+	// per half-warp, so the coalescer forms multiple transactions.
+	b.ShlImm(gaddr, flat, 3)
+	b.Gld(acc, gaddr)
+	b.Gst(gaddr, v)
+	b.Exit()
+	return b.MustProgram()
+}
+
+// newAllocCtx assembles a runContext the way Run does, with the
+// given collectors.
+func newAllocCtx(t testing.TB, collectors ...Collector) (*runContext, Launch) {
+	t.Helper()
+	c := cfg()
+	prog := allocProbeKernel()
+	l := Launch{Prog: prog, Grid: 4, Block: 128}
+	if err := l.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	bsim, err := bank.ForGPU(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csim, err := coalesce.ForGPU(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &runContext{
+		cfg:        c,
+		launch:     l,
+		mem:        NewMemory(1 << 20),
+		banks:      bsim,
+		coal:       []*coalesce.Sim{csim},
+		segs:       []int{c.MinSegmentBytes},
+		collectors: collectors,
+		maxInstr:   1 << 40,
+	}
+	ctx.budget.Store(ctx.maxInstr)
+	return ctx, l
+}
+
+// TestSteadyStateZeroAllocs: with no collectors attached, re-running
+// a block on a warmed worker performs zero heap allocations — the
+// engine's per-instruction path (step, masks, bank conflicts,
+// coalescing, hookless recording) is allocation-free.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	ctx, _ := newAllocCtx(t)
+	w := &worker{ctx: ctx}
+	if _, _, err := w.runBlock(0); err != nil { // warm-up: builds arenas
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, _, err := w.runBlock(0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state block execution allocates %.1f times per block; want 0", avg)
+	}
+}
+
+// TestSteadyStateCollectorAllocs: with the built-in stats collector
+// attached and its per-block sink recycled through Merge (as Run's
+// steady state across launches does via the pool), execution stays
+// allocation-free up to pool jitter.
+func TestSteadyStateCollectorAllocs(t *testing.T) {
+	sc := newStatsCollector(Launch{Grid: 4, Block: 128}, nil, []int{32})
+	ctx, _ := newAllocCtx(t, sc)
+	w := &worker{ctx: ctx}
+	nb, bcs, err := w.runBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Merge(0, bcs[0], nb); err != nil { // seeds the sink pool
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		nb, bcs, err := w.runBlock(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Merge(0, bcs[0], nb); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// sync.Pool may shed its cache across a GC cycle; allow one stray
+	// refill but nothing per-step.
+	if avg > 1 {
+		t.Fatalf("steady-state execution with pooled stats sink allocates %.1f times per block; want ~0", avg)
+	}
+}

@@ -33,7 +33,9 @@ type GlobalHalfWarp struct {
 	Addrs []uint32
 	// Tx[i] are the hardware transactions formed at the i-th
 	// granularity of the run's segment list (Segments()); index 0 is
-	// always the device's native granularity.
+	// always the device's native granularity. Like Addrs, both slice
+	// levels are worker-owned scratch refilled on the next step —
+	// collectors that need to retain them must copy.
 	Tx [][]coalesce.Transaction
 }
 

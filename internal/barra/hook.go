@@ -1,5 +1,7 @@
 package barra
 
+import "sync"
+
 // Parallel workers cannot invoke Options.GlobalAccessHook directly:
 // cache-replay experiments (paper Fig. 12) depend on observing blocks
 // in launch order, one at a time. Instead each worker journals its
@@ -16,11 +18,29 @@ type hookEvent struct {
 	n    int32
 }
 
-// hookLog journals one block's global accesses.
+// hookLog journals one block's global accesses. Logs are pooled: the
+// dispatcher returns each replayed log to hookLogPool, so a worker's
+// next block reuses the grown event/address arenas instead of
+// reallocating them.
 type hookLog struct {
 	blockID int
 	events  []hookEvent
 	addrs   []uint32
+}
+
+var hookLogPool sync.Pool
+
+// newHookLog takes a log from the pool (or allocates the first time)
+// and rebinds it to blockID with emptied, capacity-preserving arenas.
+func newHookLog(blockID int) *hookLog {
+	l, _ := hookLogPool.Get().(*hookLog)
+	if l == nil {
+		l = &hookLog{}
+	}
+	l.blockID = blockID
+	l.events = l.events[:0]
+	l.addrs = l.addrs[:0]
+	return l
 }
 
 func (l *hookLog) add(load bool, addrs []uint32) {
@@ -67,11 +87,15 @@ func (d *hookDispatcher) run() {
 			}
 			delete(pending, next)
 			l.replay(d.hook)
+			hookLogPool.Put(l)
 			next++
 		}
 	}
 	// Aborted runs leave gaps; drop the stragglers rather than replay
-	// them out of order.
+	// them out of order (their buffers still go back to the pool).
+	for _, l := range pending {
+		hookLogPool.Put(l)
+	}
 }
 
 // submit hands one finished block's log to the dispatcher.

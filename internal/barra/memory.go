@@ -144,48 +144,65 @@ func (m *Memory) Float32(addr uint32) (float32, error) {
 	return math.Float32frombits(v), err
 }
 
+// checkRange validates one bulk access of n 32-bit words at base, so
+// the per-word loops below run check-free. Multi-MB experiment inputs
+// are staged through these paths; one range check for the whole
+// transfer keeps setup off the profile.
+func (m *Memory) checkRange(base uint32, n int) error {
+	if n < 0 {
+		return fmt.Errorf("barra: negative bulk length %d", n)
+	}
+	if base%4 != 0 {
+		return fmt.Errorf("barra: unaligned access at %#x", base)
+	}
+	if end := int64(base) + 4*int64(n); end > int64(len(m.b)) {
+		return fmt.Errorf("barra: bulk access [%#x,%#x) beyond memory size %#x", base, end, len(m.b))
+	}
+	return nil
+}
+
 // WriteFloats bulk-stores a float slice starting at base.
 func (m *Memory) WriteFloats(base uint32, fs []float32) error {
+	if err := m.checkRange(base, len(fs)); err != nil {
+		return err
+	}
 	for i, f := range fs {
-		if err := m.SetFloat32(base+uint32(4*i), f); err != nil {
-			return err
-		}
+		binary.LittleEndian.PutUint32(m.b[base+uint32(4*i):], math.Float32bits(f))
 	}
 	return nil
 }
 
 // ReadFloats bulk-loads n floats starting at base.
 func (m *Memory) ReadFloats(base uint32, n int) ([]float32, error) {
+	if err := m.checkRange(base, n); err != nil {
+		return nil, err
+	}
 	out := make([]float32, n)
 	for i := range out {
-		f, err := m.Float32(base + uint32(4*i))
-		if err != nil {
-			return nil, err
-		}
-		out[i] = f
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(m.b[base+uint32(4*i):]))
 	}
 	return out, nil
 }
 
 // WriteWords bulk-stores a word slice starting at base.
 func (m *Memory) WriteWords(base uint32, ws []uint32) error {
+	if err := m.checkRange(base, len(ws)); err != nil {
+		return err
+	}
 	for i, w := range ws {
-		if err := m.Store32(base+uint32(4*i), w); err != nil {
-			return err
-		}
+		binary.LittleEndian.PutUint32(m.b[base+uint32(4*i):], w)
 	}
 	return nil
 }
 
 // ReadWords bulk-loads n words starting at base.
 func (m *Memory) ReadWords(base uint32, n int) ([]uint32, error) {
+	if err := m.checkRange(base, n); err != nil {
+		return nil, err
+	}
 	out := make([]uint32, n)
 	for i := range out {
-		w, err := m.Load32(base + uint32(4*i))
-		if err != nil {
-			return nil, err
-		}
-		out[i] = w
+		out[i] = binary.LittleEndian.Uint32(m.b[base+uint32(4*i):])
 	}
 	return out, nil
 }

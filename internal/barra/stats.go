@@ -2,6 +2,7 @@ package barra
 
 import (
 	"fmt"
+	"sync"
 
 	"gpuperf/internal/isa"
 )
@@ -144,7 +145,11 @@ func newStatsCollector(l Launch, regions []Region, segs []int) *statsCollector {
 	return c
 }
 
-// blockStats is one block's shard of the statistics.
+// blockStats is one block's shard of the statistics. Shards are
+// pooled process-wide: Merge returns each folded shard to
+// blockStatsPool, so the paper's rerun-per-figure workflow — many
+// Run calls in one process — stops churning per-block slices after
+// the first launch warms the pool.
 type blockStats struct {
 	c             *statsCollector
 	stages        []StageStats
@@ -153,16 +158,45 @@ type blockStats struct {
 	regionUseful  []int64        // [region]
 }
 
-func (c *statsCollector) Block(blockID int) BlockCollector {
-	bs := &blockStats{
-		c:            c,
-		globalAt:     make([]MemTraffic, len(c.segs)),
-		regionUseful: make([]int64, len(c.regions)),
+var blockStatsPool sync.Pool
+
+// trafficRow returns a zeroed []MemTraffic of length n, reusing prev's
+// backing array when it is large enough.
+func trafficRow(prev []MemTraffic, n int) []MemTraffic {
+	if cap(prev) < n {
+		return make([]MemTraffic, n)
 	}
-	if len(c.regions) > 0 {
-		bs.regionTraffic = make([][]MemTraffic, len(c.regions))
+	prev = prev[:n]
+	clear(prev)
+	return prev
+}
+
+func (c *statsCollector) Block(blockID int) BlockCollector {
+	bs, _ := blockStatsPool.Get().(*blockStats)
+	if bs == nil {
+		bs = &blockStats{}
+	}
+	bs.c = c
+	bs.stages = bs.stages[:0]
+	bs.globalAt = trafficRow(bs.globalAt, len(c.segs))
+	if cap(bs.regionUseful) < len(c.regions) {
+		bs.regionUseful = make([]int64, len(c.regions))
+	} else {
+		bs.regionUseful = bs.regionUseful[:len(c.regions)]
+		clear(bs.regionUseful)
+	}
+	if len(c.regions) == 0 {
+		bs.regionTraffic = bs.regionTraffic[:0]
+	} else {
+		if cap(bs.regionTraffic) < len(c.regions) {
+			rows := make([][]MemTraffic, len(c.regions))
+			copy(rows, bs.regionTraffic[:cap(bs.regionTraffic)])
+			bs.regionTraffic = rows
+		} else {
+			bs.regionTraffic = bs.regionTraffic[:len(c.regions)]
+		}
 		for i := range bs.regionTraffic {
-			bs.regionTraffic[i] = make([]MemTraffic, len(c.segs))
+			bs.regionTraffic[i] = trafficRow(bs.regionTraffic[i], len(c.segs))
 		}
 	}
 	return bs
@@ -282,6 +316,8 @@ func (c *statsCollector) Merge(blockID int, bc BlockCollector, barriers int) err
 		}
 		s.RegionUseful[reg.Name] += bs.regionUseful[ri]
 	}
+	bs.c = nil
+	blockStatsPool.Put(bs)
 	return nil
 }
 

@@ -4,10 +4,31 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"gpuperf/internal/gpu"
 	"gpuperf/internal/isa"
 )
+
+// LaneMask is a 32-lane occupancy bitmask: bit l is set when lane l
+// participates. All hot-path lane sets (split masks, predicates, the
+// active set of a step) are LaneMasks manipulated with math/bits, so
+// per-step work is proportional to the popcount, not to WarpSize.
+type LaneMask = uint32
+
+// fullMask has every lane bit set; halfMask the low half-warp's.
+const (
+	fullMask LaneMask = 1<<gpu.WarpSize - 1
+	halfMask LaneMask = 1<<gpu.HalfWarp - 1
+)
+
+// laneBits builds the mask of lanes [0, n).
+func laneBits(n int) LaneMask {
+	if n >= gpu.WarpSize {
+		return fullMask
+	}
+	return 1<<uint(n) - 1
+}
 
 // Warp is the execution context of one warp: 32 lanes advancing in
 // lockstep through the program.
@@ -23,13 +44,15 @@ import (
 // paper's kernels do. Barriers may not execute while diverged.
 type Warp struct {
 	prog *isa.Program
+	// meta is the predecoded per-PC metadata of prog.
+	meta []instrMeta
 	done bool
 
 	regs  []uint32 // regsPerThread × WarpSize, index r*WarpSize+lane
-	preds [isa.NumPreds][gpu.WarpSize]bool
+	preds [isa.NumPreds]LaneMask
 	// exists marks lanes that carry a real thread (the block size
 	// need not be a warp multiple).
-	exists [gpu.WarpSize]bool
+	exists LaneMask
 	// splits are the live execution paths, unordered; Step picks
 	// the minimum PC each time. There is always at least one.
 	splits []split
@@ -52,13 +75,16 @@ type Warp struct {
 type StepInfo struct {
 	// PC is the index of the executed instruction.
 	PC int
-	// In is the executed instruction.
-	In isa.Instruction
-	// Class caches isa.ClassOf(In.Op).
+	// In points at the executed instruction inside the program; it is
+	// valid until the program is released (programs are immutable
+	// while warps run them).
+	In *isa.Instruction
+	// Class caches isa.ClassOf(In.Op), predecoded per PC.
 	Class isa.Class
-	// Active marks lanes that actually executed (exists ∧ guard).
-	Active [gpu.WarpSize]bool
-	// ActiveCount is the number of true entries in Active.
+	// Active is the bitmask of lanes that actually executed
+	// (exists ∧ path ∧ guard).
+	Active LaneMask
+	// ActiveCount is the popcount of Active.
 	ActiveCount int
 	// Addr holds per-lane byte addresses for memory instructions.
 	Addr [gpu.WarpSize]uint32
@@ -76,16 +102,83 @@ type StepInfo struct {
 	BranchTaken bool
 }
 
+// ActiveLane reports whether lane executed this step.
+func (si *StepInfo) ActiveLane(lane int) bool { return si.Active>>uint(lane)&1 != 0 }
+
+// HalfMask returns the active mask of one half-warp, shifted down to
+// bit 0 (a 16-bit value).
+func (si *StepInfo) HalfMask(half int) LaneMask {
+	return si.Active >> uint(half*gpu.HalfWarp) & halfMask
+}
+
+// GatherHalf collects one half-warp's active-lane addresses into buf,
+// visiting only set mask bits, and returns the filled prefix — the
+// shape both the stats engine and the timing simulator feed to the
+// bank and coalesce simulators.
+func (si *StepInfo) GatherHalf(half int, buf *[gpu.HalfWarp]uint32) []uint32 {
+	base := half * gpu.HalfWarp
+	n := 0
+	for m := si.HalfMask(half); m != 0; m &= m - 1 {
+		buf[n] = si.Addr[base+bits.TrailingZeros32(m)]
+		n++
+	}
+	return buf[:n]
+}
+
 // split is one SIMT execution path: the lanes it carries and its
 // program counter.
 type split struct {
-	mask [gpu.WarpSize]bool
+	mask LaneMask
 	pc   int
 }
 
 // maxSplits bounds pathological divergence (structured code needs
 // depth ≈ nesting level).
 const maxSplits = 64
+
+// execKind is the predecoded top-level dispatch tag of one
+// instruction: Step switches on it instead of re-deriving the
+// control/ALU distinction from the opcode every step.
+type execKind uint8
+
+const (
+	kindLane execKind = iota // per-lane execution through execLane
+	kindBra
+	kindExit
+	kindBar
+)
+
+// instrMeta is the per-PC predecoded metadata: everything Step would
+// otherwise re-derive from the instruction on every execution.
+type instrMeta struct {
+	class   isa.Class
+	kind    execKind
+	hasSmem bool // reads a shared-memory ALU operand
+}
+
+// predecode builds the per-PC metadata of p. It runs once per
+// NewWarp — a few compares per instruction, noise next to the many
+// times each instruction executes — so no cross-program cache is
+// needed (and none retains programs beyond their run).
+func predecode(p *isa.Program) []instrMeta {
+	meta := make([]instrMeta, len(p.Code))
+	for i := range p.Code {
+		in := &p.Code[i]
+		md := instrMeta{class: isa.ClassOf(in.Op), kind: kindLane}
+		switch in.Op {
+		case isa.OpBRA:
+			md.kind = kindBra
+		case isa.OpEXIT:
+			md.kind = kindExit
+		case isa.OpBAR:
+			md.kind = kindBar
+		}
+		md.hasSmem = in.SrcA.Kind == isa.KindSmem ||
+			in.SrcB.Kind == isa.KindSmem || in.SrcC.Kind == isa.KindSmem
+		meta[i] = md
+	}
+	return meta
+}
 
 // NewWarp builds a warp ready to run prog. Lanes [0,lanes) exist.
 func NewWarp(prog *isa.Program, blockID, warpID, blockDim, gridDim, lanes int, shared []byte, global *Memory) (*Warp, error) {
@@ -94,7 +187,9 @@ func NewWarp(prog *isa.Program, blockID, warpID, blockDim, gridDim, lanes int, s
 	}
 	w := &Warp{
 		prog:     prog,
+		meta:     predecode(prog),
 		regs:     make([]uint32, prog.RegsPerThread*gpu.WarpSize),
+		exists:   laneBits(lanes),
 		blockID:  blockID,
 		warpID:   warpID,
 		blockDim: blockDim,
@@ -102,12 +197,7 @@ func NewWarp(prog *isa.Program, blockID, warpID, blockDim, gridDim, lanes int, s
 		shared:   shared,
 		global:   global,
 	}
-	var m [gpu.WarpSize]bool
-	for l := 0; l < lanes; l++ {
-		w.exists[l] = true
-		m[l] = true
-	}
-	w.splits = []split{{mask: m, pc: 0}}
+	w.splits = []split{{mask: w.exists, pc: 0}}
 	return w, nil
 }
 
@@ -121,9 +211,7 @@ func (w *Warp) Reset(blockID int) {
 	w.blockID = blockID
 	w.done = false
 	clear(w.regs)
-	for p := range w.preds {
-		w.preds[p] = [gpu.WarpSize]bool{}
-	}
+	w.preds = [isa.NumPreds]LaneMask{}
 	w.splits = w.splits[:1]
 	w.splits[0] = split{mask: w.exists, pc: 0}
 	w.smemOpVal = 0
@@ -147,9 +235,7 @@ func (w *Warp) current() int {
 		if i == cur || w.splits[i].pc != w.splits[cur].pc {
 			continue
 		}
-		for l := range w.splits[cur].mask {
-			w.splits[cur].mask[l] = w.splits[cur].mask[l] || w.splits[i].mask[l]
-		}
+		w.splits[cur].mask |= w.splits[i].mask
 		if i < cur {
 			cur--
 		}
@@ -202,10 +288,6 @@ func (w *Warp) operand(o isa.Operand, imm uint32, lane int) uint32 {
 	return 0
 }
 
-func hasSmemOperand(in *isa.Instruction) bool {
-	return in.SrcA.Kind == isa.KindSmem || in.SrcB.Kind == isa.KindSmem || in.SrcC.Kind == isa.KindSmem
-}
-
 func (w *Warp) f64(r isa.Reg, lane int) float64 {
 	lo := uint64(w.reg(r, lane))
 	hi := uint64(w.reg(r+1, lane))
@@ -218,13 +300,18 @@ func (w *Warp) setF64(r isa.Reg, lane int, v float64) {
 	w.setReg(r+1, lane, uint32(bits>>32))
 }
 
-func (w *Warp) guardHolds(in *isa.Instruction, lane int) bool {
+// guardMask returns the mask of lanes where the instruction's guard
+// predicate holds.
+func (w *Warp) guardMask(in *isa.Instruction) LaneMask {
 	if in.Guard == isa.PT {
-		return !in.GuardNeg
+		if in.GuardNeg {
+			return 0
+		}
+		return fullMask
 	}
-	v := w.preds[in.Guard][lane]
+	v := w.preds[in.Guard]
 	if in.GuardNeg {
-		return !v
+		return ^v & fullMask
 	}
 	return v
 }
@@ -243,33 +330,30 @@ func (w *Warp) Step(info *StepInfo) error {
 	}
 
 	in := &w.prog.Code[pc]
+	md := &w.meta[pc]
 	info.PC = pc
-	info.In = *in
-	info.Class = isa.ClassOf(in.Op)
+	info.In = in
+	info.Class = md.class
 	info.Barrier = false
 	info.Done = false
 	info.BranchTaken = false
-	info.ActiveCount = 0
 	info.SmemOperand = false
 
-	for lane := 0; lane < gpu.WarpSize; lane++ {
-		info.Active[lane] = w.splits[cur].mask[lane] && w.guardHolds(in, lane)
-		if info.Active[lane] {
-			info.ActiveCount++
-		}
-	}
+	active := w.splits[cur].mask & w.guardMask(in)
+	info.Active = active
+	info.ActiveCount = bits.OnesCount32(active)
 
-	switch in.Op {
-	case isa.OpBRA:
+	switch md.kind {
+	case kindBra:
 		return w.branch(in, info, cur)
-	case isa.OpEXIT:
+	case kindExit:
 		if w.Diverged() {
 			return fmt.Errorf("barra: exit inside divergent region at pc %d in %q", pc, w.prog.Name)
 		}
 		w.done = true
 		info.Done = true
 		return nil
-	case isa.OpBAR:
+	case kindBar:
 		if w.Diverged() {
 			return fmt.Errorf("barra: barrier inside divergent region at pc %d in %q (undefined on hardware)", pc, w.prog.Name)
 		}
@@ -278,7 +362,7 @@ func (w *Warp) Step(info *StepInfo) error {
 		return nil
 	}
 
-	if info.ActiveCount > 0 && hasSmemOperand(in) {
+	if active != 0 && md.hasSmem {
 		v, err := w.sharedLoad(in.Imm)
 		if err != nil {
 			return fmt.Errorf("barra: %q pc=%d: shared operand: %w", w.prog.Name, pc, err)
@@ -288,10 +372,8 @@ func (w *Warp) Step(info *StepInfo) error {
 		info.SmemAddr = in.Imm
 	}
 
-	for lane := 0; lane < gpu.WarpSize; lane++ {
-		if !info.Active[lane] {
-			continue
-		}
+	for m := active; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
 		if err := w.execLane(in, lane, info); err != nil {
 			return fmt.Errorf("barra: %q pc=%d lane=%d: %w", w.prog.Name, pc, lane, err)
 		}
@@ -309,18 +391,10 @@ func (w *Warp) Step(info *StepInfo) error {
 // the case-study kernels express with predication instead.
 func (w *Warp) branch(in *isa.Instruction, info *StepInfo, cur int) error {
 	pc := w.splits[cur].pc
-	takenCount, activeCount := 0, 0
-	var takenMask [gpu.WarpSize]bool
-	for lane := 0; lane < gpu.WarpSize; lane++ {
-		if !w.splits[cur].mask[lane] {
-			continue
-		}
-		activeCount++
-		if w.guardHolds(in, lane) {
-			takenMask[lane] = true
-			takenCount++
-		}
-	}
+	mask := w.splits[cur].mask
+	takenMask := mask & w.guardMask(in)
+	activeCount := bits.OnesCount32(mask)
+	takenCount := bits.OnesCount32(takenMask)
 	switch {
 	case activeCount == 0 || takenCount == 0:
 		w.splits[cur].pc++
@@ -332,9 +406,7 @@ func (w *Warp) branch(in *isa.Instruction, info *StepInfo, cur int) error {
 			return fmt.Errorf("barra: divergence fan-out exceeds %d paths at pc %d in %q",
 				maxSplits, pc, w.prog.Name)
 		}
-		for lane := range w.splits[cur].mask {
-			w.splits[cur].mask[lane] = w.splits[cur].mask[lane] && !takenMask[lane]
-		}
+		w.splits[cur].mask = mask &^ takenMask
 		w.splits[cur].pc++
 		w.splits = append(w.splits, split{mask: takenMask, pc: int(in.Target)})
 		info.BranchTaken = true
@@ -378,7 +450,7 @@ func (w *Warp) execLane(in *isa.Instruction, lane int, info *StepInfo) error {
 	case isa.OpXOR:
 		w.setReg(in.Dst, lane, a^b)
 	case isa.OpISETP:
-		w.preds[in.PDst][lane] = icmp(in.Cmp, int32(a), int32(b))
+		w.setPred(in.PDst, lane, icmp(in.Cmp, int32(a), int32(b)))
 	case isa.OpFADD:
 		w.setReg(in.Dst, lane, math.Float32bits(fa+fb))
 	case isa.OpFSUB:
@@ -394,7 +466,7 @@ func (w *Warp) execLane(in *isa.Instruction, lane int, info *StepInfo) error {
 	case isa.OpFMAX:
 		w.setReg(in.Dst, lane, math.Float32bits(float32(math.Max(float64(fa), float64(fb)))))
 	case isa.OpFSETP:
-		w.preds[in.PDst][lane] = fcmp(in.Cmp, fa, fb)
+		w.setPred(in.PDst, lane, fcmp(in.Cmp, fa, fb))
 	case isa.OpRCP:
 		w.setReg(in.Dst, lane, math.Float32bits(1/fa))
 	case isa.OpRSQ:
@@ -408,9 +480,9 @@ func (w *Warp) execLane(in *isa.Instruction, lane int, info *StepInfo) error {
 	case isa.OpEX2:
 		w.setReg(in.Dst, lane, math.Float32bits(float32(math.Exp2(float64(fa)))))
 	case isa.OpDADD:
-		w.execDouble(in, lane, func(x, y float64) float64 { return x + y })
+		w.setF64(in.Dst, lane, w.srcF64(in.SrcA, lane)+w.srcF64(in.SrcB, lane))
 	case isa.OpDMUL:
-		w.execDouble(in, lane, func(x, y float64) float64 { return x * y })
+		w.setF64(in.Dst, lane, w.srcF64(in.SrcA, lane)*w.srcF64(in.SrcB, lane))
 	case isa.OpDFMA:
 		x := w.srcF64(in.SrcA, lane)
 		y := w.srcF64(in.SrcB, lane)
@@ -450,17 +522,19 @@ func (w *Warp) execLane(in *isa.Instruction, lane int, info *StepInfo) error {
 	return nil
 }
 
+func (w *Warp) setPred(p isa.Pred, lane int, v bool) {
+	if v {
+		w.preds[p] |= 1 << uint(lane)
+	} else {
+		w.preds[p] &^= 1 << uint(lane)
+	}
+}
+
 func (w *Warp) srcF64(o isa.Operand, lane int) float64 {
 	if o.Kind == isa.KindReg {
 		return w.f64(o.Reg, lane)
 	}
 	return 0
-}
-
-func (w *Warp) execDouble(in *isa.Instruction, lane int, f func(x, y float64) float64) {
-	x := w.srcF64(in.SrcA, lane)
-	y := w.srcF64(in.SrcB, lane)
-	w.setF64(in.Dst, lane, f(x, y))
 }
 
 func (w *Warp) sharedLoad(addr uint32) (uint32, error) {

@@ -86,10 +86,14 @@ type worker struct {
 
 	info  StepInfo
 	trace StepTrace
-	// addrBuf gathers active-lane addresses per half-warp; txScratch
-	// backs the per-granularity transaction lists of trace.Global.
-	addrBuf   [warpHalves][gpu.HalfWarp]uint32
-	txScratch [warpHalves][][]coalesce.Transaction
+	// addrBuf gathers active-lane addresses per half-warp. txLists
+	// backs the per-granularity transaction-list-of-lists handed to
+	// trace.Global; txBufs holds one reusable transaction buffer per
+	// (half-warp, granularity) pair, filled in place by
+	// coalesce.HalfWarpInto — steady state never allocates.
+	addrBuf [warpHalves][gpu.HalfWarp]uint32
+	txLists [warpHalves][][]coalesce.Transaction
+	txBufs  [warpHalves][][]coalesce.Transaction
 
 	curBlock int      // block in flight
 	avail    int64    // unspent instruction-budget reservation
@@ -119,6 +123,15 @@ func (w *worker) initBlock(blockID int) error {
 		}
 		w.atBarrier = make([]bool, nw)
 		w.workCount = make([]int64, nw)
+		for half := 0; half < warpHalves; half++ {
+			w.txLists[half] = make([][]coalesce.Transaction, 0, len(w.ctx.coal))
+			w.txBufs[half] = make([][]coalesce.Transaction, len(w.ctx.coal))
+			for si := range w.txBufs[half] {
+				// A half-warp forms at most gpu.HalfWarp transactions
+				// (one per lane), so these buffers never regrow.
+				w.txBufs[half][si] = make([]coalesce.Transaction, 0, gpu.HalfWarp)
+			}
+		}
 	} else {
 		clear(w.shared)
 		for _, warp := range w.warps {
@@ -132,13 +145,15 @@ func (w *worker) initBlock(blockID int) error {
 		w.bcs = append(w.bcs, c.Block(blockID))
 	}
 	if w.ctx.hook != nil && w.ctx.dispatch != nil {
-		w.log = &hookLog{blockID: blockID}
+		w.log = newHookLog(blockID)
 	}
 	return nil
 }
 
 // runBlock executes one block to completion and returns its barrier
-// count plus the finished per-collector block sinks.
+// count plus the finished per-collector block sinks. The returned
+// slice is the worker's reusable scratch — the caller must copy it
+// before the next runBlock call.
 func (w *worker) runBlock(blockID int) (int, []BlockCollector, error) {
 	if err := w.initBlock(blockID); err != nil {
 		return 0, nil, err
@@ -216,13 +231,11 @@ func (w *worker) runBlock(blockID int) (int, []BlockCollector, error) {
 	}
 	w.stageEnd(stage)
 
-	bcs := make([]BlockCollector, len(w.bcs))
-	copy(bcs, w.bcs)
 	if w.log != nil {
 		w.ctx.dispatch.submit(w.log)
 		w.log = nil
 	}
-	return barriers, bcs, nil
+	return barriers, w.bcs, nil
 }
 
 // stageEnd closes a stage for every collector and resets the per-warp
@@ -255,14 +268,7 @@ func (w *worker) record(stage, wi int) {
 		// conflict-free transaction per active half-warp.
 		tr.SharedAccesses++
 		for half := 0; half < warpHalves; half++ {
-			active := false
-			for lane := half * gpu.HalfWarp; lane < (half+1)*gpu.HalfWarp; lane++ {
-				if info.Active[lane] {
-					active = true
-					break
-				}
-			}
-			if active {
+			if info.HalfMask(half) != 0 {
 				tr.SharedTx++
 				tr.SharedTxIdeal++
 				tr.SharedBytes += 4
@@ -295,11 +301,13 @@ func (w *worker) record(stage, wi int) {
 			case w.ctx.hook != nil:
 				w.ctx.hook(w.curBlock, op == isa.OpGLD, addrs)
 			}
-			txs := w.txScratch[half][:0]
-			for _, c := range w.ctx.coal {
-				txs = append(txs, c.HalfWarp(addrs, 4))
+			txs := w.txLists[half][:0]
+			for si, c := range w.ctx.coal {
+				buf := c.HalfWarpInto(w.txBufs[half][si][:0], addrs, 4)
+				w.txBufs[half][si] = buf
+				txs = append(txs, buf)
 			}
-			w.txScratch[half] = txs
+			w.txLists[half] = txs
 			tr.Global = append(tr.Global, GlobalHalfWarp{Addrs: addrs, Tx: txs})
 		}
 	}
@@ -312,14 +320,7 @@ func (w *worker) record(stage, wi int) {
 // gatherHalf collects the active lanes' addresses of one half-warp
 // into the worker's scratch buffer.
 func (w *worker) gatherHalf(half int) []uint32 {
-	n := 0
-	for lane := half * gpu.HalfWarp; lane < (half+1)*gpu.HalfWarp; lane++ {
-		if w.info.Active[lane] {
-			w.addrBuf[half][n] = w.info.Addr[lane]
-			n++
-		}
-	}
-	return w.addrBuf[half][:n]
+	return w.info.GatherHalf(half, &w.addrBuf[half])
 }
 
 // execute shards the grid across the given number of workers and
@@ -329,6 +330,10 @@ func (ctx *runContext) execute(workers int) ([]int, [][]BlockCollector, error) {
 	grid := ctx.launch.Grid
 	barriers := make([]int, grid)
 	results := make([][]BlockCollector, grid)
+	// One flat arena holds every block's collector slice: two
+	// allocations per run instead of one per block.
+	ncol := len(ctx.collectors)
+	arena := make([]BlockCollector, grid*ncol)
 
 	var (
 		wg       sync.WaitGroup
@@ -357,7 +362,9 @@ func (ctx *runContext) execute(workers int) ([]int, [][]BlockCollector, error) {
 					return
 				}
 				barriers[b] = nb
-				results[b] = bcs
+				slot := arena[b*ncol : (b+1)*ncol : (b+1)*ncol]
+				copy(slot, bcs)
+				results[b] = slot
 			}
 		}()
 	}

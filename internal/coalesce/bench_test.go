@@ -1,0 +1,51 @@
+package coalesce
+
+// Microbenchmarks for transaction formation:
+//
+//	go test -run - -bench BenchmarkCoalesceHalfWarp -benchmem ./internal/coalesce/
+//
+// HalfWarpInto is the engine's per-half-warp hot call; the three
+// patterns span the paper's spectrum from perfectly coalesced
+// (one 64 B transaction) through strided (one segment per lane) to
+// scattered irregular accesses.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+var sinkLen int
+
+func BenchmarkCoalesceHalfWarp(b *testing.B) {
+	s, err := New(32, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coalesced := make([]uint32, 16)
+	strided := make([]uint32, 16)
+	scattered := make([]uint32, 16)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 16; i++ {
+		coalesced[i] = uint32(i * 4)
+		strided[i] = uint32(i * 512)
+		scattered[i] = uint32(rng.Intn(1<<20)) &^ 3
+	}
+	cases := []struct {
+		name  string
+		addrs []uint32
+	}{
+		{"coalesced", coalesced},
+		{"strided", strided},
+		{"scattered", scattered},
+	}
+	buf := make([]Transaction, 0, 16)
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = s.HalfWarpInto(buf[:0], c.addrs, 4)
+				sinkLen += len(buf)
+			}
+		})
+	}
+}

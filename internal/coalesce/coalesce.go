@@ -53,27 +53,42 @@ func ForGPU(c gpu.Config) (*Sim, error) { return New(c.MinSegmentBytes, c.MaxSeg
 // lanes must be omitted by the caller. The returned transactions are
 // in service order.
 func (s *Sim) HalfWarp(addrs []uint32, accessBytes int) []Transaction {
+	return s.HalfWarpInto(nil, addrs, accessBytes)
+}
+
+// HalfWarpInto is HalfWarp appending into dst, the allocation-free
+// form for hot loops: with a caller-provided buffer of capacity ≥
+// gpu.HalfWarp nothing escapes to the heap (the working set is a
+// fixed 16-lane stack array — a half-warp has at most 16 pending
+// addresses). The appended transactions are in service order.
+func (s *Sim) HalfWarpInto(dst []Transaction, addrs []uint32, accessBytes int) []Transaction {
 	if len(addrs) == 0 {
-		return nil
+		return dst
 	}
 	if accessBytes <= 0 {
 		accessBytes = 4
 	}
-	pending := append([]uint32(nil), addrs...)
-	var txs []Transaction
+	var buf [gpu.HalfWarp]uint32
+	var pending []uint32
+	if len(addrs) <= len(buf) {
+		pending = buf[:0]
+	} else {
+		pending = make([]uint32, 0, len(addrs))
+	}
+	pending = append(pending, addrs...)
 	for len(pending) > 0 {
 		// (1) Segment of the lowest-numbered remaining thread, at
 		// the maximum segment size.
 		segSize := uint32(s.maxSeg)
 		base := pending[0] / segSize * segSize
 
-		// (2) Serve every thread whose access falls inside.
-		var served, rest []uint32
+		// (2) Serve every thread whose access falls inside,
+		// compacting the rest in place (service order preserved).
+		n := 0
 		lo, hi := uint32(0xffffffff), uint32(0)
 		for _, a := range pending {
 			end := a + uint32(accessBytes) - 1
 			if a/segSize*segSize == base && end/segSize*segSize == base {
-				served = append(served, a)
 				if a < lo {
 					lo = a
 				}
@@ -81,9 +96,11 @@ func (s *Sim) HalfWarp(addrs []uint32, accessBytes int) []Transaction {
 					hi = end
 				}
 			} else {
-				rest = append(rest, a)
+				pending[n] = a
+				n++
 			}
 		}
+		pending = pending[:n]
 
 		// (3) Shrink the segment while it still covers [lo, hi].
 		size := segSize
@@ -102,10 +119,9 @@ func (s *Sim) HalfWarp(addrs []uint32, accessBytes int) []Transaction {
 			}
 		}
 	done:
-		txs = append(txs, Transaction{Addr: addr, Size: int(size)})
-		pending = rest
+		dst = append(dst, Transaction{Addr: addr, Size: int(size)})
 	}
-	return txs
+	return dst
 }
 
 // Bytes sums the bytes moved by a transaction list.
@@ -122,14 +138,16 @@ func Bytes(txs []Transaction) int {
 // whether lane i participates; addrs is indexed by lane.
 func (s *Sim) Warp(addrs []uint32, active []bool, accessBytes int) []Transaction {
 	var txs []Transaction
+	var hw [gpu.HalfWarp]uint32
 	for half := 0; half*gpu.HalfWarp < len(addrs); half++ {
-		var hw []uint32
+		n := 0
 		for lane := half * gpu.HalfWarp; lane < (half+1)*gpu.HalfWarp && lane < len(addrs); lane++ {
 			if active == nil || active[lane] {
-				hw = append(hw, addrs[lane])
+				hw[n] = addrs[lane]
+				n++
 			}
 		}
-		txs = append(txs, s.HalfWarp(hw, accessBytes)...)
+		txs = s.HalfWarpInto(txs, hw[:n], accessBytes)
 	}
 	return txs
 }

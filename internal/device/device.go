@@ -203,6 +203,7 @@ type sim struct {
 	nextBlk int
 	res     Result
 	info    barra.StepInfo
+	txBuf   []coalesce.Transaction // reusable coalescer output
 
 	occ          [isa.NumClasses]float64 // issue occupancy per class
 	lat          [isa.NumClasses]float64 // result latency per class
@@ -252,6 +253,7 @@ func RunBudget(cfg gpu.Config, l barra.Launch, mem *barra.Memory, budget int64) 
 	s := &sim{
 		cfg: cfg, launch: l, mem: mem, banks: bsim, coal: csim,
 		budget: budget,
+		txBuf:  make([]coalesce.Transaction, 0, gpu.HalfWarp),
 	}
 	if s.budget <= 0 {
 		s.budget = 4e9
@@ -445,11 +447,8 @@ func (s *sim) stepWarp(w *simWarp, now float64) error {
 			sm := w.block.sm
 			halves := 0
 			for half := 0; half < gpu.WarpSize/gpu.HalfWarp; half++ {
-				for lane := half * gpu.HalfWarp; lane < (half+1)*gpu.HalfWarp; lane++ {
-					if info.Active[lane] {
-						halves++
-						break
-					}
+				if info.HalfMask(half) != 0 {
+					halves++
 				}
 			}
 			start := max(t, sm.smemFree)
@@ -483,17 +482,11 @@ func (s *sim) stepWarp(w *simWarp, now float64) error {
 func (s *sim) timeShared(w *simWarp, in *isa.Instruction, info *barra.StepInfo, t float64) {
 	sm := w.block.sm
 	totalTx, halves := 0, 0
+	var buf [gpu.HalfWarp]uint32
 	for half := 0; half < gpu.WarpSize/gpu.HalfWarp; half++ {
-		var buf [gpu.HalfWarp]uint32
-		n := 0
-		for lane := half * gpu.HalfWarp; lane < (half+1)*gpu.HalfWarp; lane++ {
-			if info.Active[lane] {
-				buf[n] = info.Addr[lane]
-				n++
-			}
-		}
-		if n > 0 {
-			totalTx += s.banks.Transactions(buf[:n])
+		addrs := info.GatherHalf(half, &buf)
+		if len(addrs) > 0 {
+			totalTx += s.banks.Transactions(addrs)
 			halves++
 		}
 	}
@@ -527,19 +520,14 @@ func (s *sim) timeShared(w *simWarp, in *isa.Instruction, info *barra.StepInfo, 
 func (s *sim) timeGlobal(w *simWarp, in *isa.Instruction, info *barra.StepInfo, t float64) {
 	cl := w.block.sm.cluster
 	var lastDone float64
+	var buf [gpu.HalfWarp]uint32
 	for half := 0; half < gpu.WarpSize/gpu.HalfWarp; half++ {
-		var buf [gpu.HalfWarp]uint32
-		n := 0
-		for lane := half * gpu.HalfWarp; lane < (half+1)*gpu.HalfWarp; lane++ {
-			if info.Active[lane] {
-				buf[n] = info.Addr[lane]
-				n++
-			}
-		}
-		if n == 0 {
+		addrs := info.GatherHalf(half, &buf)
+		if len(addrs) == 0 {
 			continue
 		}
-		for _, tx := range s.coal.HalfWarp(buf[:n], 4) {
+		s.txBuf = s.coal.HalfWarpInto(s.txBuf[:0], addrs, 4)
+		for _, tx := range s.txBuf {
 			start := max(t, cl.free)
 			busy := float64(tx.Size) / s.gmemRate
 			cl.free = start + busy

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — run the engine benchmark suite and emit BENCH_2.json.
+#
+# Runs BenchmarkRunParallel (end-to-end blocks/s) plus the per-layer
+# microbenchmarks (warp step, bank conflicts, coalescing) with
+# -benchmem, and converts the results to a JSON array of
+# {name, ns_per_op, ..., B_per_op, allocs_per_op} records so CI and
+# future PRs can diff throughput and allocation counts.
+#
+# Usage:
+#   scripts/bench.sh               # full run (benchtime 2x for the big bench)
+#   BENCHTIME=1x scripts/bench.sh  # CI smoke run
+#   OUT=foo.json scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2x}"
+OUT="${OUT:-BENCH_2.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+{
+  go test -run - -bench BenchmarkRunParallel -benchtime "$BENCHTIME" -benchmem .
+  go test -run - -bench BenchmarkWarpStep -benchmem ./internal/barra/
+  go test -run - -bench BenchmarkBankTransactions -benchmem ./internal/bank/
+  go test -run - -bench BenchmarkCoalesceHalfWarp -benchmem ./internal/coalesce/
+} | tee "$TMP"
+
+awk '
+  /^Benchmark/ {
+    printf "%s  {\"name\":\"%s\",\"iterations\":%s", sep, $1, $2
+    sep = ",\n"
+    for (i = 3; i + 1 <= NF; i += 2) {
+      unit = $(i + 1)
+      gsub(/\//, "_per_", unit)
+      gsub(/[^A-Za-z0-9_]/, "_", unit)
+      printf ",\"%s\":%s", unit, $i
+    }
+    printf "}"
+  }
+  BEGIN { print "[" }
+  END   { print "\n]" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
