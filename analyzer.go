@@ -1,0 +1,354 @@
+package gpuperf
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"gpuperf/internal/barra"
+	"gpuperf/internal/device"
+	"gpuperf/internal/model"
+	"gpuperf/internal/timing"
+)
+
+// Options configures an Analyzer session.
+type Options struct {
+	// Device is the GPU to analyze for. The zero value (detected by
+	// an empty Name) means DefaultDevice.
+	Device Device
+	// Registry resolves kernel names. Nil means DefaultRegistry.
+	Registry *Registry
+	// Parallelism is the functional-simulation worker count per
+	// request (0 = all host cores, 1 = serial). Results are
+	// bit-identical at any setting. When set, it is also the ceiling
+	// for per-Request overrides — a service's resource policy cannot
+	// be bypassed by the request body.
+	Parallelism int
+	// CalibrationPath, when set, is an on-disk calibration cache:
+	// loaded if present and valid for Device, written atomically
+	// (write-temp-then-rename) after a fresh calibration.
+	CalibrationPath string
+	// BatchConcurrency caps how many requests AnalyzeBatch runs at
+	// once (0 = GOMAXPROCS).
+	BatchConcurrency int
+	// MaxConcurrent is the session's admission limit: how many
+	// Analyze calls may hold resources (input memory, simulation,
+	// verification) at once, whatever mix of direct, batch and HTTP
+	// callers produced them. Excess callers wait, respecting their
+	// contexts, before building anything. 0 = GOMAXPROCS.
+	MaxConcurrent int
+}
+
+// Request asks for one kernel analysis.
+type Request struct {
+	// Kernel names a registry entry (GET /v1/kernels lists them).
+	Kernel string `json:"kernel"`
+	// Size is the kernel-specific problem size (0 = kernel default).
+	Size int `json:"size,omitempty"`
+	// Seed drives deterministic input generation (0 = seed 1):
+	// identical requests build identical inputs, under any
+	// concurrency.
+	Seed int64 `json:"seed,omitempty"`
+	// Parallelism overrides the session's worker count when > 0,
+	// capped by Options.Parallelism when the operator set one and by
+	// the host's core count otherwise.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Measure additionally runs the device (timing) simulator on a
+	// fresh copy of the inputs and reports measured vs predicted.
+	Measure bool `json:"measure,omitempty"`
+	// SkipVerify skips the CPU-reference check of the functional
+	// output. The reference computation is single-threaded host code
+	// (O(n³) for matmul), so large requests that only need the model
+	// verdict can opt out of paying for it.
+	SkipVerify bool `json:"skip_verify,omitempty"`
+}
+
+// Analyzer is a reusable session around the paper's Fig. 1 workflow:
+// it owns a device configuration and its lazily-built, cached
+// calibration, resolves kernels through a Registry, runs the
+// functional simulation with cancellation, and returns serializable
+// Results. Safe for concurrent use — a service handles all traffic
+// with one Analyzer, amortizing the (expensive) calibration across
+// every request.
+type Analyzer struct {
+	opt Options
+	dev Device
+	reg *Registry
+
+	// admit is the Options.MaxConcurrent admission semaphore.
+	admit chan struct{}
+
+	// calStart launches the one calibration goroutine; calDone closes
+	// when it finishes. Waiters block on calDone (with their contexts,
+	// via calibrationCtx) rather than inside a sync.Once, so a dead
+	// client stops waiting even while calibration is still running.
+	calStart     sync.Once
+	calDone      chan struct{}
+	cal          *timing.Calibration
+	calErr       error
+	calFromCache bool
+	calSaveErr   error
+}
+
+// NewAnalyzer builds a session. Calibration happens lazily on the
+// first Analyze (or eagerly via Calibrate).
+func NewAnalyzer(opt Options) *Analyzer {
+	dev := opt.Device
+	if dev.Name == "" {
+		dev = DefaultDevice()
+	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	limit := opt.MaxConcurrent
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	return &Analyzer{
+		opt:     opt,
+		dev:     dev,
+		reg:     reg,
+		admit:   make(chan struct{}, limit),
+		calDone: make(chan struct{}),
+	}
+}
+
+// Device returns the session's device configuration.
+func (a *Analyzer) Device() Device { return a.dev }
+
+// Registry returns the session's kernel registry.
+func (a *Analyzer) Registry() *Registry { return a.reg }
+
+// Kernels lists the session's available kernel specs, sorted by name.
+func (a *Analyzer) Kernels() []KernelSpec { return a.reg.Specs() }
+
+// Calibrate forces the lazy calibration now (microbenchmarks on the
+// device simulator — tens of seconds for a full chip). Subsequent
+// calls are free; concurrent callers share one run. Persisting to
+// CalibrationPath is best-effort: a failed write never invalidates
+// the in-memory calibration (see CalibrationSaveError).
+func (a *Analyzer) Calibrate() error {
+	a.calStart.Do(func() { go a.runCalibration() })
+	<-a.calDone
+	return a.calErr
+}
+
+// calibrationCtx waits for the shared calibration like Calibrate,
+// but abandons the wait when ctx dies — the calibration itself keeps
+// running for the callers that still want it.
+func (a *Analyzer) calibrationCtx(ctx context.Context) (*timing.Calibration, error) {
+	a.calStart.Do(func() { go a.runCalibration() })
+	select {
+	case <-a.calDone:
+		if a.calErr != nil {
+			return nil, a.calErr
+		}
+		return a.cal, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// runCalibration performs the one calibration; its writes are
+// published to waiters by the calDone close.
+func (a *Analyzer) runCalibration() {
+	defer close(a.calDone)
+	if path := a.opt.CalibrationPath; path != "" {
+		// The cache is valid only for the exact device: a session
+		// analyzing a modified configuration (different banks,
+		// clocks, segment sizes) must not pick up stale curves,
+		// even under the same name.
+		if cal, err := timing.LoadCalibrationFile(path); err == nil && cal.Config() == a.dev {
+			a.cal = cal
+			a.calFromCache = true
+			return
+		}
+	}
+	a.cal, a.calErr = timing.Calibrate(a.dev)
+	if a.calErr == nil && a.opt.CalibrationPath != "" {
+		a.calSaveErr = a.cal.SaveFile(a.opt.CalibrationPath)
+	}
+}
+
+// CalibrationFromCache reports whether Calibrate loaded the on-disk
+// cache instead of measuring (meaningful after Calibrate returns).
+func (a *Analyzer) CalibrationFromCache() bool { return a.calFromCache }
+
+// CalibrationSaveError returns the error from the best-effort write
+// to CalibrationPath, if any. A failed write leaves the session fully
+// functional on its in-memory calibration.
+func (a *Analyzer) CalibrationSaveError() error { return a.calSaveErr }
+
+// workers resolves the per-run worker count: the request's override,
+// capped by the session's Parallelism when the operator set one, and
+// by the host's core count otherwise — a request body can lower the
+// concurrency of its own run but never raise it past the policy.
+func (a *Analyzer) workers(req Request) int {
+	limit := a.opt.Parallelism
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if req.Parallelism > 0 && req.Parallelism < limit {
+		return req.Parallelism
+	}
+	return limit
+}
+
+// Analyze runs the full workflow for one request: build the kernel's
+// deterministic problem instance, functionally simulate it (sharded
+// across workers, abortable through ctx), apply the calibrated
+// three-component model, verify the output against the CPU reference
+// when the kernel has one, and — with Measure — time the same launch
+// on the device simulator.
+func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Validate first: an unknown kernel or rejected size fails fast,
+	// paying for neither calibration nor an admission slot.
+	spec, p, err := a.reg.prepare(req.Kernel, Params{Size: req.Size, Seed: req.Seed})
+	if err != nil {
+		return nil, err
+	}
+	req.Size, req.Seed = p.Size, p.Seed
+	// Wait for the shared calibration before taking a slot, so a cold
+	// burst doesn't pin MaxConcurrent requests for its whole duration;
+	// the wait itself respects ctx.
+	cal, err := a.calibrationCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Admission control: at most MaxConcurrent requests hold input
+	// memory and simulation resources at a time; the rest wait here
+	// holding nothing, abandoning the queue when their context dies.
+	select {
+	case a.admit <- struct{}{}:
+		defer func() { <-a.admit }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	w, err := spec.build(a.dev, p)
+	if err != nil {
+		return nil, err
+	}
+	if req.SkipVerify {
+		// The Verify closure captures the host-side input copies
+		// (large for big requests — exactly the SkipVerify cases);
+		// dropping it frees them for the duration of the run.
+		w.Verify = nil
+	}
+
+	stats, err := barra.RunContext(ctx, a.dev, w.Launch, w.Mem,
+		&barra.Options{Parallelism: a.workers(req), Regions: w.Regions})
+	if err != nil {
+		return nil, err
+	}
+	est, err := model.Analyze(cal, w.Launch, stats)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult(req, a.dev, w, est, stats)
+
+	if w.Verify != nil {
+		worst, err := w.Verify(ctx, w.Mem)
+		if err != nil {
+			return nil, err
+		}
+		res.MaxAbsError = &worst
+	}
+
+	if req.Measure {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// The functional run consumed the inputs; builders are
+		// deterministic per (size, seed), so rebuilding yields the
+		// identical problem instance on fresh memory.
+		w2, err := spec.build(a.dev, p)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := device.RunContext(ctx, a.dev, w2.Launch, w2.Mem)
+		if err != nil {
+			return nil, err
+		}
+		res.MeasuredSeconds = meas.Seconds
+		res.MeasuredDominant = meas.DominantComponent()
+		res.PredictionError = est.CompareError(meas.Seconds)
+	}
+	return res, nil
+}
+
+// Measurement is the device simulator's timing of one kernel, with
+// no model involved (and so no calibration cost) — what an
+// architecture sweep compares across device variants.
+type Measurement struct {
+	Kernel   string  `json:"kernel"`
+	Device   string  `json:"device"`
+	Seconds  float64 `json:"seconds"`
+	Dominant string  `json:"dominant"`
+}
+
+// Measure runs only the device simulator for the request's kernel.
+// It validates and passes the same admission gate as Analyze.
+func (a *Analyzer) Measure(ctx context.Context, req Request) (*Measurement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spec, p, err := a.reg.prepare(req.Kernel, Params{Size: req.Size, Seed: req.Seed})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case a.admit <- struct{}{}:
+		defer func() { <-a.admit }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	w, err := spec.build(a.dev, p)
+	if err != nil {
+		return nil, err
+	}
+	meas, err := device.RunContext(ctx, a.dev, w.Launch, w.Mem)
+	if err != nil {
+		return nil, err
+	}
+	return &Measurement{
+		Kernel:   req.Kernel,
+		Device:   a.dev.Name,
+		Seconds:  meas.Seconds,
+		Dominant: meas.DominantComponent(),
+	}, nil
+}
+
+// AnalyzeBatch analyzes many requests concurrently, amortizing the
+// session's calibration across all of them. results[i] answers
+// reqs[i]; a request that fails leaves a nil entry and its error
+// joined into the returned error. One failing request does not
+// cancel its siblings — only ctx does.
+func (a *Analyzer) AnalyzeBatch(ctx context.Context, reqs []Request) ([]*Result, error) {
+	limit := a.opt.BatchConcurrency
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if limit > len(reqs) {
+		limit = len(reqs)
+	}
+	results := make([]*Result, len(reqs))
+	errs := make([]error, len(reqs))
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = a.Analyze(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}

@@ -1,0 +1,392 @@
+package gpuperf
+
+// Facade tests. One Analyzer (and so one calibration — the expensive
+// part) is shared across the API and HTTP tests via testAnalyzer.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+var (
+	taOnce sync.Once
+	ta     *Analyzer
+)
+
+// testAnalyzer returns the shared session: a 6-SM slice (fast, same
+// per-SM behaviour), serial simulation by default.
+func testAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	taOnce.Do(func() {
+		ta = NewAnalyzer(Options{Device: SliceDevice(DefaultDevice(), 6)})
+		if err := ta.Calibrate(); err != nil {
+			t.Fatalf("calibrate: %v", err)
+		}
+	})
+	if err := ta.Calibrate(); err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	return ta
+}
+
+// TestRegistryDeterministicInputs: identical (kernel, size, seed)
+// requests build bit-identical memory images — input generation
+// depends only on the request, never on global state — while a
+// different seed produces different inputs.
+func TestRegistryDeterministicInputs(t *testing.T) {
+	reg := DefaultRegistry()
+	dev := DefaultDevice()
+	for _, kernel := range []string{"matmul16", "cr", "spmv-ell"} {
+		p := Params{Size: 0, Seed: 9}
+		w1, err := reg.Build(dev, kernel, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := reg.Build(dev, kernel, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img1, err := w1.Mem.ReadWords(0, w1.Mem.Size()/4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img2, err := w2.Mem.ReadWords(0, w2.Mem.Size()/4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(img1) != len(img2) {
+			t.Fatalf("%s: rebuilt memory sized %d vs %d", kernel, len(img1), len(img2))
+		}
+		for i := range img1 {
+			if img1[i] != img2[i] {
+				t.Fatalf("%s: rebuilt memory differs at word %d", kernel, i)
+			}
+		}
+
+		w3, err := reg.Build(dev, kernel, Params{Size: 0, Seed: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img3, err := w3.Mem.ReadWords(0, w3.Mem.Size()/4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := len(img1) == len(img3)
+		if same {
+			for i := range img1 {
+				if img1[i] != img3[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s: seed 9 and seed 10 built identical inputs", kernel)
+		}
+	}
+}
+
+// TestAnalyzeHappyPath: the full workflow on a small matmul — the
+// result carries a verdict, diagnostics, stats, stages, and a
+// passing CPU verification.
+func TestAnalyzeHappyPath(t *testing.T) {
+	a := testAnalyzer(t)
+	res, err := a.Analyze(context.Background(), Request{Kernel: "matmul16", Size: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != "matmul16" || res.Size != 64 || res.Seed != 7 {
+		t.Errorf("request echo wrong: %+v", res)
+	}
+	if res.Grid <= 0 || res.Block <= 0 {
+		t.Errorf("bad geometry %dx%d", res.Grid, res.Block)
+	}
+	if res.PredictedSeconds <= 0 || res.UpperBoundSeconds < res.PredictedSeconds {
+		t.Errorf("bad prediction interval [%g, %g]", res.PredictedSeconds, res.UpperBoundSeconds)
+	}
+	if res.Bottleneck == "" || res.NextBottleneck == "" || len(res.Causes) == 0 {
+		t.Errorf("missing verdict: %+v", res)
+	}
+	if len(res.Stages) == 0 || res.Stats.WarpInstrs <= 0 {
+		t.Errorf("missing breakdown/stats: %+v", res)
+	}
+	if res.MaxAbsError == nil {
+		t.Error("matmul should be verified against the CPU reference")
+	}
+	if res.GFLOPS <= 0 {
+		t.Error("matmul has a known flop count; GFLOPS should be set")
+	}
+	if res.MeasuredSeconds != 0 {
+		t.Error("measured time set without Measure")
+	}
+}
+
+// TestAnalyzeSkipVerify: the CPU-reference check (single-threaded
+// host code) is skippable per request.
+func TestAnalyzeSkipVerify(t *testing.T) {
+	a := testAnalyzer(t)
+	res, err := a.Analyze(context.Background(), Request{Kernel: "matmul16", Size: 64, Seed: 7, SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAbsError != nil {
+		t.Error("SkipVerify should leave MaxAbsError unset")
+	}
+}
+
+// TestVerifyCancellable: the CPU-reference check itself observes
+// ctx, so an abandoned request stops mid-verification instead of
+// finishing the O(n³) reference product.
+func TestVerifyCancellable(t *testing.T) {
+	w, err := DefaultRegistry().Build(DefaultDevice(), "matmul16", Params{Size: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.Verify(ctx, w.Mem); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestAnalyzeMeasure: Measure adds the device simulator's time and
+// the prediction-error metric.
+func TestAnalyzeMeasure(t *testing.T) {
+	a := testAnalyzer(t)
+	res, err := a.Analyze(context.Background(), Request{Kernel: "matmul16", Size: 64, Seed: 7, Measure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasuredSeconds <= 0 || res.MeasuredDominant == "" {
+		t.Errorf("Measure did not fill measured fields: %+v", res)
+	}
+}
+
+// TestAnalyzeDeterministicAcrossParallelism: the Result is
+// bit-identical however the functional run is sharded (the PR-1
+// engine guarantee, surfaced through the facade).
+func TestAnalyzeDeterministicAcrossParallelism(t *testing.T) {
+	a := testAnalyzer(t)
+	var blobs [][]byte
+	for _, p := range []int{1, 4} {
+		res, err := a.Analyze(context.Background(), Request{Kernel: "spmv-ell", Size: 512, Seed: 3, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	if string(blobs[0]) != string(blobs[1]) {
+		t.Errorf("results differ across parallelism:\nP=1: %s\nP=4: %s", blobs[0], blobs[1])
+	}
+}
+
+// TestAnalyzeUnknownKernel maps to the sentinel error.
+func TestAnalyzeUnknownKernel(t *testing.T) {
+	a := testAnalyzer(t)
+	_, err := a.Analyze(context.Background(), Request{Kernel: "nope"})
+	if !errors.Is(err, ErrUnknownKernel) {
+		t.Fatalf("got %v, want ErrUnknownKernel", err)
+	}
+}
+
+// TestAnalyzeInvalidSize: requests beyond a kernel's MaxSize ceiling
+// (or that its builder rejects) fail fast with ErrInvalidRequest —
+// a network client cannot make the service allocate unbounded
+// memory.
+func TestAnalyzeInvalidSize(t *testing.T) {
+	a := testAnalyzer(t)
+	for _, req := range []Request{
+		{Kernel: "matmul32", Size: 32768}, // beyond MaxSize (and the kernel's uint32 edge)
+		{Kernel: "matmul16", Size: 100},   // builder rejects: not a power of two
+		{Kernel: "cr", Size: -4},          // negative
+		{Kernel: "spmv-ell", Size: 1 << 30},
+	} {
+		if _, err := a.Analyze(context.Background(), req); !errors.Is(err, ErrInvalidRequest) {
+			t.Errorf("%+v: got %v, want ErrInvalidRequest", req, err)
+		}
+	}
+}
+
+// TestAnalyzeCancelled: a dead context aborts the request.
+func TestAnalyzeCancelled(t *testing.T) {
+	a := testAnalyzer(t) // warm calibration so cancellation hits the run itself
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := a.Analyze(ctx, Request{Kernel: "spmv-ell", Size: 4096, Seed: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestAnalyzeBatch: results align with requests, one bad request
+// doesn't sink the batch, and batch answers match serial ones.
+func TestAnalyzeBatch(t *testing.T) {
+	a := testAnalyzer(t)
+	reqs := []Request{
+		{Kernel: "matmul16", Size: 64, Seed: 7},
+		{Kernel: "bogus"},
+		{Kernel: "cr", Size: 8, Seed: 2},
+	}
+	results, err := a.AnalyzeBatch(context.Background(), reqs)
+	if err == nil || !errors.Is(err, ErrUnknownKernel) {
+		t.Fatalf("batch error should join the unknown-kernel failure, got %v", err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("%d results for %d requests", len(results), len(reqs))
+	}
+	if results[1] != nil {
+		t.Error("failed request should leave a nil result")
+	}
+	for _, i := range []int{0, 2} {
+		if results[i] == nil {
+			t.Fatalf("request %d should have succeeded", i)
+		}
+		serial, err := a.Analyze(context.Background(), reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, _ := json.Marshal(results[i])
+		b2, _ := json.Marshal(serial)
+		if string(b1) != string(b2) {
+			t.Errorf("request %d: batch and serial results differ", i)
+		}
+	}
+}
+
+// TestCalibrationPathReuse: a session with CalibrationPath loads the
+// cache instead of recalibrating, and produces identical analyses.
+func TestCalibrationPathReuse(t *testing.T) {
+	a := testAnalyzer(t)
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := a.cal.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	a2 := NewAnalyzer(Options{Device: a.Device(), CalibrationPath: path})
+	if err := a2.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if a2.cal == a.cal {
+		t.Fatal("second session should have loaded its own calibration")
+	}
+	req := Request{Kernel: "matmul16", Size: 64, Seed: 7}
+	r1, err := a.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a2.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if string(b1) != string(b2) {
+		t.Error("cached-calibration session disagrees with the original")
+	}
+}
+
+// TestCalibrationSaveFailureDoesNotPoison: an unwritable cache path
+// must not invalidate a successful calibration — the session keeps
+// serving from memory and surfaces the write error separately.
+func TestCalibrationSaveFailureDoesNotPoison(t *testing.T) {
+	a := NewAnalyzer(Options{
+		Device:          SliceDevice(DefaultDevice(), 6),
+		CalibrationPath: filepath.Join(t.TempDir(), "no-such-dir", "cal.json"),
+	})
+	if err := a.Calibrate(); err != nil {
+		t.Fatalf("calibration should survive a failed cache write, got %v", err)
+	}
+	if a.CalibrationSaveError() == nil {
+		t.Error("the failed cache write should be reported via CalibrationSaveError")
+	}
+	if _, err := a.Analyze(context.Background(), Request{Kernel: "matmul16", Size: 64}); err != nil {
+		t.Fatalf("analysis should work on the in-memory calibration: %v", err)
+	}
+}
+
+// TestCalibrationCacheRejectsModifiedDevice: a cache written for one
+// configuration must not load for a modified one, even under the
+// same name — stale curves would silently skew every prediction.
+func TestCalibrationCacheRejectsModifiedDevice(t *testing.T) {
+	a := testAnalyzer(t)
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := a.cal.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	dev := a.Device()
+	dev.SharedMemBanks = 17 // same Name, different hardware
+	a2 := NewAnalyzer(Options{Device: dev, CalibrationPath: path})
+	if err := a2.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if a2.CalibrationFromCache() {
+		t.Error("cache for a different configuration was loaded")
+	}
+}
+
+// TestWorkersCappedBySession: a request's parallelism override may
+// lower but never exceed the operator's configured worker count —
+// or the host's core count when the operator left it unset.
+func TestWorkersCappedBySession(t *testing.T) {
+	ncpu := runtime.GOMAXPROCS(0)
+	lowCPU := 8
+	if ncpu < lowCPU {
+		lowCPU = ncpu
+	}
+	for _, tc := range []struct {
+		session, request, want int
+	}{
+		{0, 0, ncpu},       // both defaults: all cores
+		{0, 8, lowCPU},     // unset session: host cores still cap it
+		{0, 1 << 20, ncpu}, // a wild request cannot outgrow the host
+		{2, 0, 2},          // session default applies
+		{2, 8, 2},          // request cannot exceed the session cap
+		{4, 1, 1},          // request may lower it
+	} {
+		a := NewAnalyzer(Options{Parallelism: tc.session})
+		if got := a.workers(Request{Parallelism: tc.request}); got != tc.want {
+			t.Errorf("session %d, request %d: workers %d, want %d",
+				tc.session, tc.request, got, tc.want)
+		}
+	}
+}
+
+// TestAdmissionControl: with every MaxConcurrent slot held, a caller
+// waits without building anything and leaves the queue the moment
+// its context dies.
+func TestAdmissionControl(t *testing.T) {
+	a := NewAnalyzer(Options{Device: SliceDevice(DefaultDevice(), 6), MaxConcurrent: 1})
+	a.admit <- struct{}{} // occupy the only slot
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Analyze(ctx, Request{Kernel: "matmul16", Size: 64})
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued request returned %v, want context.Canceled", err)
+	}
+	<-a.admit // release; the slot must still be intact
+}
+
+// TestMeasureNoCalibration: Measure works on a fresh session without
+// ever calibrating (the architect-sweep path).
+func TestMeasureNoCalibration(t *testing.T) {
+	a := NewAnalyzer(Options{Device: SliceDevice(DefaultDevice(), 6)})
+	m, err := a.Measure(context.Background(), Request{Kernel: "matmul16", Size: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seconds <= 0 || m.Dominant == "" {
+		t.Errorf("bad measurement %+v", m)
+	}
+}

@@ -20,8 +20,7 @@ import (
 	"os"
 	"strings"
 
-	"gpuperf/internal/experiments"
-	"gpuperf/internal/prof"
+	"gpuperf"
 )
 
 func main() {
@@ -32,20 +31,16 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := gpuperf.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 
-	scale := experiments.Small
-	if *large {
-		scale = experiments.Large
-	}
-	suite := experiments.New(scale)
-	suite.Parallelism = *parallel
-
-	tables, err := suite.All()
+	tables, err := gpuperf.RunExperiments(gpuperf.ExperimentOptions{
+		Large:       *large,
+		Parallelism: *parallel,
+	})
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
 	}

@@ -19,10 +19,7 @@ import (
 	"fmt"
 	"os"
 
-	"gpuperf/internal/asm"
-	"gpuperf/internal/cubin"
-	"gpuperf/internal/isa"
-	"gpuperf/internal/microbench"
+	"gpuperf"
 )
 
 func main() {
@@ -64,12 +61,7 @@ func cmdAs(args []string) error {
 	if err != nil {
 		return err
 	}
-	progs, err := asm.AssembleAll(string(src))
-	if err != nil {
-		return err
-	}
-	c := &cubin.Container{Kernels: progs}
-	raw, err := c.Marshal()
+	raw, err := gpuperf.AssembleText(string(src))
 	if err != nil {
 		return err
 	}
@@ -86,14 +78,11 @@ func cmdDis(args []string) error {
 	if err != nil {
 		return err
 	}
-	c, err := cubin.Unmarshal(raw)
+	text, err := gpuperf.DisassembleContainer(raw)
 	if err != nil {
 		return err
 	}
-	for _, k := range c.Kernels {
-		fmt.Print(asm.Disassemble(k))
-		fmt.Println()
-	}
+	fmt.Print(text)
 	return nil
 }
 
@@ -110,22 +99,11 @@ func cmdRewrite(args []string) error {
 	if err != nil {
 		return err
 	}
-	c, err := cubin.Unmarshal(raw)
-	if err != nil {
-		return err
-	}
 	src, err := os.ReadFile(*with)
 	if err != nil {
 		return err
 	}
-	repl, err := asm.Assemble(string(src))
-	if err != nil {
-		return err
-	}
-	if err := c.Rewrite(*kernel, repl); err != nil {
-		return err
-	}
-	raw2, err := c.Marshal()
+	raw2, err := gpuperf.RewriteKernel(raw, *kernel, string(src))
 	if err != nil {
 		return err
 	}
@@ -142,38 +120,15 @@ func cmdGen(args []string) error {
 	out := fs.String("o", "bench.gcub", "output container")
 	fs.Parse(args)
 
-	var prog *isa.Program
-	var err error
-	switch *kind {
-	case "ichain":
-		opcode, ok := opByName(*op)
-		if !ok {
-			return fmt.Errorf("unknown op %q", *op)
-		}
-		prog, err = microbench.InstrChain(opcode, *n)
-	case "scopy":
-		prog, err = microbench.SharedCopy(*n, *stride)
-	case "gstream":
-		prog, err = microbench.GlobalStream(*n, *threads, 1<<22)
-	default:
-		return fmt.Errorf("unknown kind %q", *kind)
-	}
-	if err != nil {
-		return err
-	}
-	c := &cubin.Container{Kernels: []*isa.Program{prog}}
-	raw, err := c.Marshal()
+	raw, err := gpuperf.Microbenchmark(gpuperf.MicrobenchSpec{
+		Kind:    *kind,
+		Op:      *op,
+		N:       *n,
+		Stride:  *stride,
+		Threads: *threads,
+	})
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(*out, raw, 0o644)
-}
-
-func opByName(name string) (isa.Opcode, bool) {
-	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
-		if op.String() == name {
-			return op, true
-		}
-	}
-	return 0, false
 }

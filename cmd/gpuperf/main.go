@@ -2,50 +2,52 @@
 // on one of the built-in case-study kernels and prints the model's
 // report: per-component times, bottleneck, causes, per-stage
 // breakdown, and the measured (device-simulator) time next to the
-// prediction.
+// prediction. It is a thin shell over the public gpuperf API — the
+// same analysis a service embeds via gpuperf.NewAnalyzer.
 //
 // Usage:
 //
 //	gpuperf -kernel matmul16 | matmul8 | matmul32 | cr | cr-nbc |
-//	        spmv-ell | spmv-bell-im | spmv-bell-imiv
-//	        [-disasm] [-n size] [-p workers]
-//	        [-cpuprofile file] [-memprofile file]
+//	        cr-fwd | spmv-ell | spmv-bell-im | spmv-bell-imiv
+//	        [-disasm] [-n size] [-seed n] [-p workers] [-cal file]
+//	        [-json] [-cpuprofile file] [-memprofile file]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
-	"gpuperf/internal/asm"
-	"gpuperf/internal/barra"
-	"gpuperf/internal/device"
-	"gpuperf/internal/gpu"
-	"gpuperf/internal/kernels"
-	"gpuperf/internal/model"
-	"gpuperf/internal/prof"
-	"gpuperf/internal/sparse"
-	"gpuperf/internal/timing"
-	"gpuperf/internal/tridiag"
+	"gpuperf"
 )
 
 func main() {
 	kernel := flag.String("kernel", "matmul16", "kernel to analyze")
 	disasm := flag.Bool("disasm", false, "print the kernel disassembly and exit")
 	n := flag.Int("n", 0, "problem size override (matrix dim / systems / block rows)")
+	seed := flag.Int64("seed", 0, "input-generation seed (0 = default)")
 	calFile := flag.String("cal", "", "calibration cache file (loaded if present, written after calibrating)")
 	parallel := flag.Int("p", 0, "functional-simulation worker goroutines (0 = all cores, 1 = serial)")
+	skipVerify := flag.Bool("skip-verify", false, "skip the (single-threaded) CPU-reference check of the functional output")
+	asJSON := flag.Bool("json", false, "print the result as JSON instead of the text report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := gpuperf.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpuperf: %v\n", err)
 		os.Exit(1)
 	}
-	runErr := run(*kernel, *disasm, *n, *calFile, *parallel)
+	runErr := run(gpuperf.Request{
+		Kernel:     *kernel,
+		Size:       *n,
+		Seed:       *seed,
+		Measure:    true,
+		SkipVerify: *skipVerify,
+	}, *disasm, *calFile, *parallel, *asJSON)
 	if err := stopProf(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -55,132 +57,47 @@ func main() {
 	}
 }
 
-func run(kernel string, disasm bool, n int, calFile string, parallel int) error {
-	cfg := gpu.GTX285()
-	l, mem, err := buildKernel(cfg, kernel, n)
-	if err != nil {
-		return err
-	}
+func run(req gpuperf.Request, disasm bool, calFile string, parallel int, asJSON bool) error {
+	a := gpuperf.NewAnalyzer(gpuperf.Options{
+		Parallelism:     parallel,
+		CalibrationPath: calFile,
+	})
 	if disasm {
-		fmt.Print(asm.Disassemble(l.Prog))
+		text, err := a.Registry().Disassemble(a.Device(), req.Kernel, gpuperf.Params{Size: req.Size, Seed: req.Seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
 		return nil
 	}
 
-	fmt.Printf("device: %s (%d SMs, %.0f GFLOPS peak)\n", cfg.Name, cfg.NumSMs, cfg.PeakGFLOPS())
-	fmt.Printf("kernel: %s, %d blocks x %d threads\n\n", l.Prog.Name, l.Grid, l.Block)
-
-	cal, err := obtainCalibration(cfg, calFile)
-	if err != nil {
+	dev := a.Device()
+	fmt.Printf("device: %s (%d SMs, %.0f GFLOPS peak)\n", dev.Name, dev.NumSMs, dev.PeakGFLOPS())
+	fmt.Println("calibrating model (microbenchmarks; skipped when the -cal cache is valid)...")
+	if err := a.Calibrate(); err != nil {
 		return err
+	}
+	switch {
+	case a.CalibrationFromCache():
+		fmt.Printf("loaded calibration from %s\n", calFile)
+	case calFile == "":
+		fmt.Println("calibrated model (microbenchmarks; cache with -cal)")
+	case a.CalibrationSaveError() != nil:
+		fmt.Printf("calibrated model (warning: could not save to %s: %v)\n", calFile, a.CalibrationSaveError())
+	default:
+		fmt.Printf("calibrated model, saved to %s\n", calFile)
 	}
 
-	est, _, err := model.Predict(cal, l, mem, &barra.Options{Parallelism: parallel})
+	res, err := a.Analyze(context.Background(), req)
 	if err != nil {
 		return err
 	}
-	fmt.Println(est.Report())
-
-	// Measured time on a fresh copy of the data.
-	_, mem2, err := buildKernel(cfg, kernel, n)
-	if err != nil {
-		return err
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
 	}
-	meas, err := device.Run(cfg, l, mem2)
-	if err != nil {
-		return err
-	}
-	fmt.Println("measured (device simulator):")
-	fmt.Println(meas.Report())
-	fmt.Printf("prediction error: %.1f%%\n", est.CompareError(meas.Seconds)*100)
+	fmt.Println()
+	fmt.Print(res.Report())
 	return nil
-}
-
-// obtainCalibration loads the calibration cache when available and
-// valid for this configuration; otherwise it calibrates and, when a
-// path was given, writes the cache.
-func obtainCalibration(cfg gpu.Config, path string) (*timing.Calibration, error) {
-	if path != "" {
-		if data, err := os.ReadFile(path); err == nil {
-			if cal, err := timing.LoadCalibration(data); err == nil && cal.Config().Name == cfg.Name {
-				fmt.Printf("loaded calibration from %s\n", path)
-				return cal, nil
-			}
-		}
-	}
-	fmt.Println("calibrating model (microbenchmarks)...")
-	cal, err := timing.Calibrate(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if path != "" {
-		data, err := cal.MarshalJSON()
-		if err != nil {
-			return nil, err
-		}
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			return nil, err
-		}
-		fmt.Printf("saved calibration to %s\n", path)
-	}
-	return cal, nil
-}
-
-func buildKernel(cfg gpu.Config, kernel string, n int) (barra.Launch, *barra.Memory, error) {
-	rng := rand.New(rand.NewSource(1))
-	switch kernel {
-	case "matmul8", "matmul16", "matmul32":
-		tile := map[string]int{"matmul8": 8, "matmul16": 16, "matmul32": 32}[kernel]
-		if n == 0 {
-			n = 256
-		}
-		mm, err := kernels.NewMatmul(n, tile)
-		if err != nil {
-			return barra.Launch{}, nil, err
-		}
-		a := make([]float32, n*n)
-		b := make([]float32, n*n)
-		for i := range a {
-			a[i], b[i] = rng.Float32(), rng.Float32()
-		}
-		mem, err := mm.NewMemory(a, b)
-		return mm.Launch(), mem, err
-
-	case "cr", "cr-nbc":
-		if n == 0 {
-			n = 128
-		}
-		solver, err := kernels.NewCR(cfg, n, 512, kernel == "cr-nbc", false)
-		if err != nil {
-			return barra.Launch{}, nil, err
-		}
-		systems := make([]tridiag.System, n)
-		for i := range systems {
-			systems[i] = tridiag.NewRandom(512, rng)
-		}
-		mem, err := solver.NewMemory(systems)
-		return solver.Launch(), mem, err
-
-	case "spmv-ell", "spmv-bell-im", "spmv-bell-imiv":
-		if n == 0 {
-			n = 8192
-		}
-		kind := map[string]kernels.SpMVKind{
-			"spmv-ell": kernels.ELL, "spmv-bell-im": kernels.BELLIM, "spmv-bell-imiv": kernels.BELLIMIV,
-		}[kernel]
-		m, err := sparse.GenQCDLike(n, 9, rng)
-		if err != nil {
-			return barra.Launch{}, nil, err
-		}
-		sp, err := kernels.NewSpMV(kind, m)
-		if err != nil {
-			return barra.Launch{}, nil, err
-		}
-		x := make([]float32, m.Rows())
-		for i := range x {
-			x[i] = rng.Float32()
-		}
-		mem, err := sp.NewMemory(x)
-		return sp.Launch(), mem, err
-	}
-	return barra.Launch{}, nil, fmt.Errorf("unknown kernel %q", kernel)
 }

@@ -1,0 +1,113 @@
+// Command gpuperfd serves the analysis workflow over HTTP: one
+// Analyzer session (one device, one cached calibration) handling
+// concurrent requests.
+//
+//	gpuperfd [-addr :8080] [-sms n] [-cal file] [-p workers]
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness probe
+//	GET  /v1/kernels   list the registry's kernels
+//	POST /v1/analyze   {"kernel":"matmul16","size":64,"seed":7} → Result
+//
+// -sms slices the device to n streaming multiprocessors (per-SM
+// behaviour is unchanged; calibration and small workloads run
+// faster). -cal points at an on-disk calibration cache so restarts
+// skip recalibration. Aborted client connections cancel their
+// in-flight simulations.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpuperf"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	sms := flag.Int("sms", 0, "slice the device to this many SMs (0 = full chip)")
+	calFile := flag.String("cal", "", "calibration cache file (loaded if present, written after calibrating)")
+	parallel := flag.Int("p", 0, "functional-simulation worker goroutines per request (0 = all cores)")
+	precalibrate := flag.Bool("precalibrate", false, "calibrate before accepting traffic instead of on the first request")
+	flag.Parse()
+
+	dev := gpuperf.SliceDevice(gpuperf.DefaultDevice(), *sms)
+	a := gpuperf.NewAnalyzer(gpuperf.Options{
+		Device:          dev,
+		Parallelism:     *parallel,
+		CalibrationPath: *calFile,
+	})
+	log.Printf("gpuperfd: device %s (%d SMs), kernels %v", dev.Name, dev.NumSMs, a.Registry().Names())
+	if *precalibrate {
+		log.Printf("gpuperfd: calibrating...")
+		if err := a.Calibrate(); err != nil {
+			log.Fatalf("gpuperfd: calibration: %v", err)
+		}
+		if a.CalibrationFromCache() {
+			log.Printf("gpuperfd: calibration loaded from %s", *calFile)
+		} else if err := a.CalibrationSaveError(); err != nil {
+			log.Printf("gpuperfd: calibration ready (cache not saved: %v)", err)
+		} else {
+			log.Printf("gpuperfd: calibration ready")
+		}
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: logRequests(gpuperf.NewHandler(a)),
+		// Bound hostile/stalled connections. No WriteTimeout: a cold
+		// first analyze legitimately takes tens of seconds while the
+		// model calibrates.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("gpuperfd: listening on %s", *addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("gpuperfd: %v", err)
+	case <-stop:
+		log.Printf("gpuperfd: shutting down")
+		// Give in-flight analyses time to finish: a cold request can
+		// legitimately run tens of seconds (calibration + simulation).
+		ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				log.Printf("gpuperfd: shutdown grace expired; aborting in-flight requests")
+			} else {
+				log.Printf("gpuperfd: shutdown: %v", err)
+			}
+		}
+	}
+}
+
+// logRequests is a minimal access log: method, path, duration.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%s)", r.Method, r.URL.Path, fmtDuration(time.Since(start)))
+	})
+}
+
+func fmtDuration(d time.Duration) string {
+	if d < time.Second {
+		return d.Round(time.Millisecond).String()
+	}
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}

@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"os"
 
-	"gpuperf/internal/experiments"
+	"gpuperf"
 )
 
 func main() {
@@ -17,28 +17,16 @@ func main() {
 	chart := flag.Bool("chart", false, "render ASCII bar charts instead of tables")
 	flag.Parse()
 
-	scale := experiments.Small
-	if *large {
-		scale = experiments.Large
+	curves, err := gpuperf.MicrobenchCurves(gpuperf.ExperimentOptions{Large: *large})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
+		os.Exit(1)
 	}
-	s := experiments.New(scale)
-
-	type curve struct {
-		run func() (*experiments.Table, error)
-		col int // charted column
-	}
-	for _, c := range []curve{
-		{s.Table1, 3}, {s.Figure2Instr, 2}, {s.Figure2Shared, 1}, {s.Figure3Global, 1},
-	} {
-		tb, err := c.run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
-			os.Exit(1)
-		}
+	for _, c := range curves {
 		if *chart {
-			fmt.Println(tb.Chart(c.col, 50))
+			fmt.Println(c.Table.Chart(c.ChartColumn, 50))
 		} else {
-			tb.Fprint(os.Stdout)
+			c.Table.Fprint(os.Stdout)
 		}
 	}
 }

@@ -1,0 +1,46 @@
+package gpuperf
+
+import (
+	"fmt"
+
+	"gpuperf/internal/gpu"
+)
+
+// Device describes the simulated GPU a session analyzes for. It is
+// the facade's name for the internal configuration type: fields are
+// exported and may be adjusted before constructing an Analyzer (the
+// architect example sweeps bank counts, SM resources and transaction
+// granularity this way), but most callers start from DefaultDevice.
+type Device = gpu.Config
+
+// DefaultDevice returns the paper's test platform, the GeForce
+// GTX 285 (30 SMs in 10 clusters, 16-bank shared memory, 512-bit
+// GDDR3 interface).
+func DefaultDevice() Device { return gpu.GTX285() }
+
+// SliceDevice returns a copy of dev cut down to at most sms
+// streaming multiprocessors. Per-SM and per-cluster behaviour —
+// occupancy, bank conflicts, coalescing, the shared memory pipeline
+// per cluster — is unchanged; only chip-level throughput scales. To
+// preserve the cluster structure, sms is rounded down to a whole
+// number of clusters (GTX 285: multiples of 3), so results stay
+// comparable across slice sizes; asking for fewer SMs than one
+// cluster keeps one whole cluster. Small workloads analyzed on a
+// slice keep several blocks resident per SM, which the paper's
+// occupancy effects need; the examples use a 6-SM (two-cluster)
+// slice.
+func SliceDevice(dev Device, sms int) Device {
+	if sms <= 0 || sms >= dev.NumSMs || dev.SMsPerCluster <= 0 {
+		return dev
+	}
+	if sms < dev.SMsPerCluster {
+		sms = dev.SMsPerCluster
+	}
+	sms -= sms % dev.SMsPerCluster
+	if sms >= dev.NumSMs {
+		return dev
+	}
+	dev.NumSMs = sms
+	dev.Name += fmt.Sprintf("-%dsm", sms)
+	return dev
+}

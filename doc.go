@@ -1,13 +1,32 @@
 // Package gpuperf is a reproduction of "A Quantitative Performance
 // Analysis Model for GPU Architectures" (Zhang & Owens, HPCA 2011)
-// as a pure-Go library.
+// as a pure-Go library, fronted by a stable public API.
 //
-// The paper's workflow — native-ISA kernels, a functional simulator
-// collecting dynamic statistics, microbenchmark-calibrated
-// throughput curves, and a three-component performance model that
-// identifies bottlenecks — lives under internal/ (one package per
-// subsystem; see DESIGN.md for the inventory). Executables are in
-// cmd/, runnable case studies in examples/, and the benchmark
-// harness regenerating every paper table and figure in
+// The root package is the one supported way to use the system. Its
+// pieces mirror the paper's Fig. 1 workflow:
+//
+//   - A Registry names the built-in case-study kernels (dense
+//     matmul, cyclic reduction, SpMV) and builds deterministic
+//     problem instances from (size, seed) parameters.
+//   - An Analyzer is a reusable session: it owns a Device
+//     configuration and its lazily-built, cached calibration, runs
+//     the functional simulation (sharded across workers, abortable
+//     via context), applies the three-component model, and returns a
+//     fully JSON-serializable Result with the bottleneck verdict,
+//     causes, per-stage breakdown and dynamic-statistics summary.
+//     AnalyzeBatch amortizes the calibration across many requests.
+//   - NewHandler exposes the session over HTTP (cmd/gpuperfd):
+//     POST /v1/analyze, GET /v1/kernels, GET /healthz.
+//   - RunExperiments and MicrobenchCurves regenerate the paper's
+//     evaluation tables and microbenchmark figures; AssembleText,
+//     DisassembleContainer, RewriteKernel and Microbenchmark are the
+//     binary-toolchain front door.
+//
+// The paper's machinery — native-ISA kernels, the barra functional
+// simulator, microbenchmark-calibrated throughput curves, the
+// performance model — lives under internal/ (one package per
+// subsystem; see DESIGN.md) and is free to churn behind this facade.
+// Executables are in cmd/, runnable case studies in examples/, and
+// the benchmark harness regenerating every paper table and figure in
 // bench_test.go next to this file.
 package gpuperf

@@ -1,60 +1,66 @@
-// Architect example: use the model and device simulator the way the
-// paper's §5 conclusions suggest a GPU architect would — sweep the
+// Architect example: use the device simulator the way the paper's
+// §5 conclusions suggest a GPU architect would — sweep the
 // architectural improvements (prime bank count, bigger SMs, finer
 // memory transactions, early resource release) against the three
-// case studies and print which workloads each change helps.
+// case studies and print which workloads each change helps. Each
+// variant is one Analyzer over a modified Device; Measure runs the
+// timing simulator without paying for a model calibration.
 //
 //	go run ./examples/architect
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"gpuperf/internal/device"
-	"gpuperf/internal/gpu"
-	"gpuperf/internal/kernels"
-	"gpuperf/internal/sparse"
-	"gpuperf/internal/tridiag"
+	"gpuperf"
 )
 
-type workload struct {
-	name string
-	run  func(cfg gpu.Config) (float64, error) // seconds
+// workloads are the three stress cases: the occupancy-starved 32×32
+// matmul tile, conflicted cyclic reduction (forward phase), and
+// SpMV with uncoalesced vector loads. Fixed seeds mean every
+// variant measures the identical problem instance.
+var workloads = []gpuperf.Request{
+	{Kernel: "matmul32", Size: 256, Seed: 7},
+	{Kernel: "cr-fwd", Size: 24, Seed: 7},
+	{Kernel: "spmv-bell-im", Size: 2048, Seed: 7},
 }
 
 func main() {
-	base := gpu.GTX285()
-	base.NumSMs = 6 // two-cluster slice: fast, same per-SM behaviour
-	base.Name = "GTX285-6sm"
+	base := gpuperf.SliceDevice(gpuperf.DefaultDevice(), 6) // two-cluster slice: fast, same per-SM behaviour
 
 	variants := []struct {
 		name string
-		cfg  gpu.Config
+		dev  gpuperf.Device
 	}{
-		{"17 banks (prime)", with(base, func(c *gpu.Config) { c.SharedMemBanks = 17 })},
-		{"3x regs+smem", with(base, func(c *gpu.Config) { c.RegistersPerSM *= 3; c.SharedMemPerSM *= 3 })},
-		{"16B transactions", with(base, func(c *gpu.Config) { c.MinSegmentBytes = 16 })},
-		{"early release", with(base, func(c *gpu.Config) { c.EarlyRelease = true })},
+		{"17 banks (prime)", with(base, func(d *gpuperf.Device) { d.SharedMemBanks = 17 })},
+		{"3x regs+smem", with(base, func(d *gpuperf.Device) { d.RegistersPerSM *= 3; d.SharedMemPerSM *= 3 })},
+		{"16B transactions", with(base, func(d *gpuperf.Device) { d.MinSegmentBytes = 16 })},
+		{"early release", with(base, func(d *gpuperf.Device) { d.EarlyRelease = true })},
 	}
 
-	workloads := buildWorkloads()
+	ctx := context.Background()
+	measure := func(dev gpuperf.Device) []float64 {
+		a := gpuperf.NewAnalyzer(gpuperf.Options{Device: dev})
+		out := make([]float64, len(workloads))
+		for i, req := range workloads {
+			m, err := a.Measure(ctx, req)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out[i] = m.Seconds
+		}
+		return out
+	}
 
 	fmt.Printf("%-22s", "variant \\ workload")
 	for _, w := range workloads {
-		fmt.Printf("  %-14s", w.name)
+		fmt.Printf("  %-14s", w.Kernel)
 	}
 	fmt.Println()
 
-	baseline := make([]float64, len(workloads))
-	for i, w := range workloads {
-		t, err := w.run(base)
-		if err != nil {
-			log.Fatal(err)
-		}
-		baseline[i] = t
-	}
+	baseline := measure(base)
 	fmt.Printf("%-22s", "baseline (ms)")
 	for _, t := range baseline {
 		fmt.Printf("  %-14.4g", t*1e3)
@@ -62,12 +68,9 @@ func main() {
 	fmt.Println()
 
 	for _, v := range variants {
+		times := measure(v.dev)
 		fmt.Printf("%-22s", v.name)
-		for i, w := range workloads {
-			t, err := w.run(v.cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for i, t := range times {
 			fmt.Printf("  %-14s", fmt.Sprintf("%.2fx", baseline[i]/t))
 		}
 		fmt.Println()
@@ -76,75 +79,8 @@ func main() {
 	fmt.Println("bigger SMs rescue the 32x32 matmul tile, finer transactions help SpMV)")
 }
 
-func with(c gpu.Config, mutate func(*gpu.Config)) gpu.Config {
-	mutate(&c)
-	c.Name += "+variant"
-	return c
-}
-
-func buildWorkloads() []workload {
-	rng := rand.New(rand.NewSource(7))
-
-	// Matmul 32×32 (the occupancy-starved tile).
-	const n = 256
-	mm, err := kernels.NewMatmul(n, 32)
-	if err != nil {
-		log.Fatal(err)
-	}
-	a := make([]float32, n*n)
-	for i := range a {
-		a[i] = rng.Float32()
-	}
-
-	// Cyclic reduction, plain (conflicted).
-	const systems = 24
-	cr, err := kernels.NewCR(gpu.GTX285(), systems, 512, false, true)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sys := make([]tridiag.System, systems)
-	for i := range sys {
-		sys[i] = tridiag.NewRandom(512, rng)
-	}
-
-	// SpMV BELL+IM (uncoalesced vector loads).
-	m, err := sparse.GenQCDLike(2048, 9, rng)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sp, err := kernels.NewSpMV(kernels.BELLIM, m)
-	if err != nil {
-		log.Fatal(err)
-	}
-	x := make([]float32, m.Rows())
-	for i := range x {
-		x[i] = rng.Float32()
-	}
-
-	return []workload{
-		{"matmul 32x32", func(cfg gpu.Config) (float64, error) {
-			mem, err := mm.NewMemory(a, a)
-			if err != nil {
-				return 0, err
-			}
-			r, err := device.Run(cfg, mm.Launch(), mem)
-			return r.Seconds, err
-		}},
-		{"CR fwd", func(cfg gpu.Config) (float64, error) {
-			mem, err := cr.NewMemory(sys)
-			if err != nil {
-				return 0, err
-			}
-			r, err := device.Run(cfg, cr.Launch(), mem)
-			return r.Seconds, err
-		}},
-		{"SpMV BELL+IM", func(cfg gpu.Config) (float64, error) {
-			mem, err := sp.NewMemory(x)
-			if err != nil {
-				return 0, err
-			}
-			r, err := device.Run(cfg, sp.Launch(), mem)
-			return r.Seconds, err
-		}},
-	}
+func with(d gpuperf.Device, mutate func(*gpuperf.Device)) gpuperf.Device {
+	mutate(&d)
+	d.Name += "+variant"
+	return d
 }

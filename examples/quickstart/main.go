@@ -1,82 +1,52 @@
-// Quickstart: build a small kernel with the builder DSL, run the
-// paper's analysis workflow on it, and print the bottleneck verdict.
+// Quickstart: the public gpuperf API in one page. Build an Analyzer
+// session, analyze a built-in kernel, read the bottleneck verdict
+// off the serializable Result — the same three calls a service
+// makes per request.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 
-	"gpuperf/internal/barra"
-	"gpuperf/internal/gpu"
-	"gpuperf/internal/isa"
-	"gpuperf/internal/kbuild"
-	"gpuperf/internal/model"
-	"gpuperf/internal/timing"
+	"gpuperf"
 )
 
 func main() {
-	// A SAXPY-like kernel: y[i] = a*x[i] + y[i], one element per
-	// thread, expressed directly in the native ISA.
-	const elems = 1 << 16
-	b := kbuild.New("saxpy")
-	tid := b.Reg()
-	ntid := b.Reg()
-	cta := b.Reg()
-	addr := b.Reg()
-	x := b.Reg()
-	y := b.Reg()
-	a := b.Reg()
-	b.S2R(tid, isa.SRTid)
-	b.S2R(ntid, isa.SRNtid)
-	b.S2R(cta, isa.SRCtaid)
-	b.IMad(addr, cta, ntid, tid) // flat thread id
-	b.ShlImm(addr, addr, 2)
-	b.MovF(a, 2.5)
-	b.Gld(x, addr)             // x[i] at offset 0
-	b.GldOff(y, addr, elems*4) // y[i] in the second array
-	b.FMad(y, a, x, y)
-	b.GstOff(addr, y, elems*4)
-	b.Exit()
-	prog := b.MustProgram()
+	// A 6-SM slice of the GTX 285 keeps calibration and the run
+	// fast; per-SM behaviour is identical to the full chip.
+	dev := gpuperf.SliceDevice(gpuperf.DefaultDevice(), 6)
+	a := gpuperf.NewAnalyzer(gpuperf.Options{Device: dev})
 
-	cfg := gpu.GTX285()
-	fmt.Printf("built %q: %d instructions, %d registers/thread\n",
-		prog.Name, len(prog.Code), prog.RegsPerThread)
+	fmt.Printf("device: %s — kernels: %v\n", a.Device().Name, a.Registry().Names())
+	fmt.Println("calibrating (the first analysis pays it; the session reuses it)...")
 
-	// Calibrate the model's throughput curves by running the §4
-	// microbenchmarks on the device simulator.
-	fmt.Println("calibrating...")
-	cal, err := timing.Calibrate(cfg)
+	res, err := a.Analyze(context.Background(), gpuperf.Request{
+		Kernel: "matmul16",
+		Size:   128,
+		Seed:   7,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Fill device memory with input data.
-	mem := barra.NewMemory(2 * elems * 4)
-	for i := 0; i < elems; i++ {
-		if err := mem.SetFloat32(uint32(i*4), float32(i)); err != nil {
-			log.Fatal(err)
-		}
-	}
+	fmt.Println()
+	fmt.Print(res.Report())
 
-	// Run the workflow: functional simulation collects dynamic
-	// statistics, then the model produces the analysis.
-	launch := barra.Launch{Prog: prog, Grid: elems / 256, Block: 256}
-	est, stats, err := model.Predict(cal, launch, mem, nil)
+	// The Result is plain data: everything above round-trips
+	// through JSON, which is exactly what gpuperfd serves.
+	blob, err := json.MarshalIndent(map[string]any{
+		"bottleneck":     res.Bottleneck,
+		"predicted_ms":   res.PredictedSeconds * 1e3,
+		"density":        res.Diagnostics.Density,
+		"active_warps":   res.Occupancy.ActiveWarps,
+		"verified_error": res.MaxAbsError,
+	}, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("\n%s\n", est.Report())
-	fmt.Printf("dynamic instructions: %d warp-level (%.0f%% MAD)\n",
-		stats.Total.WarpInstrs, stats.InstructionDensity()*100)
-
-	// Sanity check the result.
-	v, err := mem.Float32(uint32(7*4 + elems*4))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("y[7] = %v (want %v)\n", v, 2.5*7.0)
+	fmt.Printf("\nas JSON:\n%s\n", blob)
 }

@@ -1,100 +1,55 @@
 // Case study 2 (paper §5.2): the cyclic-reduction tridiagonal
 // solver. Shows the per-step bottleneck migration of Fig. 6, the
-// constant-transactions symptom of bank conflicts (Fig. 7b), and
-// the ~1.6x win of the padding remedy (Fig. 8) — then verifies both
-// solvers against the sequential Thomas algorithm.
+// bank-conflict factor the diagnostics expose (Fig. 7b), and the
+// ~1.6x win of the padding remedy (Fig. 8) — with both solvers
+// verified against the sequential Thomas algorithm by the
+// registry's built-in check.
 //
 //	go run ./examples/tridiag [-systems 64]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"gpuperf/internal/device"
-	"gpuperf/internal/gpu"
-	"gpuperf/internal/kernels"
-	"gpuperf/internal/model"
-	"gpuperf/internal/timing"
-	"gpuperf/internal/tridiag"
+	"gpuperf"
 )
-
-const equations = 512
 
 func main() {
 	nsys := flag.Int("systems", 64, "number of independent systems")
 	flag.Parse()
 
-	cfg := gpu.GTX285()
+	a := gpuperf.NewAnalyzer(gpuperf.Options{})
 	fmt.Println("calibrating...")
-	cal, err := timing.Calibrate(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	rng := rand.New(rand.NewSource(4))
-	systems := make([]tridiag.System, *nsys)
-	for i := range systems {
-		systems[i] = tridiag.NewRandom(equations, rng)
-	}
 
 	var measured [2]float64
-	for i, nbc := range []bool{false, true} {
-		name := "CR"
-		if nbc {
-			name = "CR-NBC (padded)"
-		}
-		solver, err := kernels.NewCR(cfg, *nsys, equations, nbc, false)
+	for i, kernel := range []string{"cr", "cr-nbc"} {
+		res, err := a.Analyze(context.Background(), gpuperf.Request{
+			Kernel:  kernel,
+			Size:    *nsys,
+			Seed:    4,
+			Measure: true,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		mem, err := solver.NewMemory(systems)
-		if err != nil {
-			log.Fatal(err)
-		}
-		est, stats, err := model.Predict(cal, solver.Launch(), mem, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
+		measured[i] = res.MeasuredSeconds
 
-		// Verify: the functional run above already solved in mem.
-		worst := 0.0
-		for s := 0; s < *nsys; s++ {
-			x, err := solver.ReadX(mem, s)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if r := systems[s].Residual(x); r > worst {
-				worst = r
-			}
-		}
-
-		mem2, err := solver.NewMemory(systems)
-		if err != nil {
-			log.Fatal(err)
-		}
-		meas, err := device.Run(cfg, solver.Launch(), mem2)
-		if err != nil {
-			log.Fatal(err)
-		}
-		measured[i] = meas.Seconds
-
-		fmt.Printf("\n=== %s: %d systems x %d equations ===\n", name, *nsys, equations)
-		fmt.Printf("worst residual: %.2g (Thomas-algorithm quality)\n", worst)
-		fmt.Printf("bank-conflict factor: %.2f\n", stats.BankConflictFactor())
+		fmt.Printf("\n=== %s: %d systems x 512 equations ===\n", kernel, *nsys)
+		fmt.Printf("worst residual: %.2g (Thomas-algorithm quality)\n", *res.MaxAbsError)
+		fmt.Printf("bank-conflict factor: %.2f\n", res.Diagnostics.BankConflictFactor)
 		fmt.Printf("bottleneck: %s; predicted %.4g ms, measured %.4g ms\n",
-			est.Bottleneck, est.TotalSeconds*1e3, meas.Seconds*1e3)
+			res.Bottleneck, res.PredictedSeconds*1e3, res.MeasuredSeconds*1e3)
 		fmt.Println("forward-reduction steps (model):")
-		limit := 6
-		for _, st := range est.Stages {
-			if st.Index > limit {
+		for _, st := range res.Stages {
+			if st.Index > 6 {
 				break
 			}
 			fmt.Printf("  step %d: shared %.4g ms, instr %.4g ms -> %s (%d warps)\n",
-				st.Index, st.Times[model.CompShared]*1e3,
-				st.Times[model.CompInstruction]*1e3, st.Bottleneck, st.Warps)
+				st.Index, st.SharedSeconds*1e3, st.InstructionSeconds*1e3,
+				st.Bottleneck, st.Warps)
 		}
 	}
 	fmt.Printf("\npadding speedup: %.2fx (paper: 1.6x)\n", measured[0]/measured[1])

@@ -1,0 +1,65 @@
+package gpuperf
+
+import "gpuperf/internal/experiments"
+
+// ExperimentTable is one experiment's output: a titled grid of
+// labelled series with Fprint/String/Chart renderers.
+type ExperimentTable = experiments.Table
+
+// ExperimentOptions tunes an evaluation-suite run.
+type ExperimentOptions struct {
+	// Large runs paper-scale workloads (minutes); the default small
+	// scale finishes in under a minute.
+	Large bool
+	// Parallelism is the functional-simulation worker count per
+	// launch (0 = all host cores, 1 = serial). Results are identical
+	// at any setting.
+	Parallelism int
+}
+
+func newSuite(opt ExperimentOptions) *experiments.Suite {
+	scale := experiments.Small
+	if opt.Large {
+		scale = experiments.Large
+	}
+	s := experiments.New(scale)
+	s.Parallelism = opt.Parallelism
+	return s
+}
+
+// RunExperiments regenerates every table and figure of the paper's
+// evaluation section plus the architectural-improvement ablations.
+// On error the tables completed so far are returned alongside it.
+func RunExperiments(opt ExperimentOptions) ([]*ExperimentTable, error) {
+	return newSuite(opt).All()
+}
+
+// MicrobenchCurve pairs one §4 microbenchmark table with the column
+// to chart when rendering it as a saturation curve.
+type MicrobenchCurve struct {
+	Table       *ExperimentTable
+	ChartColumn int
+}
+
+// MicrobenchCurves regenerates the paper's microbenchmark figures:
+// the Table 1 instruction classes, instruction throughput and
+// shared-memory bandwidth versus warps per SM (Fig. 2), and the
+// synthetic global-memory bandwidth sweep (Fig. 3).
+func MicrobenchCurves(opt ExperimentOptions) ([]MicrobenchCurve, error) {
+	s := newSuite(opt)
+	type curve struct {
+		run func() (*ExperimentTable, error)
+		col int
+	}
+	var out []MicrobenchCurve
+	for _, c := range []curve{
+		{s.Table1, 3}, {s.Figure2Instr, 2}, {s.Figure2Shared, 1}, {s.Figure3Global, 1},
+	} {
+		tb, err := c.run()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, MicrobenchCurve{Table: tb, ChartColumn: c.col})
+	}
+	return out, nil
+}

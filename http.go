@@ -1,0 +1,78 @@
+package gpuperf
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// NewHandler exposes an Analyzer over HTTP:
+//
+//	GET  /healthz      liveness probe ("ok")
+//	GET  /v1/kernels   JSON list of the registry's kernel specs
+//	POST /v1/analyze   body: a Request; response: a Result
+//
+// Analysis errors map to status codes: 400 for a malformed body or
+// parameters the kernel rejects (including sizes beyond the spec's
+// MaxSize ceiling), 404 for an unknown kernel, 503 when the
+// request's context ends before the simulation does, 500 otherwise.
+// Error bodies are {"error": "..."}.
+func NewHandler(a *Analyzer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, a.Kernels())
+	})
+	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		// A Request is a handful of scalars; a body anywhere near the
+		// cap is garbage, and the cap keeps a hostile stream from
+		// growing the decode buffer without bound.
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
+				writeError(w, http.StatusRequestEntityTooLarge, err)
+			} else {
+				writeError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		if dec.More() {
+			writeError(w, http.StatusBadRequest, errors.New("gpuperf: trailing data after the request object"))
+			return
+		}
+		res, err := a.Analyze(r.Context(), req)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrUnknownKernel):
+				writeError(w, http.StatusNotFound, err)
+			case errors.Is(err, ErrInvalidRequest):
+				writeError(w, http.StatusBadRequest, err)
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				writeError(w, http.StatusServiceUnavailable, err)
+			default:
+				writeError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,140 @@
+package gpuperf
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerAnalyzeHappyPath: POST /v1/analyze returns a complete
+// JSON Result for a well-formed request.
+func TestHandlerAnalyzeHappyPath(t *testing.T) {
+	h := NewHandler(testAnalyzer(t))
+	req := httptest.NewRequest("POST", "/v1/analyze",
+		strings.NewReader(`{"kernel":"matmul16","size":64,"seed":7}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", rec.Code, rec.Body)
+	}
+	var res Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if res.Kernel != "matmul16" || res.Bottleneck == "" || res.PredictedSeconds <= 0 {
+		t.Errorf("incomplete result: %+v", res)
+	}
+}
+
+// TestHandlerAnalyzeUnknownKernel maps ErrUnknownKernel to 404.
+func TestHandlerAnalyzeUnknownKernel(t *testing.T) {
+	h := NewHandler(testAnalyzer(t))
+	req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(`{"kernel":"nope"}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404 (body %s)", rec.Code, rec.Body)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+		t.Errorf("error body should be {\"error\": ...}, got %s", rec.Body)
+	}
+}
+
+// TestHandlerAnalyzeMalformedBody maps JSON errors to 400 — both
+// syntax errors and unknown fields.
+func TestHandlerAnalyzeMalformedBody(t *testing.T) {
+	h := NewHandler(testAnalyzer(t))
+	for _, body := range []string{
+		`{"kernel":`,
+		`{"bogus_field":1}`,
+		``,
+		`{"kernel":"matmul16","size":64} {"kernel":"bogus"}`, // trailing object
+		`{"kernel":"matmul16","size":64} junk`,               // trailing garbage
+	} {
+		req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, rec.Code)
+		}
+	}
+}
+
+// TestHandlerAnalyzeOversizedBody: a body past the byte cap gets 413.
+func TestHandlerAnalyzeOversizedBody(t *testing.T) {
+	h := NewHandler(testAnalyzer(t))
+	body := `{"kernel":"` + strings.Repeat("x", 1<<17) + `"}`
+	req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", rec.Code)
+	}
+}
+
+// TestHandlerAnalyzeOversizedRequest: sizes beyond the kernel's
+// ceiling are the client's fault — 400, not an OOM or a 500.
+func TestHandlerAnalyzeOversizedRequest(t *testing.T) {
+	h := NewHandler(testAnalyzer(t))
+	req := httptest.NewRequest("POST", "/v1/analyze",
+		strings.NewReader(`{"kernel":"matmul32","size":32768}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+}
+
+// TestHandlerAnalyzeCancelledContext: a dead request context (the
+// client hung up) aborts the simulation and reports 503.
+func TestHandlerAnalyzeCancelledContext(t *testing.T) {
+	h := NewHandler(testAnalyzer(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/v1/analyze",
+		strings.NewReader(`{"kernel":"spmv-ell","size":4096}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (body %s)", rec.Code, rec.Body)
+	}
+}
+
+// TestHandlerKernels: GET /v1/kernels lists the registry.
+func TestHandlerKernels(t *testing.T) {
+	h := NewHandler(testAnalyzer(t))
+	req := httptest.NewRequest("GET", "/v1/kernels", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var specs []KernelSpec
+	if err := json.Unmarshal(rec.Body.Bytes(), &specs); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"matmul16", "cr-nbc", "spmv-bell-imiv"} {
+		if !names[want] {
+			t.Errorf("kernel list missing %s: %v", want, names)
+		}
+	}
+}
+
+// TestHandlerHealthz: the liveness probe needs no analyzer state.
+func TestHandlerHealthz(t *testing.T) {
+	h := NewHandler(NewAnalyzer(Options{}))
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %q", rec.Code, rec.Body)
+	}
+}

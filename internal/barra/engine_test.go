@@ -1,10 +1,13 @@
 package barra
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"gpuperf/internal/isa"
 	"gpuperf/internal/kbuild"
@@ -82,6 +85,50 @@ func TestRunawayKernelAborts(t *testing.T) {
 			&Options{Parallelism: p, MaxWarpInstructions: 200000})
 		if err == nil || !strings.Contains(err.Error(), "instruction budget exhausted") {
 			t.Fatalf("P=%d: runaway kernel should abort, got %v", p, err)
+		}
+	}
+}
+
+// TestRunContextPreCancelled: a context cancelled before the run
+// starts aborts before any block executes, on every parallelism.
+func TestRunContextPreCancelled(t *testing.T) {
+	prog := storeKernel("disjoint-store", func(b *kbuild.Builder) {
+		flat := flatID(b)
+		addr := b.Reg()
+		b.ShlImm(addr, flat, 2)
+		b.Gst(addr, flat)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range []int{1, 4} {
+		_, err := RunContext(ctx, cfg(), Launch{Prog: prog, Grid: 8, Block: 64},
+			NewMemory(1<<16), &Options{Parallelism: p})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("P=%d: pre-cancelled run returned %v, want context.Canceled", p, err)
+		}
+	}
+}
+
+// TestRunContextCancelMidRun: cancelling while an effectively endless
+// kernel executes stops the run at the next budget-refill check —
+// within thousands of instructions, not the configured 1e12 budget.
+func TestRunContextCancelMidRun(t *testing.T) {
+	b := kbuild.New("endless")
+	r := b.Reg()
+	b.MovImm(r, 0)
+	top := b.Pos()
+	b.IAddImm(r, r, 1)
+	b.SetTarget(b.Bra(), top)
+	b.Exit()
+	prog := b.MustProgram()
+
+	for _, p := range []int{1, 4} {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		_, err := RunContext(ctx, cfg(), Launch{Prog: prog, Grid: 8, Block: 32},
+			NewMemory(4096), &Options{Parallelism: p, MaxWarpInstructions: 1e12})
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("P=%d: cancelled run returned %v, want context.DeadlineExceeded", p, err)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package barra
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -103,6 +104,15 @@ type Options struct {
 // Stats are independent of scheduling: statistics are collected per
 // block and merged deterministically in block order.
 func Run(cfg gpu.Config, l Launch, mem *Memory, opt *Options) (*Stats, error) {
+	return RunContext(context.Background(), cfg, l, mem, opt)
+}
+
+// RunContext is Run with cancellation: workers observe ctx between
+// blocks and at instruction-budget refills (every few thousand warp
+// instructions), so a service can abort a long simulation promptly.
+// On cancellation the ctx's error is returned and the memory is left
+// partially written.
+func RunContext(ctx context.Context, cfg gpu.Config, l Launch, mem *Memory, opt *Options) (*Stats, error) {
 	if err := l.Validate(cfg); err != nil {
 		return nil, err
 	}
@@ -117,7 +127,8 @@ func Run(cfg gpu.Config, l Launch, mem *Memory, opt *Options) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := &runContext{
+	rc := &runContext{
+		goCtx:  ctx,
 		cfg:    cfg,
 		launch: l,
 		mem:    mem,
@@ -125,7 +136,7 @@ func Run(cfg gpu.Config, l Launch, mem *Memory, opt *Options) (*Stats, error) {
 		hook:   opt.GlobalAccessHook,
 	}
 	addSeg := func(seg int) error {
-		for _, s := range ctx.segs {
+		for _, s := range rc.segs {
 			if s == seg {
 				return nil
 			}
@@ -138,8 +149,8 @@ func Run(cfg gpu.Config, l Launch, mem *Memory, opt *Options) (*Stats, error) {
 		if err != nil {
 			return err
 		}
-		ctx.coal = append(ctx.coal, c)
-		ctx.segs = append(ctx.segs, seg)
+		rc.coal = append(rc.coal, c)
+		rc.segs = append(rc.segs, seg)
 		return nil
 	}
 	if err := addSeg(cfg.MinSegmentBytes); err != nil {
@@ -151,11 +162,11 @@ func Run(cfg gpu.Config, l Launch, mem *Memory, opt *Options) (*Stats, error) {
 		}
 	}
 
-	ctx.maxInstr = opt.MaxWarpInstructions
-	if ctx.maxInstr <= 0 {
-		ctx.maxInstr = 4e9
+	rc.maxInstr = opt.MaxWarpInstructions
+	if rc.maxInstr <= 0 {
+		rc.maxInstr = 4e9
 	}
-	ctx.budget.Store(ctx.maxInstr)
+	rc.budget.Store(rc.maxInstr)
 
 	workers := opt.Parallelism
 	if workers <= 0 {
@@ -164,19 +175,19 @@ func Run(cfg gpu.Config, l Launch, mem *Memory, opt *Options) (*Stats, error) {
 	if workers > l.Grid {
 		workers = l.Grid
 	}
-	if ctx.hook != nil && workers > 1 {
-		ctx.dispatch = newHookDispatcher(ctx.hook, workers)
+	if rc.hook != nil && workers > 1 {
+		rc.dispatch = newHookDispatcher(rc.hook, workers)
 	}
 
-	sc := newStatsCollector(l, opt.Regions, ctx.segs)
-	ctx.collectors = append([]Collector{sc}, opt.Collectors...)
+	sc := newStatsCollector(l, opt.Regions, rc.segs)
+	rc.collectors = append([]Collector{sc}, opt.Collectors...)
 
 	if opt.VerifyBlockIsolation {
 		mem.startTracking()
 		defer mem.stopTracking()
 	}
 
-	barriers, results, err := ctx.execute(workers)
+	barriers, results, err := rc.execute(workers)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +199,7 @@ func Run(cfg gpu.Config, l Launch, mem *Memory, opt *Options) (*Stats, error) {
 	}
 	// Deterministic join: fold every block back in ascending block
 	// order, whatever order the workers finished in.
-	for ci, c := range ctx.collectors {
+	for ci, c := range rc.collectors {
 		for b := 0; b < l.Grid; b++ {
 			if err := c.Merge(b, results[b][ci], barriers[b]); err != nil {
 				return nil, err

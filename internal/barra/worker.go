@@ -1,6 +1,7 @@
 package barra
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,9 @@ const budgetBatch = 8192
 // stateless), collectors, and the two pieces of cross-worker
 // coordination — the block cursor and the shared instruction budget.
 type runContext struct {
+	// goCtx is the caller's cancellation context (nil when absent —
+	// tests that assemble a runContext by hand run uncancellable).
+	goCtx      context.Context
 	cfg        gpu.Config
 	launch     Launch
 	mem        *Memory
@@ -70,6 +74,16 @@ func (ctx *runContext) reserveBudget() int64 {
 // errCancelled marks a worker stopped because a sibling failed first;
 // the sibling's error is the one reported.
 var errCancelled = fmt.Errorf("barra: run cancelled by another worker's failure")
+
+// cancelled returns the caller context's error, or nil when no
+// context was supplied or it is still live. Checked between blocks
+// and at budget refills — off the per-instruction path.
+func (ctx *runContext) cancelled() error {
+	if ctx.goCtx == nil {
+		return nil
+	}
+	return ctx.goCtx.Err()
+}
 
 // worker executes blocks one at a time on its own goroutine. All of
 // its state — shared-memory arena, warp contexts, scheduling scratch,
@@ -173,6 +187,9 @@ func (w *worker) runBlock(blockID int) (int, []BlockCollector, error) {
 				if w.avail == 0 {
 					if w.ctx.failed.Load() {
 						return 0, nil, errCancelled
+					}
+					if err := w.ctx.cancelled(); err != nil {
+						return 0, nil, err
 					}
 					w.avail = w.ctx.reserveBudget()
 					if w.avail == 0 {
@@ -354,6 +371,10 @@ func (ctx *runContext) execute(workers int) ([]int, [][]BlockCollector, error) {
 			for {
 				b := int(ctx.nextBlock.Add(1)) - 1
 				if b >= grid || ctx.failed.Load() {
+					return
+				}
+				if err := ctx.cancelled(); err != nil {
+					fail(err)
 					return
 				}
 				nb, bcs, err := w.runBlock(b)

@@ -26,6 +26,7 @@ package device
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"gpuperf/internal/bank"
@@ -218,12 +219,23 @@ type sim struct {
 
 // Run executes the launch with timing and returns the result.
 func Run(cfg gpu.Config, l barra.Launch, mem *barra.Memory) (Result, error) {
-	return RunBudget(cfg, l, mem, 0)
+	return RunContext(context.Background(), cfg, l, mem)
+}
+
+// RunContext is Run with cancellation: the event loop observes ctx
+// every few thousand events, so a service can abort a long timing
+// simulation promptly.
+func RunContext(ctx context.Context, cfg gpu.Config, l barra.Launch, mem *barra.Memory) (Result, error) {
+	return runBudget(ctx, cfg, l, mem, 0)
 }
 
 // RunBudget is Run with an instruction budget (0 = default 4e9)
 // guarding against runaway kernels.
 func RunBudget(cfg gpu.Config, l barra.Launch, mem *barra.Memory, budget int64) (Result, error) {
+	return runBudget(context.Background(), cfg, l, mem, budget)
+}
+
+func runBudget(ctx context.Context, cfg gpu.Config, l barra.Launch, mem *barra.Memory, budget int64) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -302,8 +314,15 @@ func RunBudget(cfg gpu.Config, l barra.Launch, mem *barra.Memory, budget int64) 
 		}
 	}
 
-	// Main loop.
-	for s.queue.Len() > 0 {
+	// Main loop. The cancellation check amortizes over a batch of
+	// events to stay off the per-event path.
+	const ctxCheckEvery = 8192
+	for n := 0; s.queue.Len() > 0; n++ {
+		if n%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		e := heap.Pop(&s.queue).(event)
 		if e.warp.done || e.warp.waiting {
 			continue

@@ -1,6 +1,8 @@
 package device
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -336,6 +338,18 @@ func TestBarrierSerializesStages(t *testing.T) {
 	}
 	if rBar.Cycles < rNo.Cycles {
 		t.Errorf("barrier made kernel faster: %v vs %v", rBar.Cycles, rNo.Cycles)
+	}
+}
+
+// TestRunContextCancelled: the event loop observes a dead context
+// and aborts instead of simulating to completion.
+func TestRunContextCancelled(t *testing.T) {
+	prog := chainKernel(isa.OpFMAD, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, gpu.GTX285(), barra.Launch{Prog: prog, Grid: 30, Block: 256}, barra.NewMemory(4096))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }
 

@@ -24,6 +24,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -369,7 +370,13 @@ func (e *Estimate) Report() string {
 // host cores (the statistics are bit-identical at any setting); the
 // remaining options thread through to barra.Run unchanged.
 func Predict(cal *timing.Calibration, l barra.Launch, mem *barra.Memory, opt *barra.Options) (*Estimate, *barra.Stats, error) {
-	stats, err := barra.Run(cal.Config(), l, mem, opt)
+	return PredictContext(context.Background(), cal, l, mem, opt)
+}
+
+// PredictContext is Predict with cancellation: the functional run
+// aborts promptly (between blocks / budget refills) once ctx is done.
+func PredictContext(ctx context.Context, cal *timing.Calibration, l barra.Launch, mem *barra.Memory, opt *barra.Options) (*Estimate, *barra.Stats, error) {
+	stats, err := barra.RunContext(ctx, cal.Config(), l, mem, opt)
 	if err != nil {
 		return nil, nil, err
 	}

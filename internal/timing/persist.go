@@ -3,6 +3,8 @@ package timing
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"gpuperf/internal/gpu"
 	"gpuperf/internal/isa"
@@ -37,6 +39,49 @@ func (c *Calibration) MarshalJSON() ([]byte, error) {
 		SharedTx: c.sharedTx,
 		Global:   global,
 	})
+}
+
+// SaveFile persists the calibration to path atomically: the JSON is
+// written to a temporary file in the same directory and renamed into
+// place, so a concurrent LoadCalibrationFile never observes a
+// partial write and a crash never corrupts an existing cache.
+// Safe to call while other goroutines use the calibration (the
+// mutable global-bandwidth cache is snapshotted under its lock).
+func (c *Calibration) SaveFile(path string) error {
+	data, err := c.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("timing: save calibration: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("timing: save calibration: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("timing: save calibration: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("timing: save calibration: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("timing: save calibration: %w", err)
+	}
+	return nil
+}
+
+// LoadCalibrationFile reads a calibration cache written by SaveFile.
+func LoadCalibrationFile(path string) (*Calibration, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("timing: load calibration: %w", err)
+	}
+	return LoadCalibration(data)
 }
 
 // LoadCalibration reconstructs a Calibration from MarshalJSON

@@ -3,6 +3,8 @@ package timing
 import (
 	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -236,6 +238,56 @@ func TestCalibrationPersistence(t *testing.T) {
 	}
 	if c2.Config().Name != c.Config().Name {
 		t.Error("config not persisted")
+	}
+}
+
+// TestSaveFileAtomicAndConcurrent: SaveFile round-trips through the
+// filesystem, leaves no temp droppings, replaces an existing cache
+// atomically, and is safe to run while other goroutines grow the
+// global-bandwidth cache (exercised under -race).
+func TestSaveFileAtomicAndConcurrent(t *testing.T) {
+	c := cal(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cal.json")
+
+	// Seed the path with garbage: a failed or partial save must not
+	// destroy it, a successful one must replace it wholesale.
+	if err := os.WriteFile(path, []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(trans int) {
+			defer wg.Done()
+			if _, err := c.GlobalBandwidth(6, 128, trans); err != nil {
+				t.Error(err)
+			}
+		}(i + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.SaveFile(path); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	c2, err := LoadCalibrationFile(path)
+	if err != nil {
+		t.Fatalf("reload after concurrent saves: %v", err)
+	}
+	if c2.Config().Name != c.Config().Name {
+		t.Error("config not persisted")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "cal.json" {
+		t.Errorf("temp files left behind: %v", entries)
 	}
 }
 

@@ -1,0 +1,10 @@
+package gpuperf
+
+import "gpuperf/internal/prof"
+
+// StartProfiles starts CPU profiling to cpuPath and arranges a heap
+// profile at memPath (either may be empty). The returned stop
+// function finishes both; call it exactly once.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	return prof.Start(cpuPath, memPath)
+}

@@ -1,0 +1,120 @@
+package gpuperf
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
+
+// goldenResult is a fully-populated Result literal — every field the
+// wire format carries, with nothing derived at runtime, so the
+// fixture pins the public JSON schema itself.
+func goldenResult() *Result {
+	maxErr := 0.00042
+	return &Result{
+		Kernel: "matmul16",
+		Device: "GTX285-6sm",
+		Size:   256,
+		Seed:   7,
+		Grid:   64,
+		Block:  64,
+
+		PredictedSeconds:  0.00125,
+		UpperBoundSeconds: 0.0019,
+		Components: ComponentTimes{
+			InstructionSeconds: 0.00125,
+			SharedSeconds:      0.0005,
+			GlobalSeconds:      0.00015,
+		},
+		Bottleneck:     "instruction pipeline",
+		NextBottleneck: "shared memory",
+		Causes:         []string{"component near its calibrated peak"},
+		Serialized:     false,
+		Stages: []StageResult{
+			{Index: 0, InstructionSeconds: 0.0006, SharedSeconds: 0.0002, GlobalSeconds: 0.0001, Bottleneck: "instruction pipeline", Warps: 16},
+			{Index: 1, InstructionSeconds: 0.00065, SharedSeconds: 0.0003, GlobalSeconds: 0.00005, Bottleneck: "instruction pipeline", Warps: 16},
+		},
+		Occupancy:   OccupancySummary{Blocks: 8, WarpsPerBlock: 2, ActiveWarps: 16, Limiter: "blocks per SM"},
+		Diagnostics: Diagnostics{WarpsPerSM: 16, Density: 0.78, CoalescingEfficiency: 1, BankConflictFactor: 1, TransPerThread: 9},
+		Stats: StatsSummary{
+			WarpInstrs:         1317120,
+			FMADs:              1032192,
+			SharedAccesses:     73728,
+			SharedTx:           147456,
+			SharedBytes:        9437184,
+			GlobalTransactions: 36864,
+			GlobalBytes:        4718592,
+			GlobalUsefulBytes:  4718592,
+			Barriers:           32,
+			Regions: map[string]RegionTraffic{
+				"matrix": {Transactions: 24576, Bytes: 3145728, UsefulBytes: 3145728},
+				"vector": {Transactions: 12288, Bytes: 1572864, UsefulBytes: 1572864},
+			},
+		},
+
+		GFLOPS:           26.8,
+		MaxAbsError:      &maxErr,
+		MeasuredSeconds:  0.00131,
+		PredictionError:  0.0458,
+		MeasuredDominant: "instruction",
+	}
+}
+
+// TestResultGoldenRoundTrip pins the Result wire format: the fixture
+// in testdata must match what Marshal produces today, and decoding
+// it must reproduce the full struct. A diff here is a breaking API
+// change — regenerate with -update only deliberately.
+func TestResultGoldenRoundTrip(t *testing.T) {
+	want := goldenResult()
+	blob, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob = append(blob, '\n')
+
+	path := filepath.Join("testdata", "result_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestResultGolden -update` to create it)", err)
+	}
+	if string(golden) != string(blob) {
+		t.Errorf("Result wire format drifted from testdata/result_golden.json:\ngot:\n%s\nwant:\n%s", blob, golden)
+	}
+
+	var back Result
+	if err := json.Unmarshal(golden, &back); err != nil {
+		t.Fatalf("golden does not decode: %v", err)
+	}
+	if !reflect.DeepEqual(&back, want) {
+		t.Errorf("golden round-trip lost data:\ngot  %+v\nwant %+v", &back, want)
+	}
+}
+
+// TestRequestJSONRoundTrip: the Request wire format holds.
+func TestRequestJSONRoundTrip(t *testing.T) {
+	in := Request{Kernel: "cr-nbc", Size: 64, Seed: 11, Parallelism: 2, Measure: true}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %+v -> %+v", in, out)
+	}
+}

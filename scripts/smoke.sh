@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# gpuperfd smoke test: build the service, start it on a 6-SM device
+# slice, wait for liveness, run one analyze request end to end, and
+# assert the bottleneck verdict is present in the JSON response.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:8097
+BINDIR=$(mktemp -d)
+
+go build -o "$BINDIR/gpuperfd" ./cmd/gpuperfd
+"$BINDIR/gpuperfd" -addr "$ADDR" -sms 6 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$BINDIR"' EXIT
+
+for i in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "smoke: gpuperfd died before becoming healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+KERNELS=$(curl -fsS "http://$ADDR/v1/kernels")
+echo "$KERNELS" | grep -q '"matmul16"' || {
+    echo "smoke: kernel list missing matmul16: $KERNELS" >&2
+    exit 1
+}
+
+OUT=$(curl -fsS -X POST "http://$ADDR/v1/analyze" \
+    -d '{"kernel":"matmul16","size":64,"seed":7}')
+echo "$OUT" | grep -q '"bottleneck"' || {
+    echo "smoke: analyze response missing bottleneck field: $OUT" >&2
+    exit 1
+}
+
+echo "smoke: ok ($(echo "$OUT" | grep -o '"bottleneck": "[^"]*"' | head -1))"

@@ -1,0 +1,110 @@
+package gpuperf
+
+import (
+	"fmt"
+
+	"gpuperf/internal/asm"
+	"gpuperf/internal/cubin"
+	"gpuperf/internal/isa"
+	"gpuperf/internal/microbench"
+)
+
+// The binary-toolchain facade: assemble kernel text into CUBIN-like
+// containers, disassemble them back, rewrite a kernel inside an
+// existing container, and generate the §4 microbenchmark kernels —
+// the Decuda/cudasm-style loop the paper uses to build benchmarks
+// the compiler cannot interfere with. All functions work on raw
+// container bytes so callers never touch the internal packages.
+
+// AssembleText assembles kernel source (one or more kernels) into a
+// container.
+func AssembleText(src string) ([]byte, error) {
+	progs, err := asm.AssembleAll(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &cubin.Container{Kernels: progs}
+	return c.Marshal()
+}
+
+// DisassembleContainer renders every kernel in a container as text,
+// in container order, separated by blank lines.
+func DisassembleContainer(raw []byte) (string, error) {
+	c, err := cubin.Unmarshal(raw)
+	if err != nil {
+		return "", err
+	}
+	var out string
+	for _, k := range c.Kernels {
+		out += asm.Disassemble(k) + "\n"
+	}
+	return out, nil
+}
+
+// RewriteKernel replaces the named kernel inside a container with
+// the (single-kernel) assembler source and returns the new container.
+func RewriteKernel(raw []byte, kernel, replacementSrc string) ([]byte, error) {
+	c, err := cubin.Unmarshal(raw)
+	if err != nil {
+		return nil, err
+	}
+	repl, err := asm.Assemble(replacementSrc)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Rewrite(kernel, repl); err != nil {
+		return nil, err
+	}
+	return c.Marshal()
+}
+
+// MicrobenchSpec selects one generated microbenchmark kernel.
+type MicrobenchSpec struct {
+	// Kind is "ichain" (dependent-instruction chain), "scopy"
+	// (shared-memory copy) or "gstream" (global-memory stream).
+	Kind string
+	// Op names the chained instruction for ichain (e.g. "fmad").
+	Op string
+	// N is the chain length / iteration count / per-thread
+	// transaction count.
+	N int
+	// Stride is the word stride for scopy.
+	Stride int
+	// Threads is the total thread count for gstream.
+	Threads int
+}
+
+// Microbenchmark generates a §4 microbenchmark kernel and returns it
+// as a single-kernel container.
+func Microbenchmark(spec MicrobenchSpec) ([]byte, error) {
+	var prog *isa.Program
+	var err error
+	switch spec.Kind {
+	case "ichain":
+		op, ok := opcodeByName(spec.Op)
+		if !ok {
+			return nil, fmt.Errorf("gpuperf: unknown instruction %q", spec.Op)
+		}
+		prog, err = microbench.InstrChain(op, spec.N)
+	case "scopy":
+		prog, err = microbench.SharedCopy(spec.N, spec.Stride)
+	case "gstream":
+		prog, err = microbench.GlobalStream(spec.N, spec.Threads, 1<<22)
+	default:
+		return nil, fmt.Errorf("gpuperf: unknown microbenchmark kind %q (want ichain, scopy or gstream)", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &cubin.Container{Kernels: []*isa.Program{prog}}
+	return c.Marshal()
+}
+
+func opcodeByName(name string) (isa.Opcode, bool) {
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		if op.String() == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
