@@ -1,0 +1,93 @@
+package gpuperf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// goldenAdvice is a fully-populated Advice literal — every field the
+// wire format carries, nothing derived at runtime, so the fixture
+// pins the public JSON schema itself (the /v1/advise response).
+func goldenAdvice() *Advice {
+	return &Advice{
+		Kernel: "matmul-naive",
+		Device: "GTX285-6sm",
+		Size:   128,
+		Seed:   7,
+		Grid:   256,
+		Block:  64,
+
+		BaselineSeconds: 0.00049,
+		Bottleneck:      "global memory",
+
+		Scenarios: []ScenarioAdvice{
+			{
+				Scenario:         "perfect-coalescing",
+				Title:            "perfect global-memory coalescing",
+				PredictedSeconds: 0.000115,
+				Speedup:          4.26,
+				Components: ComponentTimes{
+					InstructionSeconds: 0.00008,
+					SharedSeconds:      0,
+					GlobalSeconds:      0.000115,
+				},
+				Explanation: "only 23% of fetched global bytes are useful (8.53 transactions per half-warp request); restructuring the access pattern so each half-warp fills whole segments cuts global-memory time 4.26x",
+			},
+			{
+				Scenario:         "raise-occupancy",
+				Title:            "raise occupancy (resident-block sweep)",
+				PredictedSeconds: 0.00049,
+				Speedup:          1,
+				Components: ComponentTimes{
+					InstructionSeconds: 0.00008,
+					SharedSeconds:      0,
+					GlobalSeconds:      0.00049,
+				},
+				Explanation:  "occupancy is already at its reachable ceiling (8 blocks, 16 warps/SM, limited by max blocks)",
+				TargetBlocks: 8,
+			},
+		},
+		Top: "perfect-coalescing",
+	}
+}
+
+// TestAdviceGoldenRoundTrip pins the Advice wire format: the fixture
+// in testdata must match what Marshal produces today, and decoding it
+// must reproduce the full struct. A diff here is a breaking API
+// change — regenerate with -update only deliberately.
+func TestAdviceGoldenRoundTrip(t *testing.T) {
+	want := goldenAdvice()
+	blob, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob = append(blob, '\n')
+
+	path := filepath.Join("testdata", "advice_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestAdviceGolden -update` to create it)", err)
+	}
+	if string(golden) != string(blob) {
+		t.Errorf("Advice wire format drifted from testdata/advice_golden.json:\ngot:\n%s\nwant:\n%s", blob, golden)
+	}
+
+	var back Advice
+	if err := json.Unmarshal(golden, &back); err != nil {
+		t.Fatalf("golden does not decode: %v", err)
+	}
+	if !reflect.DeepEqual(&back, want) {
+		t.Errorf("golden round-trip lost data:\ngot  %+v\nwant %+v", &back, want)
+	}
+}

@@ -3,9 +3,11 @@ package gpuperf
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
+	"gpuperf/internal/advise"
 	"gpuperf/internal/barra"
 	"gpuperf/internal/device"
 	"gpuperf/internal/model"
@@ -196,21 +198,32 @@ func (a *Analyzer) workers(req Request) int {
 	return limit
 }
 
-// Analyze runs the full workflow for one request: build the kernel's
-// deterministic problem instance, functionally simulate it (sharded
-// across workers, abortable through ctx), apply the calibrated
-// three-component model, verify the output against the CPU reference
-// when the kernel has one, and — with Measure — time the same launch
-// on the device simulator.
-func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
+// simRun is the outcome of the shared front half of Analyze and
+// Advise: the resolved spec, the workload after its functional run,
+// the run's statistics and the session calibration.
+type simRun struct {
+	spec  KernelSpec
+	w     *Workload
+	stats *barra.Stats
+	cal   *timing.Calibration
+}
+
+// simulate runs the common front half of Analyze and Advise:
+// validate the request (fail fast — an unknown kernel or rejected
+// size pays for neither calibration nor an admission slot), wait for
+// the shared calibration, take an admission slot, build the problem
+// instance, and functionally simulate it. req's Size and Seed are
+// normalized in place so callers echo the concrete values. On
+// success the admission slot is still held — the caller must call
+// release exactly once when done with the workload's memory
+// (verification and measurement included).
+func (a *Analyzer) simulate(ctx context.Context, req *Request, dropVerify bool) (*simRun, func(), error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	// Validate first: an unknown kernel or rejected size fails fast,
-	// paying for neither calibration nor an admission slot.
 	spec, p, err := a.reg.prepare(req.Kernel, Params{Size: req.Size, Seed: req.Seed})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	req.Size, req.Seed = p.Size, p.Seed
 	// Wait for the shared calibration before taking a slot, so a cold
@@ -218,41 +231,57 @@ func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
 	// the wait itself respects ctx.
 	cal, err := a.calibrationCtx(ctx)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Admission control: at most MaxConcurrent requests hold input
 	// memory and simulation resources at a time; the rest wait here
 	// holding nothing, abandoning the queue when their context dies.
 	select {
 	case a.admit <- struct{}{}:
-		defer func() { <-a.admit }()
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
 	}
+	release := func() { <-a.admit }
 	w, err := spec.build(a.dev, p)
 	if err != nil {
-		return nil, err
+		release()
+		return nil, nil, err
 	}
-	if req.SkipVerify {
+	if dropVerify {
 		// The Verify closure captures the host-side input copies
-		// (large for big requests — exactly the SkipVerify cases);
+		// (large for big requests — exactly the cases that skip it);
 		// dropping it frees them for the duration of the run.
 		w.Verify = nil
 	}
-
 	stats, err := barra.RunContext(ctx, a.dev, w.Launch, w.Mem,
-		&barra.Options{Parallelism: a.workers(req), Regions: w.Regions})
+		&barra.Options{Parallelism: a.workers(*req), Regions: w.Regions})
 	if err != nil {
-		return nil, err
+		release()
+		return nil, nil, err
 	}
-	est, err := model.Analyze(cal, w.Launch, stats)
-	if err != nil {
-		return nil, err
-	}
-	res := newResult(req, a.dev, w, est, stats)
+	return &simRun{spec: spec, w: w, stats: stats, cal: cal}, release, nil
+}
 
-	if w.Verify != nil {
-		worst, err := w.Verify(ctx, w.Mem)
+// Analyze runs the full workflow for one request: build the kernel's
+// deterministic problem instance, functionally simulate it (sharded
+// across workers, abortable through ctx), apply the calibrated
+// three-component model, verify the output against the CPU reference
+// when the kernel has one, and — with Measure — time the same launch
+// on the device simulator.
+func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
+	r, release, err := a.simulate(ctx, &req, req.SkipVerify)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	est, err := model.Analyze(r.cal, r.w.Launch, r.stats)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult(req, a.dev, r.w, est, r.stats)
+
+	if r.w.Verify != nil {
+		worst, err := r.w.Verify(ctx, r.w.Mem)
 		if err != nil {
 			return nil, err
 		}
@@ -265,8 +294,9 @@ func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
 		}
 		// The functional run consumed the inputs; builders are
 		// deterministic per (size, seed), so rebuilding yields the
-		// identical problem instance on fresh memory.
-		w2, err := spec.build(a.dev, p)
+		// identical problem instance on fresh memory (req holds the
+		// normalized size and seed).
+		w2, err := r.spec.build(a.dev, Params{Size: req.Size, Seed: req.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -279,6 +309,34 @@ func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
 		res.PredictionError = est.CompareError(meas.Seconds)
 	}
 	return res, nil
+}
+
+// Advise runs the counterfactual advisor for one request: build the
+// kernel's problem instance, functionally simulate it once (sharded
+// like Analyze, abortable through ctx), then re-evaluate the
+// calibrated model under the full what-if portfolio — perfect
+// coalescing, conflict-free shared memory, no divergence, ideal
+// stage overlap, and an occupancy mini-sweep — returning the ranked,
+// quantified headroom per scenario (the paper's §4 analysis as a
+// service). The scenarios are pure stat transforms over that single
+// run, so Advise costs one simulation regardless of portfolio size;
+// the request's Measure and SkipVerify flags are ignored (advice
+// never verifies or times the device simulator — pair it with
+// Analyze on a variant kernel to compare predicted headroom against
+// a measured sibling).
+func (a *Analyzer) Advise(ctx context.Context, req Request) (*Advice, error) {
+	// Advice needs only the statistics, so the verification closure
+	// is always dropped.
+	r, release, err := a.simulate(ctx, &req, true)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	rep, err := advise.Run(r.cal, r.w.Launch, r.stats, &advise.Options{Parallelism: a.workers(req)})
+	if err != nil {
+		return nil, err
+	}
+	return newAdvice(req, a.dev, r.w, rep), nil
 }
 
 // Measurement is the device simulator's timing of one kernel, with
@@ -325,9 +383,13 @@ func (a *Analyzer) Measure(ctx context.Context, req Request) (*Measurement, erro
 
 // AnalyzeBatch analyzes many requests concurrently, amortizing the
 // session's calibration across all of them. results[i] answers
-// reqs[i]; a request that fails leaves a nil entry and its error
-// joined into the returned error. One failing request does not
-// cancel its siblings — only ctx does.
+// reqs[i]; a request that fails leaves a nil entry and its error —
+// wrapped with the request's index and kernel name, so a joined
+// multi-error still identifies its sources — joined into the
+// returned error in request order. errors.Is still matches the
+// underlying condition (ErrUnknownKernel, ErrInvalidRequest, context
+// errors) through the wrapping. One failing request does not cancel
+// its siblings — only ctx does.
 func (a *Analyzer) AnalyzeBatch(ctx context.Context, reqs []Request) ([]*Result, error) {
 	limit := a.opt.BatchConcurrency
 	if limit <= 0 {
@@ -347,6 +409,9 @@ func (a *Analyzer) AnalyzeBatch(ctx context.Context, reqs []Request) ([]*Result,
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			results[i], errs[i] = a.Analyze(ctx, reqs[i])
+			if errs[i] != nil {
+				errs[i] = fmt.Errorf("request %d (kernel %q): %w", i, reqs[i].Kernel, errs[i])
+			}
 		}(i)
 	}
 	wg.Wait()

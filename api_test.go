@@ -8,7 +8,9 @@ import (
 	"encoding/json"
 	"errors"
 	"path/filepath"
+	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -388,5 +390,153 @@ func TestMeasureNoCalibration(t *testing.T) {
 	}
 	if m.Seconds <= 0 || m.Dominant == "" {
 		t.Errorf("bad measurement %+v", m)
+	}
+}
+
+// TestAdviseHappyPath: the advisor report for the naive matmul names
+// coalescing as the top opportunity — the §4 walk's first step — with
+// every cataloged scenario present and ranked.
+func TestAdviseHappyPath(t *testing.T) {
+	a := testAnalyzer(t)
+	adv, err := a.Advise(context.Background(), Request{Kernel: "matmul-naive", Size: 128, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Kernel != "matmul-naive" || adv.Size != 128 || adv.Seed != 7 {
+		t.Errorf("request echo wrong: %+v", adv)
+	}
+	if adv.BaselineSeconds <= 0 || adv.Bottleneck != "global memory" {
+		t.Errorf("baseline wrong: %.6g s, bottleneck %q", adv.BaselineSeconds, adv.Bottleneck)
+	}
+	if len(adv.Scenarios) != 5 {
+		t.Fatalf("got %d scenarios, want 5", len(adv.Scenarios))
+	}
+	if adv.Top != "perfect-coalescing" || adv.Scenarios[0].Scenario != "perfect-coalescing" {
+		t.Errorf("top advice %q (first ranked %q), want perfect-coalescing", adv.Top, adv.Scenarios[0].Scenario)
+	}
+	if adv.Scenarios[0].Speedup < 2 {
+		t.Errorf("uncoalesced matmul should promise ≥2x from coalescing, got %.2fx", adv.Scenarios[0].Speedup)
+	}
+	for i, s := range adv.Scenarios {
+		if s.Explanation == "" || s.PredictedSeconds <= 0 {
+			t.Errorf("scenario %d (%s) incomplete: %+v", i, s.Scenario, s)
+		}
+		if i > 0 && adv.Scenarios[i-1].Speedup < s.Speedup {
+			t.Errorf("ranking violated at %d", i)
+		}
+	}
+}
+
+// TestAdviseDeterministicAcrossParallelism: the ranked advice is
+// bit-identical whether the functional run and scenario fan-out use
+// one worker or eight.
+func TestAdviseDeterministicAcrossParallelism(t *testing.T) {
+	a := testAnalyzer(t)
+	var reports [2]*Advice
+	for i, p := range []int{1, 8} {
+		adv, err := a.Advise(context.Background(), Request{
+			Kernel: "cr", Size: 16, Seed: 5, Parallelism: p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv.Device = "" // the same device either way; compare the verdicts
+		reports[i] = adv
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Errorf("advice differs across parallelism:\nP=1: %+v\nP=8: %+v", reports[0], reports[1])
+	}
+}
+
+// TestAdviseCRTopAdvice: for unpadded cyclic reduction the top
+// recommendation is the bank-conflict remedy — the very optimization
+// the registry's cr-nbc variant implements (paper Fig. 8).
+func TestAdviseCRTopAdvice(t *testing.T) {
+	a := testAnalyzer(t)
+	adv, err := a.Advise(context.Background(), Request{Kernel: "cr", Size: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Top != "conflict-free-shared" {
+		t.Errorf("cr top advice %q, want conflict-free-shared", adv.Top)
+	}
+	spec, ok := a.Registry().Lookup("cr-nbc")
+	if !ok {
+		t.Fatal("cr-nbc missing from the registry")
+	}
+	if spec.Optimization != adv.Top {
+		t.Errorf("cr-nbc realizes %q, advisor recommends %q — the variant chain is broken", spec.Optimization, adv.Top)
+	}
+}
+
+// TestAdviseUnknownKernelAndCancelled: Advise fails fast like Analyze.
+func TestAdviseUnknownKernelAndCancelled(t *testing.T) {
+	a := testAnalyzer(t)
+	if _, err := a.Advise(context.Background(), Request{Kernel: "nope"}); !errors.Is(err, ErrUnknownKernel) {
+		t.Errorf("unknown kernel: got %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Advise(ctx, Request{Kernel: "matmul16", Size: 64}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled: got %v", err)
+	}
+}
+
+// TestAnalyzeBatchErrorIndexing: each failed request's error carries
+// its index and kernel name, in request order, and errors.Is still
+// matches the underlying condition through the wrapping.
+func TestAnalyzeBatchErrorIndexing(t *testing.T) {
+	a := testAnalyzer(t)
+	reqs := []Request{
+		{Kernel: "matmul16", Size: 64, Seed: 7},
+		{Kernel: "no-such-kernel"},
+		{Kernel: "matmul16", Size: 1 << 20},
+	}
+	results, err := a.AnalyzeBatch(context.Background(), reqs)
+	if err == nil {
+		t.Fatal("batch with bad requests returned no error")
+	}
+	if results[0] == nil || results[1] != nil || results[2] != nil {
+		t.Errorf("result slots wrong: %v", results)
+	}
+	if !errors.Is(err, ErrUnknownKernel) || !errors.Is(err, ErrInvalidRequest) {
+		t.Errorf("wrapping broke errors.Is matching: %v", err)
+	}
+	msg := err.Error()
+	i1 := strings.Index(msg, `request 1 (kernel "no-such-kernel")`)
+	i2 := strings.Index(msg, `request 2 (kernel "matmul16")`)
+	if i1 < 0 || i2 < 0 {
+		t.Fatalf("joined error does not identify failed requests:\n%s", msg)
+	}
+	if i1 > i2 {
+		t.Errorf("joined errors out of request order:\n%s", msg)
+	}
+	if strings.Contains(msg, "request 0") {
+		t.Errorf("successful request blamed in error:\n%s", msg)
+	}
+}
+
+// TestKernelSpecFamilies: every built-in spec declares its variant
+// family, and each declared Optimization names a real advisor
+// scenario key.
+func TestKernelSpecFamilies(t *testing.T) {
+	valid := map[string]bool{
+		"perfect-coalescing": true, "conflict-free-shared": true,
+		"no-divergence": true, "ideal-overlap": true, "raise-occupancy": true,
+	}
+	families := map[string]int{}
+	for _, s := range DefaultRegistry().Specs() {
+		if s.Family == "" {
+			t.Errorf("kernel %q has no family", s.Name)
+		}
+		families[s.Family]++
+		if s.Optimization != "" && !valid[s.Optimization] {
+			t.Errorf("kernel %q names unknown scenario %q", s.Name, s.Optimization)
+		}
+	}
+	for _, f := range []string{"matmul", "cr", "spmv"} {
+		if families[f] < 2 {
+			t.Errorf("family %q has %d members, want a variant chain", f, families[f])
+		}
 	}
 }

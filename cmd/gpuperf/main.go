@@ -2,15 +2,20 @@
 // on one of the built-in case-study kernels and prints the model's
 // report: per-component times, bottleneck, causes, per-stage
 // breakdown, and the measured (device-simulator) time next to the
-// prediction. It is a thin shell over the public gpuperf API — the
-// same analysis a service embeds via gpuperf.NewAnalyzer.
+// prediction. With -advise it instead prints the counterfactual
+// advisor's ranked what-if report (§4): the predicted speedup of
+// perfect coalescing, conflict-free shared memory, no divergence,
+// ideal stage overlap, and an occupancy sweep. It is a thin shell
+// over the public gpuperf API — the same analysis a service embeds
+// via gpuperf.NewAnalyzer.
 //
 // Usage:
 //
-//	gpuperf -kernel matmul16 | matmul8 | matmul32 | cr | cr-nbc |
-//	        cr-fwd | spmv-ell | spmv-bell-im | spmv-bell-imiv
-//	        [-disasm] [-n size] [-seed n] [-p workers] [-cal file]
-//	        [-json] [-cpuprofile file] [-memprofile file]
+//	gpuperf -kernel matmul16 | matmul8 | matmul32 | matmul-naive |
+//	        cr | cr-nbc | cr-fwd | spmv-ell | spmv-bell-im |
+//	        spmv-bell-imiv
+//	        [-advise] [-disasm] [-n size] [-seed n] [-p workers]
+//	        [-cal file] [-json] [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 
 func main() {
 	kernel := flag.String("kernel", "matmul16", "kernel to analyze")
+	advse := flag.Bool("advise", false, "print the ranked counterfactual what-if report instead of the analysis")
 	disasm := flag.Bool("disasm", false, "print the kernel disassembly and exit")
 	n := flag.Int("n", 0, "problem size override (matrix dim / systems / block rows)")
 	seed := flag.Int64("seed", 0, "input-generation seed (0 = default)")
@@ -47,7 +53,7 @@ func main() {
 		Seed:       *seed,
 		Measure:    true,
 		SkipVerify: *skipVerify,
-	}, *disasm, *calFile, *parallel, *asJSON)
+	}, *advse, *disasm, *calFile, *parallel, *asJSON)
 	if err := stopProf(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -57,7 +63,7 @@ func main() {
 	}
 }
 
-func run(req gpuperf.Request, disasm bool, calFile string, parallel int, asJSON bool) error {
+func run(req gpuperf.Request, advse, disasm bool, calFile string, parallel int, asJSON bool) error {
 	a := gpuperf.NewAnalyzer(gpuperf.Options{
 		Parallelism:     parallel,
 		CalibrationPath: calFile,
@@ -86,6 +92,21 @@ func run(req gpuperf.Request, disasm bool, calFile string, parallel int, asJSON 
 		fmt.Printf("calibrated model (warning: could not save to %s: %v)\n", calFile, a.CalibrationSaveError())
 	default:
 		fmt.Printf("calibrated model, saved to %s\n", calFile)
+	}
+
+	if advse {
+		adv, err := a.Advise(context.Background(), req)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(adv)
+		}
+		fmt.Println()
+		fmt.Print(adv.Report())
+		return nil
 	}
 
 	res, err := a.Analyze(context.Background(), req)

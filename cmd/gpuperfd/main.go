@@ -7,8 +7,11 @@
 // Endpoints:
 //
 //	GET  /healthz      liveness probe
-//	GET  /v1/kernels   list the registry's kernels
+//	GET  /v1/kernels   list the registry's kernels with their variant
+//	                   families and realized optimizations
 //	POST /v1/analyze   {"kernel":"matmul16","size":64,"seed":7} → Result
+//	POST /v1/advise    same body → Advice (ranked counterfactual
+//	                   what-if scenarios with predicted speedups)
 //
 // -sms slices the device to n streaming multiprocessors (per-SM
 // behaviour is unchanged; calibration and small workloads run

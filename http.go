@@ -11,7 +11,12 @@ import (
 //
 //	GET  /healthz      liveness probe ("ok")
 //	GET  /v1/kernels   JSON list of the registry's kernel specs
+//	                   (name, description, size bounds, variant
+//	                   family and the advisor scenario each variant
+//	                   realizes)
 //	POST /v1/analyze   body: a Request; response: a Result
+//	POST /v1/advise    body: a Request; response: an Advice (the
+//	                   ranked counterfactual-scenario report)
 //
 // Analysis errors map to status codes: 400 for a malformed body or
 // parameters the kernel rejects (including sizes beyond the spec's
@@ -28,41 +33,68 @@ func NewHandler(a *Analyzer) http.Handler {
 		writeJSON(w, http.StatusOK, a.Kernels())
 	})
 	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
-		// A Request is a handful of scalars; a body anywhere near the
-		// cap is garbage, and the cap keeps a hostile stream from
-		// growing the decode buffer without bound.
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
-		dec.DisallowUnknownFields()
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
-				writeError(w, http.StatusRequestEntityTooLarge, err)
-			} else {
-				writeError(w, http.StatusBadRequest, err)
-			}
-			return
-		}
-		if dec.More() {
-			writeError(w, http.StatusBadRequest, errors.New("gpuperf: trailing data after the request object"))
+		req, ok := decodeRequest(w, r)
+		if !ok {
 			return
 		}
 		res, err := a.Analyze(r.Context(), req)
 		if err != nil {
-			switch {
-			case errors.Is(err, ErrUnknownKernel):
-				writeError(w, http.StatusNotFound, err)
-			case errors.Is(err, ErrInvalidRequest):
-				writeError(w, http.StatusBadRequest, err)
-			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-				writeError(w, http.StatusServiceUnavailable, err)
-			default:
-				writeError(w, http.StatusInternalServerError, err)
-			}
+			writeAnalysisError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
+	mux.HandleFunc("POST /v1/advise", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeRequest(w, r)
+		if !ok {
+			return
+		}
+		adv, err := a.Advise(r.Context(), req)
+		if err != nil {
+			writeAnalysisError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, adv)
+	})
 	return mux
+}
+
+// decodeRequest parses one Request body, writing the error response
+// itself when the body is malformed (ok=false).
+func decodeRequest(w http.ResponseWriter, r *http.Request) (Request, bool) {
+	// A Request is a handful of scalars; a body anywhere near the
+	// cap is garbage, and the cap keeps a hostile stream from
+	// growing the decode buffer without bound.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return req, false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errors.New("gpuperf: trailing data after the request object"))
+		return req, false
+	}
+	return req, true
+}
+
+// writeAnalysisError maps an Analyze/Advise failure to its status.
+func writeAnalysisError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownKernel):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrInvalidRequest):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

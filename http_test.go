@@ -117,14 +117,85 @@ func TestHandlerKernels(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &specs); err != nil {
 		t.Fatalf("bad JSON: %v", err)
 	}
-	names := map[string]bool{}
+	names := map[string]KernelSpec{}
 	for _, s := range specs {
-		names[s.Name] = true
+		names[s.Name] = s
 	}
-	for _, want := range []string{"matmul16", "cr-nbc", "spmv-bell-imiv"} {
-		if !names[want] {
+	for _, want := range []string{"matmul-naive", "matmul16", "cr-nbc", "spmv-bell-imiv"} {
+		if _, ok := names[want]; !ok {
 			t.Errorf("kernel list missing %s: %v", want, names)
 		}
+	}
+	// The listing carries the discovery metadata advisor clients pair
+	// counterfactuals with: description, size bounds, variant family
+	// and the realized optimization.
+	for name, s := range names {
+		if s.Description == "" || s.MaxSize <= 0 || s.Family == "" {
+			t.Errorf("kernel %s metadata incomplete on the wire: %+v", name, s)
+		}
+	}
+	if got := names["cr-nbc"].Optimization; got != "conflict-free-shared" {
+		t.Errorf("cr-nbc optimization on the wire = %q, want conflict-free-shared", got)
+	}
+	if names["cr"].Family != "cr" || names["cr-nbc"].Family != "cr" {
+		t.Errorf("cr variant family broken: %+v vs %+v", names["cr"], names["cr-nbc"])
+	}
+}
+
+// TestHandlerAdviseHappyPath: POST /v1/advise returns the ranked
+// counterfactual report.
+func TestHandlerAdviseHappyPath(t *testing.T) {
+	h := NewHandler(testAnalyzer(t))
+	req := httptest.NewRequest("POST", "/v1/advise",
+		strings.NewReader(`{"kernel":"matmul-naive","size":128,"seed":7}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", rec.Code, rec.Body)
+	}
+	var adv Advice
+	if err := json.Unmarshal(rec.Body.Bytes(), &adv); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if adv.Kernel != "matmul-naive" || len(adv.Scenarios) != 5 || adv.Top != "perfect-coalescing" {
+		t.Errorf("incomplete advice: %+v", adv)
+	}
+}
+
+// TestHandlerAdviseErrors: the advise endpoint shares the analyze
+// endpoint's error mapping.
+func TestHandlerAdviseErrors(t *testing.T) {
+	h := NewHandler(testAnalyzer(t))
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"kernel":"nope"}`, http.StatusNotFound},
+		{`{"kernel":"matmul16","size":1048576}`, http.StatusBadRequest},
+		{`{"kernel":`, http.StatusBadRequest},
+		{`{"kernel":"cr"} trailing`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest("POST", "/v1/advise", strings.NewReader(c.body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != c.want {
+			t.Errorf("body %q: status %d, want %d (%s)", c.body, rec.Code, c.want, rec.Body)
+		}
+	}
+}
+
+// TestHandlerAdviseCancelledContext: an aborted client maps to 503.
+func TestHandlerAdviseCancelledContext(t *testing.T) {
+	h := NewHandler(testAnalyzer(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/v1/advise",
+		strings.NewReader(`{"kernel":"matmul16","size":64}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (body %s)", rec.Code, rec.Body)
 	}
 }
 

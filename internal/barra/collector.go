@@ -22,6 +22,11 @@ type StepTrace struct {
 	SharedTx       int64
 	SharedTxIdeal  int64
 	SharedBytes    int64
+	// SharedDeg[h] is the bank-conflict degree of half-warp h for a
+	// shared load/store step: the serialized transaction count its
+	// active lanes required (0 = no active lanes or not a shared
+	// load/store). Feeds the conflict-degree histogram.
+	SharedDeg [warpHalves]uint8
 	// Global has one entry per active half-warp of a global-memory
 	// instruction (empty otherwise).
 	Global []GlobalHalfWarp

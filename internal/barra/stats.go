@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"gpuperf/internal/gpu"
 	"gpuperf/internal/isa"
 )
 
@@ -40,6 +41,23 @@ type StageStats struct {
 	// GlobalUsefulBytes counts 4 B per active lane.
 	Global            MemTraffic
 	GlobalUsefulBytes int64
+	// GlobalRequests counts half-warp global-memory requests (the
+	// coalescing unit) — Global.Transactions / GlobalRequests is the
+	// transaction-per-request ratio, 1.0 when every request coalesces
+	// into a single transaction.
+	GlobalRequests int64
+	// DivByClass counts, per cost class, warp instructions issued
+	// while the warp was split across divergent paths; DivActiveLanes
+	// sums their active lane counts. A divergence-free restructuring
+	// could pack those issues into roughly DivActiveLanes/warpSize
+	// full-warp issues — the advisor's NoDivergence counterfactual.
+	DivByClass     [isa.NumClasses]int64
+	DivActiveLanes int64
+	// ConflictDeg histograms shared-memory load/store half-warp
+	// accesses by conflict degree: ConflictDeg[d] counts accesses
+	// serialized into d bank transactions (d=1 conflict-free, up to
+	// one per lane). Index 0 is unused.
+	ConflictDeg [gpu.HalfWarp + 1]int64
 	// WarpsWithWork is the number of warps (summed over blocks)
 	// that did substantial work in this stage: warps whose executed
 	// non-control, unskipped instruction count reaches at least half
@@ -101,6 +119,42 @@ func (s *Stats) BankConflictFactor() float64 {
 	return float64(s.Total.SharedTx) / float64(s.Total.SharedTxNoConflict)
 }
 
+// TxPerRequest returns global transactions per half-warp request —
+// 1.0 when every request coalesces into one transaction.
+func (s *Stats) TxPerRequest() float64 {
+	if s.Total.GlobalRequests == 0 {
+		return 1
+	}
+	return float64(s.Total.Global.Transactions) / float64(s.Total.GlobalRequests)
+}
+
+// DivergentInstrs returns the warp instructions issued while the warp
+// was split across divergent paths, summed over classes.
+func (s *StageStats) DivergentInstrs() int64 {
+	var n int64
+	for _, c := range s.DivByClass {
+		n += c
+	}
+	return n
+}
+
+// DivergenceOverhead returns the fraction of all warp instructions
+// that a divergence-free restructuring could eliminate: diverged
+// issues minus the full-warp issues their active lanes would pack
+// into, over the total issue count.
+func (s *Stats) DivergenceOverhead() float64 {
+	if s.Total.WarpInstrs == 0 {
+		return 0
+	}
+	div := s.Total.DivergentInstrs()
+	packed := (s.Total.DivActiveLanes + gpu.WarpSize - 1) / gpu.WarpSize
+	saved := div - packed
+	if saved <= 0 {
+		return 0
+	}
+	return float64(saved) / float64(s.Total.WarpInstrs)
+}
+
 func accumulate(dst, src *StageStats) {
 	dst.WarpInstrs += src.WarpInstrs
 	for c := range dst.ByClass {
@@ -114,6 +168,14 @@ func accumulate(dst, src *StageStats) {
 	dst.Global.Transactions += src.Global.Transactions
 	dst.Global.Bytes += src.Global.Bytes
 	dst.GlobalUsefulBytes += src.GlobalUsefulBytes
+	dst.GlobalRequests += src.GlobalRequests
+	for c := range dst.DivByClass {
+		dst.DivByClass[c] += src.DivByClass[c]
+	}
+	dst.DivActiveLanes += src.DivActiveLanes
+	for d := range dst.ConflictDeg {
+		dst.ConflictDeg[d] += src.ConflictDeg[d]
+	}
 	dst.WarpsWithWork += src.WarpsWithWork
 }
 
@@ -231,11 +293,21 @@ func (b *blockStats) Step(stage int, tr *StepTrace) {
 	st.SharedTx += tr.SharedTx
 	st.SharedTxNoConflict += tr.SharedTxIdeal
 	st.SharedBytes += tr.SharedBytes
+	for _, deg := range tr.SharedDeg {
+		if deg > 0 {
+			st.ConflictDeg[deg]++
+		}
+	}
+	if info.Diverged {
+		st.DivByClass[info.Class]++
+		st.DivActiveLanes += int64(info.ActiveCount)
+	}
 
 	if len(tr.Global) == 0 {
 		return
 	}
 	st.GlobalUsefulBytes += int64(info.ActiveCount) * 4
+	st.GlobalRequests += int64(len(tr.Global))
 	for i := range tr.Global {
 		hw := &tr.Global[i]
 		for si, txs := range hw.Tx {

@@ -100,6 +100,10 @@ type StepInfo struct {
 	Done bool
 	// BranchTaken is set when a BRA redirected the PC.
 	BranchTaken bool
+	// Diverged is set when the warp was split across more than one
+	// execution path when this instruction issued — the issues a
+	// divergence-free restructuring could pack into full warps.
+	Diverged bool
 }
 
 // ActiveLane reports whether lane executed this step.
@@ -338,6 +342,7 @@ func (w *Warp) Step(info *StepInfo) error {
 	info.Done = false
 	info.BranchTaken = false
 	info.SmemOperand = false
+	info.Diverged = len(w.splits) > 1
 
 	active := w.splits[cur].mask & w.guardMask(in)
 	info.Active = active

@@ -273,6 +273,7 @@ func (w *worker) record(stage, wi int) {
 	tr := &w.trace
 	tr.Info = info
 	tr.SharedAccesses, tr.SharedTx, tr.SharedTxIdeal, tr.SharedBytes = 0, 0, 0, 0
+	tr.SharedDeg[0], tr.SharedDeg[1] = 0, 0
 	tr.Global = tr.Global[:0]
 
 	op := info.In.Op
@@ -302,8 +303,10 @@ func (w *worker) record(stage, wi int) {
 			if len(addrs) == 0 {
 				continue
 			}
-			tr.SharedTx += int64(w.ctx.banks.Transactions(addrs))
+			deg := w.ctx.banks.Transactions(addrs)
+			tr.SharedTx += int64(deg)
 			tr.SharedTxIdeal++
+			tr.SharedDeg[half] = uint8(deg)
 		}
 
 	case isa.IsGlobal(op):

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"gpuperf/internal/barra"
+	"gpuperf/internal/gpu"
 	"gpuperf/internal/isa"
 	"gpuperf/internal/occupancy"
 	"gpuperf/internal/timing"
@@ -152,9 +153,51 @@ type Estimate struct {
 	GlobalBandwidthUsed    float64 // B/s
 }
 
+// Overrides perturb the model's inputs to answer counterfactual
+// "what if" questions — the paper's §4 optimization-impact analysis:
+// the statistics of one functional run are re-evaluated under an
+// idealized assumption, and the change in predicted time quantifies
+// how much the corresponding optimization would buy. All overrides
+// are pure stat/occupancy transforms; none re-runs the simulation.
+type Overrides struct {
+	// PerfectCoalescing charges the global-memory component only for
+	// the useful bytes (4 B per active lane), as if every half-warp
+	// request coalesced into fully-used transactions.
+	PerfectCoalescing bool
+	// ConflictFreeShared replaces the serialized shared-memory
+	// transaction counts with the conflict-free ideal (one per active
+	// half-warp) — the effect of a padding remedy like paper Fig. 8.
+	ConflictFreeShared bool
+	// NoDivergence packs warp instructions issued on divergent paths
+	// into full-warp issues: each stage's per-class counts shrink by
+	// the diverged issues minus the DivActiveLanes/warpSize full
+	// warps they would occupy when restructured.
+	NoDivergence bool
+	// ForceOverlap treats barrier-delimited stages as overlapped even
+	// with a single resident block per SM — the upside of any change
+	// that lets stages of different blocks interleave.
+	ForceOverlap bool
+	// ResidentBlocks, when > 0, forces the occupancy computation to
+	// assume that many resident blocks per SM (capped by the device's
+	// thread, warp and block ceilings and by the grid) — modeling a
+	// kernel whose per-block resource demand was trimmed until the
+	// target occupancy fit.
+	ResidentBlocks int
+}
+
+// Zero reports whether no override is set (the factual model).
+func (ov Overrides) Zero() bool { return ov == Overrides{} }
+
 // Analyze runs the model for one launch whose dynamic statistics
 // have been collected by barra.Run.
 func Analyze(cal *timing.Calibration, l barra.Launch, stats *barra.Stats) (*Estimate, error) {
+	return AnalyzeWith(cal, l, stats, Overrides{})
+}
+
+// AnalyzeWith is Analyze under counterfactual overrides: the same
+// calibrated model applied to a transformed view of the statistics.
+// With the zero Overrides it is exactly Analyze.
+func AnalyzeWith(cal *timing.Calibration, l barra.Launch, stats *barra.Stats, ov Overrides) (*Estimate, error) {
 	if cal == nil || stats == nil {
 		return nil, fmt.Errorf("model: nil calibration or stats")
 	}
@@ -189,13 +232,41 @@ func Analyze(cal *timing.Calibration, l barra.Launch, stats *barra.Stats) (*Esti
 		occ.Limiter = "grid size"
 	}
 
+	if ov.ResidentBlocks > 0 {
+		// Counterfactual occupancy: assume the kernel's per-block
+		// resource demand were trimmed until b blocks fit, bounded by
+		// the ceilings no source change can lift — threads, warps,
+		// the architectural block limit, and the grid itself.
+		b := ov.ResidentBlocks
+		if m := cfg.MaxBlocksPerSM; b > m {
+			b = m
+		}
+		if occ.WarpsPerBlock > 0 {
+			if m := cfg.MaxWarpsPerSM / occ.WarpsPerBlock; b > m {
+				b = m
+			}
+		}
+		if m := cfg.MaxThreadsPerSM / l.Block; b > m {
+			b = m
+		}
+		if b > gridBlocks {
+			b = gridBlocks
+		}
+		if b < 1 {
+			b = 1
+		}
+		occ.Blocks = b
+		occ.ActiveWarps = b * occ.WarpsPerBlock
+		occ.Limiter = "counterfactual override"
+	}
+
 	e := &Estimate{
 		WarpsPerSM:           occ.ActiveWarps,
 		Occupancy:            occ,
 		Density:              stats.InstructionDensity(),
 		CoalescingEfficiency: stats.CoalescingEfficiency(),
 		BankConflictFactor:   stats.BankConflictFactor(),
-		Serialized:           occ.Blocks == 1,
+		Serialized:           occ.Blocks == 1 && !ov.ForceOverlap,
 	}
 
 	// Global memory: one synthetic-benchmark bandwidth for the whole
@@ -218,19 +289,20 @@ func Analyze(cal *timing.Calibration, l barra.Launch, stats *barra.Stats) (*Esti
 	for i := range stats.Stages {
 		st := &stats.Stages[i]
 		warps := stageWarps(st, stats, l, occ, cal.MaxWarps())
+		byClass, sharedTx, globalBytes := effectiveStage(st, ov)
 		var times Times
 		for cls := isa.Class(0); int(cls) < isa.NumClasses; cls++ {
-			if st.ByClass[cls] == 0 {
+			if byClass[cls] == 0 {
 				continue
 			}
 			tp := cal.InstrThroughput(cls, warps) * scale
-			times[CompInstruction] += float64(st.ByClass[cls]) / tp
+			times[CompInstruction] += float64(byClass[cls]) / tp
 		}
-		if st.SharedTx > 0 {
-			times[CompShared] = float64(st.SharedTx) / (cal.SharedTxRate(warps) * scale)
+		if sharedTx > 0 {
+			times[CompShared] = float64(sharedTx) / (cal.SharedTxRate(warps) * scale)
 		}
-		if st.Global.Bytes > 0 && gbw > 0 {
-			times[CompGlobal] = float64(st.Global.Bytes) / gbw
+		if globalBytes > 0 && gbw > 0 {
+			times[CompGlobal] = float64(globalBytes) / gbw
 		}
 		e.Stages = append(e.Stages, StageEstimate{
 			Index:      i,
@@ -262,6 +334,41 @@ func Analyze(cal *timing.Calibration, l barra.Launch, stats *barra.Stats) (*Esti
 		e.UpperBoundSeconds = e.TotalSeconds
 	}
 	return e, nil
+}
+
+// effectiveStage returns one stage's counters after applying the
+// counterfactual overrides: the per-class instruction counts, the
+// serialized shared transaction count, and the charged global bytes.
+func effectiveStage(st *barra.StageStats, ov Overrides) ([isa.NumClasses]int64, int64, int64) {
+	byClass := st.ByClass
+	if ov.NoDivergence {
+		if div := st.DivergentInstrs(); div > 0 {
+			// The diverged issues' active lanes pack into full warps;
+			// distribute the surviving issues across classes in
+			// proportion to each class's diverged count.
+			packed := (st.DivActiveLanes + gpu.WarpSize - 1) / gpu.WarpSize
+			if packed > div {
+				packed = div
+			}
+			f := float64(packed) / float64(div)
+			for c := range byClass {
+				keep := int64(float64(st.DivByClass[c])*f + 0.5)
+				byClass[c] += keep - st.DivByClass[c]
+				if byClass[c] < 0 {
+					byClass[c] = 0
+				}
+			}
+		}
+	}
+	sharedTx := st.SharedTx
+	if ov.ConflictFreeShared {
+		sharedTx = st.SharedTxNoConflict
+	}
+	globalBytes := st.Global.Bytes
+	if ov.PerfectCoalescing {
+		globalBytes = st.GlobalUsefulBytes
+	}
+	return byClass, sharedTx, globalBytes
 }
 
 // OverlapSensitive reports whether the prediction interval
@@ -376,11 +483,21 @@ func Predict(cal *timing.Calibration, l barra.Launch, mem *barra.Memory, opt *ba
 // PredictContext is Predict with cancellation: the functional run
 // aborts promptly (between blocks / budget refills) once ctx is done.
 func PredictContext(ctx context.Context, cal *timing.Calibration, l barra.Launch, mem *barra.Memory, opt *barra.Options) (*Estimate, *barra.Stats, error) {
+	return PredictWith(ctx, cal, l, mem, opt, Overrides{})
+}
+
+// PredictWith runs the functional simulation and evaluates the model
+// under counterfactual overrides — the resimulate-then-transform
+// entry point for callers without a prior run's statistics. Callers
+// that already hold a run's Stats should use AnalyzeWith instead:
+// every override is a pure stat transform, so one simulation can
+// answer any number of what-if questions.
+func PredictWith(ctx context.Context, cal *timing.Calibration, l barra.Launch, mem *barra.Memory, opt *barra.Options, ov Overrides) (*Estimate, *barra.Stats, error) {
 	stats, err := barra.RunContext(ctx, cal.Config(), l, mem, opt)
 	if err != nil {
 		return nil, nil, err
 	}
-	est, err := Analyze(cal, l, stats)
+	est, err := AnalyzeWith(cal, l, stats, ov)
 	if err != nil {
 		return nil, nil, err
 	}

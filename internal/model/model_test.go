@@ -359,3 +359,210 @@ func TestOverlapSensitive(t *testing.T) {
 		t.Error("empty estimate flagged")
 	}
 }
+
+// --- Counterfactual overrides (AnalyzeWith / PredictWith) ---
+
+// runStats executes the launch functionally and returns its stats.
+func runStats(t *testing.T, c *timing.Calibration, l barra.Launch, memBytes int) *barra.Stats {
+	t.Helper()
+	stats, err := barra.Run(c.Config(), l, barra.NewMemory(memBytes), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// divergentKernel splits every warp into odd/even paths that each run
+// their own FMAD chain — half the lanes idle through each side.
+func divergentKernel(t *testing.T) *isa.Program {
+	t.Helper()
+	b := kbuild.New("divergent")
+	tid, v, acc := b.Reg(), b.Reg(), b.Reg()
+	b.S2R(tid, isa.SRTid)
+	b.MovImm(acc, 0)
+	b.AndImm(v, tid, 1)
+	b.ISetpImm(isa.P0, isa.CmpNE, v, 0)
+	br := b.BraIf(isa.P0, false)
+	for i := 0; i < 64; i++ { // even lanes
+		b.FMad(acc, acc, acc, acc)
+	}
+	join := b.Bra()
+	b.SetTarget(br, b.Pos())
+	for i := 0; i < 64; i++ { // odd lanes
+		b.FMad(acc, acc, acc, acc)
+	}
+	b.SetTarget(join, b.Pos())
+	b.Exit()
+	return b.MustProgram()
+}
+
+// stridedGlobalKernel loads global words at a two-word lane stride,
+// so every transaction carries 50% useful bytes.
+func stridedGlobalKernel(t *testing.T) *isa.Program {
+	t.Helper()
+	b := kbuild.New("strided-global")
+	tid, ntid, cta, flat, addr, v := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.S2R(tid, isa.SRTid)
+	b.S2R(ntid, isa.SRNtid)
+	b.S2R(cta, isa.SRCtaid)
+	b.IMad(flat, cta, ntid, tid)
+	b.ShlImm(addr, flat, 3) // ×8: two-word stride
+	for i := uint32(0); i < 16; i++ {
+		b.GldOff(v, addr, i*4096)
+	}
+	b.Exit()
+	return b.MustProgram()
+}
+
+// TestAnalyzeWithZeroMatchesAnalyze: the zero Overrides reproduce the
+// factual analysis bit for bit.
+func TestAnalyzeWithZeroMatchesAnalyze(t *testing.T) {
+	c := cal(t)
+	l := barra.Launch{Prog: conflictedSharedKernel(t), Grid: 60, Block: 256}
+	stats := runStats(t, c, l, 4096)
+	plain, err := Analyze(c, l, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := AnalyzeWith(c, l, stats, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalSeconds != with.TotalSeconds || plain.Component != with.Component {
+		t.Errorf("zero overrides drifted: %+v vs %+v", plain.Component, with.Component)
+	}
+	if !(Overrides{}).Zero() || (Overrides{ForceOverlap: true}).Zero() {
+		t.Error("Overrides.Zero misreports")
+	}
+}
+
+// TestConflictFreeSharedOverride: removing bank conflicts shrinks the
+// shared component by the measured conflict factor.
+func TestConflictFreeSharedOverride(t *testing.T) {
+	c := cal(t)
+	l := barra.Launch{Prog: conflictedSharedKernel(t), Grid: 60, Block: 256}
+	stats := runStats(t, c, l, 4096)
+	factor := stats.BankConflictFactor()
+	if factor < 2 {
+		t.Fatalf("conflicted kernel has factor %.2f, want ≥ 2", factor)
+	}
+	base, err := Analyze(c, l, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := AnalyzeWith(c, l, stats, Overrides{ConflictFreeShared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := base.Component[CompShared] / ideal.Component[CompShared]
+	if got < factor*0.95 || got > factor*1.05 {
+		t.Errorf("shared time shrank %.2fx, want the conflict factor %.2fx", got, factor)
+	}
+	if ideal.Component[CompInstruction] != base.Component[CompInstruction] {
+		t.Error("conflict-free override leaked into the instruction component")
+	}
+}
+
+// TestPerfectCoalescingOverride: a half-useful access pattern halves
+// its global component under perfect coalescing.
+func TestPerfectCoalescingOverride(t *testing.T) {
+	c := cal(t)
+	l := barra.Launch{Prog: stridedGlobalKernel(t), Grid: 60, Block: 128}
+	stats := runStats(t, c, l, 1<<20)
+	eff := stats.CoalescingEfficiency()
+	if eff > 0.6 {
+		t.Fatalf("strided kernel coalesces at %.2f, want ≤ 0.6", eff)
+	}
+	base, err := Analyze(c, l, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := AnalyzeWith(c, l, stats, Overrides{PerfectCoalescing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ideal.Component[CompGlobal] / base.Component[CompGlobal]
+	if got < eff*0.95 || got > eff*1.05 {
+		t.Errorf("global time scaled %.2fx, want the coalescing efficiency %.2f", got, eff)
+	}
+}
+
+// TestNoDivergenceOverride: packing the two half-empty paths of a
+// divergent kernel roughly halves its diverged instruction work.
+func TestNoDivergenceOverride(t *testing.T) {
+	c := cal(t)
+	l := barra.Launch{Prog: divergentKernel(t), Grid: 60, Block: 256}
+	stats := runStats(t, c, l, 4096)
+	if stats.Total.DivergentInstrs() == 0 {
+		t.Fatal("kernel did not diverge")
+	}
+	if over := stats.DivergenceOverhead(); over < 0.2 {
+		t.Fatalf("divergence overhead %.2f, want ≥ 0.2", over)
+	}
+	base, err := Analyze(c, l, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := AnalyzeWith(c, l, stats, Overrides{NoDivergence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ideal.Component[CompInstruction] / base.Component[CompInstruction]
+	want := 1 - stats.DivergenceOverhead()
+	if got < want*0.9 || got > want*1.1 {
+		t.Errorf("instruction time scaled %.2fx, want ≈ %.2fx (1 − overhead)", got, want)
+	}
+}
+
+// TestResidentBlocksOverride: forcing occupancy down to one resident
+// block serializes the stages; forcing it up raises the assumed
+// warp-level parallelism but never past the architectural ceilings.
+func TestResidentBlocksOverride(t *testing.T) {
+	c := cal(t)
+	l := barra.Launch{Prog: conflictedSharedKernel(t), Grid: 60, Block: 256}
+	stats := runStats(t, c, l, 4096)
+	one, err := AnalyzeWith(c, l, stats, Overrides{ResidentBlocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Occupancy.Blocks != 1 || !one.Serialized {
+		t.Errorf("ResidentBlocks=1: got %d blocks, serialized=%v", one.Occupancy.Blocks, one.Serialized)
+	}
+	big, err := AnalyzeWith(c, l, stats, Overrides{ResidentBlocks: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Config()
+	if w := big.Occupancy.ActiveWarps; w > cfg.MaxWarpsPerSM {
+		t.Errorf("override exceeded the warp ceiling: %d > %d", w, cfg.MaxWarpsPerSM)
+	}
+	if big.Occupancy.Blocks*l.Block > cfg.MaxThreadsPerSM {
+		t.Errorf("override exceeded the thread ceiling: %d blocks × %d threads", big.Occupancy.Blocks, l.Block)
+	}
+}
+
+// TestForceOverlapOverride: a serialized kernel's ideal-overlap time
+// is the whole-program bottleneck, never more than the staged sum.
+func TestForceOverlapOverride(t *testing.T) {
+	c := cal(t)
+	l := barra.Launch{Prog: conflictedSharedKernel(t), Grid: 60, Block: 256}
+	stats := runStats(t, c, l, 4096)
+	serial, err := AnalyzeWith(c, l, stats, Overrides{ResidentBlocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap, err := AnalyzeWith(c, l, stats, Overrides{ResidentBlocks: 1, ForceOverlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlap.Serialized {
+		t.Error("ForceOverlap left the estimate serialized")
+	}
+	if overlap.TotalSeconds > serial.TotalSeconds {
+		t.Errorf("ideal overlap %.4g ms exceeds the serialized %.4g ms",
+			overlap.TotalSeconds*1e3, serial.TotalSeconds*1e3)
+	}
+	if overlap.TotalSeconds != overlap.Component.Max() {
+		t.Errorf("ideal overlap should be the component max")
+	}
+}

@@ -76,6 +76,17 @@ type KernelSpec struct {
 	// memory one (possibly network-originated) analysis can demand.
 	DefaultSize int `json:"default_size"`
 	MaxSize     int `json:"max_size"`
+	// Family groups the optimization variants of one algorithm
+	// ("matmul", "cr", "spmv"): the members share problem semantics
+	// and input layout per (size, seed), so their measured times are
+	// directly comparable — the measurable counterparts of the
+	// advisor's counterfactual scenarios.
+	Family string `json:"family,omitempty"`
+	// Optimization names the advisor scenario this variant realizes
+	// relative to its family's baseline (e.g. cr-nbc realizes
+	// "conflict-free-shared" over cr); empty for the baseline itself
+	// and for variants whose change no cataloged scenario models.
+	Optimization string `json:"optimization,omitempty"`
 	// Build constructs the instance. Never nil in a registered spec.
 	Build BuildFunc `json:"-"`
 }
@@ -233,7 +244,9 @@ var (
 // DefaultRegistry returns the process-wide registry preloaded with
 // the paper's case-study kernels:
 //
-//	matmul8, matmul16, matmul32     dense matrix multiply (§5.1)
+//	matmul-naive, matmul8,
+//	matmul16, matmul32              dense matrix multiply (§5.1; the
+//	                                naive baseline starts the §4 walk)
 //	cr, cr-nbc, cr-fwd              cyclic reduction (§5.2)
 //	spmv-ell, spmv-bell-im,
 //	spmv-bell-imiv                  sparse matrix-vector (§5.3)
@@ -256,21 +269,36 @@ func builtinSpecs() []KernelSpec {
 			Description: "cyclic-reduction tridiagonal solver, 512 equations/system (paper §5.2)",
 			DefaultSize: 128,
 			MaxSize:     16384,
+			Family:      "cr",
 			Build:       buildCR(false, false),
 		},
 		{
-			Name:        "cr-nbc",
-			Description: "cyclic reduction with bank-conflict-removing padding (paper Fig. 8)",
-			DefaultSize: 128,
-			MaxSize:     16384,
-			Build:       buildCR(true, false),
+			Name:         "cr-nbc",
+			Description:  "cyclic reduction with bank-conflict-removing padding (paper Fig. 8)",
+			DefaultSize:  128,
+			MaxSize:      16384,
+			Family:       "cr",
+			Optimization: "conflict-free-shared",
+			Build:        buildCR(true, false),
 		},
 		{
 			Name:        "cr-fwd",
 			Description: "cyclic reduction, forward-reduction phase only (architect sweeps)",
 			DefaultSize: 128,
 			MaxSize:     16384,
+			Family:      "cr",
 			Build:       buildCR(false, true),
+		},
+		{
+			Name:        "matmul-naive",
+			Description: "one-thread-per-element dense matmul, uncoalesced column-order accesses (the §4 walk's starting point)",
+			DefaultSize: 128,
+			// The naive kernel refetches A and B per output element
+			// (O(N³) global traffic); cap it well below the tiled
+			// variants.
+			MaxSize: 512,
+			Family:  "matmul",
+			Build:   buildMatmulNaive(),
 		},
 	}
 	for _, tile := range []int{8, 16, 32} {
@@ -280,8 +308,10 @@ func builtinSpecs() []KernelSpec {
 			DefaultSize: 256,
 			// 4096² keeps the three matrices within ~200 MB and far
 			// from the kernel's uint32 address-space edge.
-			MaxSize: 4096,
-			Build:   buildMatmul(tile),
+			MaxSize:      4096,
+			Family:       "matmul",
+			Optimization: "perfect-coalescing",
+			Build:        buildMatmul(tile),
 		})
 	}
 	for name, kind := range map[string]kernels.SpMVKind{
@@ -294,6 +324,7 @@ func builtinSpecs() []KernelSpec {
 			Description: fmt.Sprintf("QCD-like SpMV, %s storage (paper §5.3)", kind),
 			DefaultSize: 8192,
 			MaxSize:     262144,
+			Family:      "spmv",
 			Build:       buildSpMV(kind),
 		})
 	}
@@ -354,6 +385,47 @@ func buildMatmul(tile int) BuildFunc {
 					return 0, err
 				}
 				// fp32 dot products of n terms: scale the bound with n.
+				return maxAbsDiff(got, want, 1e-5*float64(n))
+			},
+		}, nil
+	}
+}
+
+// buildMatmulNaive builds the family's pre-optimization baseline.
+// Input generation matches buildMatmul exactly, so the same
+// (size, seed) gives every matmul variant bit-identical A and B —
+// measured times across the family compare one optimization at a
+// time.
+func buildMatmulNaive() BuildFunc {
+	return func(dev Device, p Params) (*Workload, error) {
+		n := p.Size
+		mm, err := kernels.NewMatmulNaive(n)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(p.Seed))
+		a := make([]float32, n*n)
+		b := make([]float32, n*n)
+		for i := range a {
+			a[i], b[i] = rng.Float32(), rng.Float32()
+		}
+		mem, err := mm.NewMemory(a, b)
+		if err != nil {
+			return nil, err
+		}
+		return &Workload{
+			Launch: mm.Launch(),
+			Mem:    mem,
+			FLOPs:  mm.FLOPs(),
+			Verify: func(ctx context.Context, mem *barra.Memory) (float64, error) {
+				got, err := mm.ReadC(mem)
+				if err != nil {
+					return 0, err
+				}
+				want, err := mulRefCtx(ctx, n, a, b)
+				if err != nil {
+					return 0, err
+				}
 				return maxAbsDiff(got, want, 1e-5*float64(n))
 			},
 		}, nil

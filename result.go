@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"gpuperf/internal/advise"
 	"gpuperf/internal/barra"
 	"gpuperf/internal/model"
 )
@@ -198,6 +199,120 @@ func newResult(req Request, dev Device, w *Workload, est *model.Estimate, stats 
 		r.GFLOPS = est.GFLOPS(w.FLOPs)
 	}
 	return r
+}
+
+// Advice is the fully serializable output of one advisor run: the
+// factual baseline plus the ranked counterfactual scenarios — the
+// paper's §4 "how much would each optimization buy" analysis as a
+// wire type. Like Result, every field round-trips through JSON
+// unchanged; the HTTP service returns this struct verbatim.
+type Advice struct {
+	// Kernel, Size and Seed echo the request; Device names the
+	// analyzed configuration; Grid and Block its launch geometry.
+	Kernel string `json:"kernel"`
+	Device string `json:"device"`
+	Size   int    `json:"size"`
+	Seed   int64  `json:"seed"`
+	Grid   int    `json:"grid"`
+	Block  int    `json:"block"`
+
+	// BaselineSeconds is the factual model prediction every scenario
+	// is measured against; Bottleneck its whole-program verdict.
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	Bottleneck      string  `json:"bottleneck"`
+
+	// Scenarios holds the full counterfactual portfolio, ranked by
+	// speedup (descending, ties broken by scenario key — the ranking
+	// is deterministic at any parallelism).
+	Scenarios []ScenarioAdvice `json:"scenarios"`
+	// Top is the scenario key of the highest-ranked entry with more
+	// than 1% predicted headroom ("" when the kernel is already
+	// within 1% of every counterfactual).
+	Top string `json:"top,omitempty"`
+}
+
+// ScenarioAdvice is one counterfactual's verdict on the wire.
+type ScenarioAdvice struct {
+	// Scenario is the stable key ("perfect-coalescing",
+	// "conflict-free-shared", "no-divergence", "ideal-overlap",
+	// "raise-occupancy"); a registry variant whose Optimization field
+	// names it is the measurable counterpart.
+	Scenario string `json:"scenario"`
+	// Title is a short human heading.
+	Title string `json:"title"`
+	// PredictedSeconds is the model's time under the counterfactual;
+	// Speedup the baseline divided by it (1.0 = no headroom).
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	Speedup          float64 `json:"speedup"`
+	// Components are the counterfactual's per-component times.
+	Components ComponentTimes `json:"components"`
+	// Explanation grounds the verdict in the run's statistics, in the
+	// style of the paper's §4 walk-throughs.
+	Explanation string `json:"explanation"`
+	// TargetBlocks is the best resident-block count found by the
+	// occupancy mini-sweep (raise-occupancy only, 0 otherwise).
+	TargetBlocks int `json:"target_blocks,omitempty"`
+}
+
+// adviceTopTolerance is the headroom below which advice is noise.
+const adviceTopTolerance = 0.01
+
+// newAdvice folds the advisor's report into the serializable form.
+func newAdvice(req Request, dev Device, w *Workload, rep *advise.Report) *Advice {
+	a := &Advice{
+		Kernel: req.Kernel,
+		Device: dev.Name,
+		Size:   req.Size,
+		Seed:   req.Seed,
+		Grid:   w.Launch.Grid,
+		Block:  w.Launch.Block,
+
+		BaselineSeconds: rep.Baseline.TotalSeconds,
+		Bottleneck:      rep.Baseline.Bottleneck.String(),
+	}
+	for _, s := range rep.Scenarios {
+		a.Scenarios = append(a.Scenarios, ScenarioAdvice{
+			Scenario:         s.Scenario,
+			Title:            s.Title,
+			PredictedSeconds: s.PredictedSeconds,
+			Speedup:          s.Speedup,
+			Components: ComponentTimes{
+				InstructionSeconds: s.Estimate.Component[model.CompInstruction],
+				SharedSeconds:      s.Estimate.Component[model.CompShared],
+				GlobalSeconds:      s.Estimate.Component[model.CompGlobal],
+			},
+			Explanation:  s.Explanation,
+			TargetBlocks: s.TargetBlocks,
+		})
+	}
+	if top := rep.Top(adviceTopTolerance); top != nil {
+		a.Top = top.Scenario
+	}
+	return a
+}
+
+// Report renders the advice as the human-readable ranking the
+// gpuperf -advise command prints.
+func (a *Advice) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel: %s on %s, %d blocks x %d threads (size %d, seed %d)\n",
+		a.Kernel, a.Device, a.Grid, a.Block, a.Size, a.Seed)
+	fmt.Fprintf(&b, "baseline prediction: %.6g ms, bottleneck: %s\n",
+		a.BaselineSeconds*1e3, a.Bottleneck)
+	fmt.Fprintf(&b, "counterfactual scenarios (ranked by predicted speedup):\n")
+	for i, s := range a.Scenarios {
+		marker := " "
+		if s.Scenario == a.Top {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, "%s %d. %s: %.2fx (%.6g ms)\n", marker, i+1, s.Title, s.Speedup, s.PredictedSeconds*1e3)
+		fmt.Fprintf(&b, "     %s\n", s.Explanation)
+	}
+	if a.Top == "" {
+		fmt.Fprintf(&b, "no scenario promises more than %.0f%% — the kernel is near its modeled headroom\n",
+			adviceTopTolerance*100)
+	}
+	return b.String()
 }
 
 // Report renders the result as the human-readable analysis the

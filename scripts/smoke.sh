@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # gpuperfd smoke test: build the service, start it on a 6-SM device
-# slice, wait for liveness, run one analyze request end to end, and
-# assert the bottleneck verdict is present in the JSON response.
+# slice, wait for liveness, run one analyze and one advise request
+# end to end, and assert the kernel list carries the variant-family
+# metadata, the analyze response its bottleneck verdict, and the
+# advise response its ranked scenarios.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +31,15 @@ echo "$KERNELS" | grep -q '"matmul16"' || {
     echo "smoke: kernel list missing matmul16: $KERNELS" >&2
     exit 1
 }
+# The listing is per-kernel metadata, not bare names: description,
+# size bounds, variant family, and the advisor scenario each
+# optimization variant realizes.
+for field in '"description"' '"max_size"' '"family": "matmul"' '"optimization": "conflict-free-shared"'; do
+    echo "$KERNELS" | grep -q "$field" || {
+        echo "smoke: kernel list missing $field: $KERNELS" >&2
+        exit 1
+    }
+done
 
 OUT=$(curl -fsS -X POST "http://$ADDR/v1/analyze" \
     -d '{"kernel":"matmul16","size":64,"seed":7}')
@@ -37,4 +48,13 @@ echo "$OUT" | grep -q '"bottleneck"' || {
     exit 1
 }
 
-echo "smoke: ok ($(echo "$OUT" | grep -o '"bottleneck": "[^"]*"' | head -1))"
+ADVICE=$(curl -fsS -X POST "http://$ADDR/v1/advise" \
+    -d '{"kernel":"matmul-naive","size":128,"seed":7}')
+for field in '"scenarios"' '"speedup"' '"top": "perfect-coalescing"'; do
+    echo "$ADVICE" | grep -q "$field" || {
+        echo "smoke: advise response missing $field: $ADVICE" >&2
+        exit 1
+    }
+done
+
+echo "smoke: ok ($(echo "$OUT" | grep -o '"bottleneck": "[^"]*"' | head -1); advise top $(echo "$ADVICE" | grep -o '"top": "[^"]*"'))"
