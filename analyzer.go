@@ -27,10 +27,13 @@ type Options struct {
 	// for per-Request overrides — a service's resource policy cannot
 	// be bypassed by the request body.
 	Parallelism int
-	// CalibrationPath, when set, is an on-disk calibration cache:
-	// loaded if present and valid for Device, written atomically
-	// (write-temp-then-rename) after a fresh calibration.
-	CalibrationPath string
+	// CalibrationDir, when set, is an on-disk calibration cache
+	// directory keyed by device fingerprint: the session loads its
+	// device's entry if present and valid, and writes one atomically
+	// (write-temp-then-rename) after a fresh calibration. Sessions for
+	// different hardware never share an entry; sessions for identical
+	// hardware under different names do.
+	CalibrationDir string
 	// BatchConcurrency caps how many requests AnalyzeBatch runs at
 	// once (0 = GOMAXPROCS).
 	BatchConcurrency int
@@ -46,6 +49,11 @@ type Options struct {
 type Request struct {
 	// Kernel names a registry entry (GET /v1/kernels lists them).
 	Kernel string `json:"kernel"`
+	// Device names a catalog entry (GET /v1/devices lists them) and is
+	// resolved by the Fleet that routes the request; empty means the
+	// fleet's default device. A bare Analyzer serves one fixed device
+	// and rejects requests naming any other.
+	Device string `json:"device,omitempty"`
 	// Size is the kernel-specific problem size (0 = kernel default).
 	Size int `json:"size,omitempty"`
 	// Seed drives deterministic input generation (0 = seed 1):
@@ -95,7 +103,12 @@ type Analyzer struct {
 
 // NewAnalyzer builds a session. Calibration happens lazily on the
 // first Analyze (or eagerly via Calibrate).
-func NewAnalyzer(opt Options) *Analyzer {
+func NewAnalyzer(opt Options) *Analyzer { return newAnalyzer(opt, nil) }
+
+// newAnalyzer is NewAnalyzer with an optional externally-owned
+// admission semaphore: a Fleet passes one channel to every session so
+// MaxConcurrent bounds the whole fleet, not each device separately.
+func newAnalyzer(opt Options, admit chan struct{}) *Analyzer {
 	dev := opt.Device
 	if dev.Name == "" {
 		dev = DefaultDevice()
@@ -104,15 +117,18 @@ func NewAnalyzer(opt Options) *Analyzer {
 	if reg == nil {
 		reg = DefaultRegistry()
 	}
-	limit := opt.MaxConcurrent
-	if limit <= 0 {
-		limit = runtime.GOMAXPROCS(0)
+	if admit == nil {
+		limit := opt.MaxConcurrent
+		if limit <= 0 {
+			limit = runtime.GOMAXPROCS(0)
+		}
+		admit = make(chan struct{}, limit)
 	}
 	return &Analyzer{
 		opt:     opt,
 		dev:     dev,
 		reg:     reg,
-		admit:   make(chan struct{}, limit),
+		admit:   admit,
 		calDone: make(chan struct{}),
 	}
 }
@@ -127,10 +143,10 @@ func (a *Analyzer) Registry() *Registry { return a.reg }
 func (a *Analyzer) Kernels() []KernelSpec { return a.reg.Specs() }
 
 // Calibrate forces the lazy calibration now (microbenchmarks on the
-// device simulator — tens of seconds for a full chip). Subsequent
-// calls are free; concurrent callers share one run. Persisting to
-// CalibrationPath is best-effort: a failed write never invalidates
-// the in-memory calibration (see CalibrationSaveError).
+// device simulator — seconds per device). Subsequent calls are free;
+// concurrent callers share one run. Persisting to CalibrationDir is
+// best-effort: a failed write never invalidates the in-memory
+// calibration (see CalibrationSaveError).
 func (a *Analyzer) Calibrate() error {
 	a.calStart.Do(func() { go a.runCalibration() })
 	<-a.calDone
@@ -157,20 +173,21 @@ func (a *Analyzer) calibrationCtx(ctx context.Context) (*timing.Calibration, err
 // published to waiters by the calDone close.
 func (a *Analyzer) runCalibration() {
 	defer close(a.calDone)
-	if path := a.opt.CalibrationPath; path != "" {
-		// The cache is valid only for the exact device: a session
-		// analyzing a modified configuration (different banks,
-		// clocks, segment sizes) must not pick up stale curves,
-		// even under the same name.
-		if cal, err := timing.LoadCalibrationFile(path); err == nil && cal.Config() == a.dev {
+	if dir := a.opt.CalibrationDir; dir != "" {
+		// Cache entries are keyed and validated by hardware
+		// fingerprint: a session analyzing a modified configuration
+		// (different banks, clocks, segment sizes) never picks up
+		// stale curves, even under the same name, and corrupt or
+		// truncated files read as a miss, not an error.
+		if cal, ok := timing.LoadCachedCalibration(dir, a.dev); ok {
 			a.cal = cal
 			a.calFromCache = true
 			return
 		}
 	}
 	a.cal, a.calErr = timing.Calibrate(a.dev)
-	if a.calErr == nil && a.opt.CalibrationPath != "" {
-		a.calSaveErr = a.cal.SaveFile(a.opt.CalibrationPath)
+	if a.calErr == nil && a.opt.CalibrationDir != "" {
+		a.calSaveErr = a.cal.SaveCachedCalibration(a.opt.CalibrationDir)
 	}
 }
 
@@ -179,7 +196,7 @@ func (a *Analyzer) runCalibration() {
 func (a *Analyzer) CalibrationFromCache() bool { return a.calFromCache }
 
 // CalibrationSaveError returns the error from the best-effort write
-// to CalibrationPath, if any. A failed write leaves the session fully
+// to CalibrationDir, if any. A failed write leaves the session fully
 // functional on its in-memory calibration.
 func (a *Analyzer) CalibrationSaveError() error { return a.calSaveErr }
 
@@ -198,9 +215,10 @@ func (a *Analyzer) workers(req Request) int {
 	return limit
 }
 
-// simRun is the outcome of the shared front half of Analyze and
-// Advise: the resolved spec, the workload after its functional run,
-// the run's statistics and the session calibration.
+// simRun is the outcome of the shared request prelude (and, after
+// simulate, the functional run): the resolved spec, the built
+// workload, the run's statistics and the session calibration (nil
+// when the caller skipped it).
 type simRun struct {
 	spec  KernelSpec
 	w     *Workload
@@ -208,30 +226,38 @@ type simRun struct {
 	cal   *timing.Calibration
 }
 
-// simulate runs the common front half of Analyze and Advise:
-// validate the request (fail fast — an unknown kernel or rejected
-// size pays for neither calibration nor an admission slot), wait for
-// the shared calibration, take an admission slot, build the problem
-// instance, and functionally simulate it. req's Size and Seed are
-// normalized in place so callers echo the concrete values. On
-// success the admission slot is still held — the caller must call
+// prelude is the shared front half of every request — Analyze,
+// Advise and Measure alike, whether they arrived through the
+// library, a batch, a fleet or HTTP: validate the request (fail fast
+// — an unknown kernel, a foreign device or a rejected size pays for
+// neither calibration nor an admission slot), wait for the shared
+// calibration when the caller needs the model (needCal), take an
+// admission slot, and build the problem instance. req's Size and
+// Seed are normalized in place so callers echo the concrete values.
+// On success the admission slot is still held — the caller must call
 // release exactly once when done with the workload's memory
-// (verification and measurement included).
-func (a *Analyzer) simulate(ctx context.Context, req *Request, dropVerify bool) (*simRun, func(), error) {
+// (simulation, verification and measurement included).
+func (a *Analyzer) prelude(ctx context.Context, req *Request, needCal, dropVerify bool) (*simRun, func(), error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
+	}
+	if req.Device != "" && req.Device != a.dev.Name {
+		return nil, nil, fmt.Errorf("%w: session analyzes device %q, not %q (route multi-device requests through a Fleet)",
+			ErrInvalidRequest, a.dev.Name, req.Device)
 	}
 	spec, p, err := a.reg.prepare(req.Kernel, Params{Size: req.Size, Seed: req.Seed})
 	if err != nil {
 		return nil, nil, err
 	}
 	req.Size, req.Seed = p.Size, p.Seed
-	// Wait for the shared calibration before taking a slot, so a cold
-	// burst doesn't pin MaxConcurrent requests for its whole duration;
-	// the wait itself respects ctx.
-	cal, err := a.calibrationCtx(ctx)
-	if err != nil {
-		return nil, nil, err
+	r := &simRun{spec: spec}
+	if needCal {
+		// Wait for the shared calibration before taking a slot, so a
+		// cold burst doesn't pin MaxConcurrent requests for its whole
+		// duration; the wait itself respects ctx.
+		if r.cal, err = a.calibrationCtx(ctx); err != nil {
+			return nil, nil, err
+		}
 	}
 	// Admission control: at most MaxConcurrent requests hold input
 	// memory and simulation resources at a time; the rest wait here
@@ -242,8 +268,7 @@ func (a *Analyzer) simulate(ctx context.Context, req *Request, dropVerify bool) 
 		return nil, nil, ctx.Err()
 	}
 	release := func() { <-a.admit }
-	w, err := spec.build(a.dev, p)
-	if err != nil {
+	if r.w, err = spec.build(a.dev, p); err != nil {
 		release()
 		return nil, nil, err
 	}
@@ -251,15 +276,25 @@ func (a *Analyzer) simulate(ctx context.Context, req *Request, dropVerify bool) 
 		// The Verify closure captures the host-side input copies
 		// (large for big requests — exactly the cases that skip it);
 		// dropping it frees them for the duration of the run.
-		w.Verify = nil
+		r.w.Verify = nil
 	}
-	stats, err := barra.RunContext(ctx, a.dev, w.Launch, w.Mem,
-		&barra.Options{Parallelism: a.workers(*req), Regions: w.Regions})
+	return r, release, nil
+}
+
+// simulate runs the prelude and the functional simulation — the
+// common front half of Analyze and Advise.
+func (a *Analyzer) simulate(ctx context.Context, req *Request, dropVerify bool) (*simRun, func(), error) {
+	r, release, err := a.prelude(ctx, req, true, dropVerify)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.stats, err = barra.RunContext(ctx, a.dev, r.w.Launch, r.w.Mem,
+		&barra.Options{Parallelism: a.workers(*req), Regions: r.w.Regions})
 	if err != nil {
 		release()
 		return nil, nil, err
 	}
-	return &simRun{spec: spec, w: w, stats: stats, cal: cal}, release, nil
+	return r, release, nil
 }
 
 // Analyze runs the full workflow for one request: build the kernel's
@@ -341,41 +376,38 @@ func (a *Analyzer) Advise(ctx context.Context, req Request) (*Advice, error) {
 
 // Measurement is the device simulator's timing of one kernel, with
 // no model involved (and so no calibration cost) — what an
-// architecture sweep compares across device variants.
+// architecture sweep compares across device variants. Size and Seed
+// echo the request after normalization.
 type Measurement struct {
 	Kernel   string  `json:"kernel"`
 	Device   string  `json:"device"`
+	Size     int     `json:"size"`
+	Seed     int64   `json:"seed"`
 	Seconds  float64 `json:"seconds"`
 	Dominant string  `json:"dominant"`
 }
 
 // Measure runs only the device simulator for the request's kernel.
-// It validates and passes the same admission gate as Analyze.
+// It shares the request prelude with Analyze and Advise — identical
+// validation, error wrapping, context handling and admission — but
+// never waits for (or triggers) the model calibration: timing-only
+// sweeps stay calibration-free.
 func (a *Analyzer) Measure(ctx context.Context, req Request) (*Measurement, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	spec, p, err := a.reg.prepare(req.Kernel, Params{Size: req.Size, Seed: req.Seed})
+	// The timing simulator never reads the verification closure.
+	r, release, err := a.prelude(ctx, &req, false, true)
 	if err != nil {
 		return nil, err
 	}
-	select {
-	case a.admit <- struct{}{}:
-		defer func() { <-a.admit }()
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-	w, err := spec.build(a.dev, p)
-	if err != nil {
-		return nil, err
-	}
-	meas, err := device.RunContext(ctx, a.dev, w.Launch, w.Mem)
+	defer release()
+	meas, err := device.RunContext(ctx, a.dev, r.w.Launch, r.w.Mem)
 	if err != nil {
 		return nil, err
 	}
 	return &Measurement{
 		Kernel:   req.Kernel,
 		Device:   a.dev.Name,
+		Size:     req.Size,
+		Seed:     req.Seed,
 		Seconds:  meas.Seconds,
 		Dominant: meas.DominantComponent(),
 	}, nil
@@ -391,29 +423,44 @@ func (a *Analyzer) Measure(ctx context.Context, req Request) (*Measurement, erro
 // errors) through the wrapping. One failing request does not cancel
 // its siblings — only ctx does.
 func (a *Analyzer) AnalyzeBatch(ctx context.Context, reqs []Request) ([]*Result, error) {
-	limit := a.opt.BatchConcurrency
+	return analyzeBatch(ctx, a.opt.BatchConcurrency, reqs, a.Analyze)
+}
+
+// forEachLimit runs fn(i) for every i in [0, n) on goroutines, at
+// most limit (≤0 = GOMAXPROCS) at a time, and waits for all of them.
+func forEachLimit(n, limit int, fn func(i int)) {
 	if limit <= 0 {
 		limit = runtime.GOMAXPROCS(0)
 	}
-	if limit > len(reqs) {
-		limit = len(reqs)
+	if limit > n {
+		limit = n
 	}
-	results := make([]*Result, len(reqs))
-	errs := make([]error, len(reqs))
 	sem := make(chan struct{}, limit)
 	var wg sync.WaitGroup
-	for i := range reqs {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = a.Analyze(ctx, reqs[i])
-			if errs[i] != nil {
-				errs[i] = fmt.Errorf("request %d (kernel %q): %w", i, reqs[i].Kernel, errs[i])
-			}
+			fn(i)
 		}(i)
 	}
 	wg.Wait()
+}
+
+// analyzeBatch is the one batch fan-out both Analyzer.AnalyzeBatch
+// and Fleet.AnalyzeBatch delegate to, so concurrency limiting and
+// error attribution cannot drift between the two front doors.
+func analyzeBatch(ctx context.Context, limit int, reqs []Request,
+	analyze func(context.Context, Request) (*Result, error)) ([]*Result, error) {
+	results := make([]*Result, len(reqs))
+	errs := make([]error, len(reqs))
+	forEachLimit(len(reqs), limit, func(i int) {
+		results[i], errs[i] = analyze(ctx, reqs[i])
+		if errs[i] != nil {
+			errs[i] = fmt.Errorf("request %d (kernel %q): %w", i, reqs[i].Kernel, errs[i])
+		}
+	})
 	return results, errors.Join(errs...)
 }

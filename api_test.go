@@ -7,6 +7,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
@@ -34,6 +35,55 @@ func testAnalyzer(t *testing.T) *Analyzer {
 		t.Fatalf("calibrate: %v", err)
 	}
 	return ta
+}
+
+var (
+	tfOnce sync.Once
+	tf     *Fleet
+	tfErr  error
+	tfDir  string
+)
+
+// TestMain removes the shared fleet's calibration-cache directory
+// after the run (it outlives any one test, so t.TempDir cannot own
+// it).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if tfDir != "" {
+		os.RemoveAll(tfDir)
+	}
+	os.Exit(code)
+}
+
+// testFleet returns the shared fleet: the default catalog with
+// "gtx285-6sm" as the default device, seeded with testAnalyzer's
+// calibration through the fingerprint-keyed cache directory — the
+// catalog entry's hardware is identical to the shared session's, so
+// the fleet's 6-SM session loads from cache instead of recalibrating
+// (names differ; fingerprints don't).
+func testFleet(t *testing.T) *Fleet {
+	t.Helper()
+	a := testAnalyzer(t)
+	tfOnce.Do(func() {
+		// Failures are stored, not t.Fatal-ed: the Once would stay
+		// spent and every later caller would hit a nil fleet instead
+		// of the real error.
+		tfDir, tfErr = os.MkdirTemp("", "gpuperf-fleet-cal-")
+		if tfErr != nil {
+			return
+		}
+		if tfErr = a.cal.SaveCachedCalibration(tfDir); tfErr != nil {
+			return
+		}
+		tf = NewFleet(FleetOptions{
+			DefaultDevice:  "gtx285-6sm",
+			CalibrationDir: tfDir,
+		})
+	})
+	if tf == nil {
+		t.Fatalf("shared fleet init failed: %v", tfErr)
+	}
+	return tf
 }
 
 // TestRegistryDeterministicInputs: identical (kernel, size, seed)
@@ -264,17 +314,21 @@ func TestAnalyzeBatch(t *testing.T) {
 	}
 }
 
-// TestCalibrationPathReuse: a session with CalibrationPath loads the
-// cache instead of recalibrating, and produces identical analyses.
-func TestCalibrationPathReuse(t *testing.T) {
+// TestCalibrationDirReuse: a session with CalibrationDir loads its
+// device's fingerprint-keyed cache entry instead of recalibrating,
+// and produces identical analyses.
+func TestCalibrationDirReuse(t *testing.T) {
 	a := testAnalyzer(t)
-	path := filepath.Join(t.TempDir(), "cal.json")
-	if err := a.cal.SaveFile(path); err != nil {
+	dir := t.TempDir()
+	if err := a.cal.SaveCachedCalibration(dir); err != nil {
 		t.Fatal(err)
 	}
-	a2 := NewAnalyzer(Options{Device: a.Device(), CalibrationPath: path})
+	a2 := NewAnalyzer(Options{Device: a.Device(), CalibrationDir: dir})
 	if err := a2.Calibrate(); err != nil {
 		t.Fatal(err)
+	}
+	if !a2.CalibrationFromCache() {
+		t.Fatal("second session should have loaded the cache entry")
 	}
 	if a2.cal == a.cal {
 		t.Fatal("second session should have loaded its own calibration")
@@ -295,13 +349,20 @@ func TestCalibrationPathReuse(t *testing.T) {
 	}
 }
 
-// TestCalibrationSaveFailureDoesNotPoison: an unwritable cache path
-// must not invalidate a successful calibration — the session keeps
-// serving from memory and surfaces the write error separately.
+// TestCalibrationSaveFailureDoesNotPoison: an unwritable cache
+// directory must not invalidate a successful calibration — the
+// session keeps serving from memory and surfaces the write error
+// separately.
 func TestCalibrationSaveFailureDoesNotPoison(t *testing.T) {
+	// A regular file where the cache directory should be makes
+	// MkdirAll fail.
+	block := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(block, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	a := NewAnalyzer(Options{
-		Device:          SliceDevice(DefaultDevice(), 6),
-		CalibrationPath: filepath.Join(t.TempDir(), "no-such-dir", "cal.json"),
+		Device:         SliceDevice(DefaultDevice(), 6),
+		CalibrationDir: filepath.Join(block, "cache"),
 	})
 	if err := a.Calibrate(); err != nil {
 		t.Fatalf("calibration should survive a failed cache write, got %v", err)
@@ -317,20 +378,72 @@ func TestCalibrationSaveFailureDoesNotPoison(t *testing.T) {
 // TestCalibrationCacheRejectsModifiedDevice: a cache written for one
 // configuration must not load for a modified one, even under the
 // same name — stale curves would silently skew every prediction.
+// With the fingerprint-keyed directory the modified device simply
+// has a different cache slot.
 func TestCalibrationCacheRejectsModifiedDevice(t *testing.T) {
 	a := testAnalyzer(t)
-	path := filepath.Join(t.TempDir(), "cal.json")
-	if err := a.cal.SaveFile(path); err != nil {
+	dir := t.TempDir()
+	if err := a.cal.SaveCachedCalibration(dir); err != nil {
 		t.Fatal(err)
 	}
 	dev := a.Device()
 	dev.SharedMemBanks = 17 // same Name, different hardware
-	a2 := NewAnalyzer(Options{Device: dev, CalibrationPath: path})
+	a2 := NewAnalyzer(Options{Device: dev, CalibrationDir: dir})
 	if err := a2.Calibrate(); err != nil {
 		t.Fatal(err)
 	}
 	if a2.CalibrationFromCache() {
 		t.Error("cache for a different configuration was loaded")
+	}
+	// The fresh calibration landed in its own slot: the directory now
+	// holds two distinct fingerprint-keyed files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := []string{}
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("cache dir should hold 2 per-fingerprint entries, has %v", names)
+	}
+}
+
+// TestCorruptCalibrationCacheFallsBack: garbage in the device's cache
+// slot is a miss, not an error — the session calibrates fresh and
+// repairs the slot.
+func TestCorruptCalibrationCacheFallsBack(t *testing.T) {
+	a := testAnalyzer(t)
+	dir := t.TempDir()
+	if err := a.cal.SaveCachedCalibration(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected one cache entry, got %v (%v)", entries, err)
+	}
+	slot := filepath.Join(dir, entries[0].Name())
+	if err := os.WriteFile(slot, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a2 := NewAnalyzer(Options{Device: a.Device(), CalibrationDir: dir})
+	if err := a2.Calibrate(); err != nil {
+		t.Fatalf("corrupt cache must fall back to fresh calibration, got %v", err)
+	}
+	if a2.CalibrationFromCache() {
+		t.Error("corrupt cache was served")
+	}
+	if a2.CalibrationSaveError() != nil {
+		t.Errorf("repairing the slot failed: %v", a2.CalibrationSaveError())
+	}
+	// The repaired slot is valid again.
+	a3 := NewAnalyzer(Options{Device: a.Device(), CalibrationDir: dir})
+	if err := a3.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a3.CalibrationFromCache() {
+		t.Error("repaired cache entry should load")
 	}
 }
 
@@ -381,15 +494,119 @@ func TestAdmissionControl(t *testing.T) {
 }
 
 // TestMeasureNoCalibration: Measure works on a fresh session without
-// ever calibrating (the architect-sweep path).
+// ever calibrating (the architect-sweep path), and echoes the
+// normalized size and seed.
 func TestMeasureNoCalibration(t *testing.T) {
 	a := NewAnalyzer(Options{Device: SliceDevice(DefaultDevice(), 6)})
-	m, err := a.Measure(context.Background(), Request{Kernel: "matmul16", Size: 64, Seed: 7})
+	m, err := a.Measure(context.Background(), Request{Kernel: "matmul16", Size: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.Seconds <= 0 || m.Dominant == "" {
 		t.Errorf("bad measurement %+v", m)
+	}
+	if m.Size != 64 || m.Seed != 1 {
+		t.Errorf("measurement should echo normalized size/seed, got %d/%d", m.Size, m.Seed)
+	}
+	select {
+	case a.admit <- struct{}{}:
+		<-a.admit
+	default:
+		t.Error("Measure leaked an admission slot")
+	}
+}
+
+// TestMeasureSharesPrelude: Measure validates exactly like Analyze —
+// same sentinel errors for unknown kernels, rejected sizes, foreign
+// devices and dead contexts — without ever touching the calibration.
+func TestMeasureSharesPrelude(t *testing.T) {
+	a := NewAnalyzer(Options{Device: SliceDevice(DefaultDevice(), 6)})
+	ctx := context.Background()
+	if _, err := a.Measure(ctx, Request{Kernel: "nope"}); !errors.Is(err, ErrUnknownKernel) {
+		t.Errorf("unknown kernel: got %v", err)
+	}
+	if _, err := a.Measure(ctx, Request{Kernel: "matmul32", Size: 32768}); !errors.Is(err, ErrInvalidRequest) {
+		t.Errorf("oversized request: got %v", err)
+	}
+	if _, err := a.Measure(ctx, Request{Kernel: "matmul16", Size: 64, Device: "some-other-chip"}); !errors.Is(err, ErrInvalidRequest) {
+		t.Errorf("foreign device: got %v", err)
+	}
+	dead, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := a.Measure(dead, Request{Kernel: "matmul16", Size: 64}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled: got %v", err)
+	}
+	// None of the failures (nor the admission path) may have kicked
+	// off a calibration: Measure is the calibration-free path.
+	select {
+	case <-a.calDone:
+		t.Error("Measure triggered a calibration")
+	default:
+	}
+}
+
+// TestAnalyzeRejectsForeignDevice: a bare Analyzer serves exactly one
+// device; requests naming another are the caller's error, directing
+// them at a Fleet.
+func TestAnalyzeRejectsForeignDevice(t *testing.T) {
+	a := testAnalyzer(t)
+	_, err := a.Analyze(context.Background(), Request{Kernel: "matmul16", Size: 64, Device: "gtx280"})
+	if !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("got %v, want ErrInvalidRequest", err)
+	}
+	// Naming the session's own device is fine.
+	res, err := a.Analyze(context.Background(), Request{Kernel: "matmul16", Size: 64, Device: a.Device().Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device != a.Device().Name {
+		t.Errorf("result device %q, want %q", res.Device, a.Device().Name)
+	}
+}
+
+// TestSliceDeviceIdempotent: slicing an already-sliced device
+// replaces the -Nsm name suffix instead of stacking another, and
+// re-slicing to the same count is a no-op.
+func TestSliceDeviceIdempotent(t *testing.T) {
+	base := DefaultDevice()
+	once := SliceDevice(base, 6)
+	if once.Name != "GTX285-6sm" || once.NumSMs != 6 {
+		t.Fatalf("first slice: %q (%d SMs)", once.Name, once.NumSMs)
+	}
+	again := SliceDevice(once, 6)
+	if again != once {
+		t.Errorf("re-slicing to the same count changed the device: %+v vs %+v", again, once)
+	}
+	narrower := SliceDevice(SliceDevice(base, 15), 6)
+	if narrower.Name != "GTX285-6sm" || narrower.NumSMs != 6 {
+		t.Errorf("15sm→6sm: %q (%d SMs), want GTX285-6sm (6)", narrower.Name, narrower.NumSMs)
+	}
+	if narrower != once {
+		t.Errorf("slicing via 15sm differs from slicing directly: %+v vs %+v", narrower, once)
+	}
+	// Slicing wider than the current chip keeps it untouched.
+	if wider := SliceDevice(once, 12); wider != once {
+		t.Errorf("slicing a 6-SM device to 12 changed it: %+v", wider)
+	}
+	// Option-decorated names keep their knob suffixes intact.
+	dev := DefaultDevice()
+	dev.Name = "GTX285+banks17"
+	resliced := SliceDevice(SliceDevice(dev, 15), 6)
+	if resliced.Name != "GTX285+banks17-6sm" {
+		t.Errorf("knob suffix lost or stacked: %q", resliced.Name)
+	}
+	// Catalog variant names put the slice before the knob; re-slicing
+	// one must replace that marker, not stack a second.
+	variant, ok := DefaultCatalog().Lookup("gtx285-6sm+banks17")
+	if !ok {
+		t.Fatal("catalog lost gtx285-6sm+banks17")
+	}
+	sliced := SliceDevice(variant, 3)
+	if sliced.Name != "gtx285+banks17-3sm" || sliced.NumSMs != 3 {
+		t.Errorf("slice-before-knob name stacked: %q (%d SMs)", sliced.Name, sliced.NumSMs)
+	}
+	if again := SliceDevice(sliced, 3); again != sliced {
+		t.Errorf("re-slicing the variant changed it: %+v vs %+v", again, sliced)
 	}
 }
 

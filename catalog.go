@@ -1,0 +1,193 @@
+package gpuperf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gpuperf/internal/gpu"
+)
+
+// ErrUnknownDevice reports a request naming a device the catalog does
+// not hold; errors.Is-match it to map the condition (the HTTP
+// front-end turns it into 404).
+var ErrUnknownDevice = fmt.Errorf("gpuperf: unknown device")
+
+// DeviceCatalog maps stable names to immutable device profiles — the
+// fleet's address space. Entries are registered once and never
+// mutated: Register stores a copy whose Name is the catalog key (so
+// every Result, Advice and Measurement echoes the catalog name), and
+// Lookup hands out copies. Safe for concurrent use.
+//
+// The built-in naming scheme (DefaultCatalog) is
+//
+//	<chip>[-<n>sm][+<knob><value>]
+//
+// lower-case: the stock chip ("gtx285"), its whole-cluster slices
+// ("gtx285-6sm"), and derived variants built from the architectural
+// knobs the paper's §5 sweeps ("gtx285+banks17", "gtx285-6sm+seg16").
+// Fingerprints, not names, key the calibration cache — renaming an
+// entry never reuses or invalidates curves for different hardware.
+type DeviceCatalog struct {
+	mu   sync.RWMutex
+	devs map[string]Device
+}
+
+// NewDeviceCatalog returns an empty catalog.
+func NewDeviceCatalog() *DeviceCatalog {
+	return &DeviceCatalog{devs: map[string]Device{}}
+}
+
+// Register adds dev under name. The stored profile is dev with its
+// Name set to the catalog key. Registering an invalid configuration
+// or reusing a name is an error — entries are immutable once
+// published, so a fleet's cached sessions can never disagree with
+// the catalog.
+func (c *DeviceCatalog) Register(name string, dev Device) error {
+	if name == "" {
+		return fmt.Errorf("gpuperf: catalog entry needs a name")
+	}
+	dev.Name = name
+	if err := dev.Validate(); err != nil {
+		return fmt.Errorf("gpuperf: catalog entry %q: %w", name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.devs[name]; dup {
+		return fmt.Errorf("gpuperf: catalog entry %q already registered", name)
+	}
+	c.devs[name] = dev
+	return nil
+}
+
+// Lookup returns the profile registered under name.
+func (c *DeviceCatalog) Lookup(name string) (Device, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.devs[name]
+	return d, ok
+}
+
+// Resolve is Lookup returning ErrUnknownDevice (with the known names)
+// for a missing entry, so front-ends can blame the caller.
+func (c *DeviceCatalog) Resolve(name string) (Device, error) {
+	d, ok := c.Lookup(name)
+	if !ok {
+		return Device{}, fmt.Errorf("%w %q (have %v)", ErrUnknownDevice, name, c.Names())
+	}
+	return d, nil
+}
+
+// Names returns the registered device names, sorted.
+func (c *DeviceCatalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.devs))
+	for n := range c.devs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Profiles returns the wire form of every entry, sorted by name —
+// the GET /v1/devices response.
+func (c *DeviceCatalog) Profiles() []DeviceProfile {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]DeviceProfile, 0, len(c.devs))
+	for _, d := range c.devs {
+		out = append(out, newDeviceProfile(d))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DeviceProfile is one catalog entry on the wire: the stable name,
+// the canonical hardware fingerprint (the calibration-cache key), the
+// architectural knobs a capacity planner compares, and the derived
+// theoretical peaks.
+type DeviceProfile struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+
+	NumSMs          int  `json:"num_sms"`
+	Clusters        int  `json:"clusters"`
+	SharedMemBanks  int  `json:"shared_mem_banks"`
+	RegistersPerSM  int  `json:"registers_per_sm"`
+	SharedMemPerSM  int  `json:"shared_mem_per_sm"`
+	MaxBlocksPerSM  int  `json:"max_blocks_per_sm"`
+	MinSegmentBytes int  `json:"min_segment_bytes"`
+	EarlyRelease    bool `json:"early_release,omitempty"`
+
+	PeakGFLOPS     float64 `json:"peak_gflops"`
+	PeakGlobalGBps float64 `json:"peak_global_gbps"`
+	PeakSharedGBps float64 `json:"peak_shared_gbps"`
+}
+
+func newDeviceProfile(d Device) DeviceProfile {
+	return DeviceProfile{
+		Name:            d.Name,
+		Fingerprint:     gpu.Fingerprint(d),
+		NumSMs:          d.NumSMs,
+		Clusters:        d.NumClusters(),
+		SharedMemBanks:  d.SharedMemBanks,
+		RegistersPerSM:  d.RegistersPerSM,
+		SharedMemPerSM:  d.SharedMemPerSM,
+		MaxBlocksPerSM:  d.MaxBlocksPerSM,
+		MinSegmentBytes: d.MinSegmentBytes,
+		EarlyRelease:    d.EarlyRelease,
+		PeakGFLOPS:      d.PeakGFLOPS(),
+		PeakGlobalGBps:  d.PeakGlobalBandwidth() / 1e9,
+		PeakSharedGBps:  d.PeakSharedBandwidth() / 1e9,
+	}
+}
+
+// DefaultCatalogDevice is the entry a fleet serves when a request
+// leaves its Device field empty and FleetOptions named no other
+// default.
+const DefaultCatalogDevice = "gtx285"
+
+// DefaultCatalog returns a fresh catalog preloaded with the paper's
+// test platform and its study variants:
+//
+//	gtx285                          the stock GeForce GTX 285
+//	gtx285-15sm, -6sm, -3sm         whole-cluster slices (same per-SM
+//	                                behaviour, scaled chip throughput)
+//	gtx285+banks17                  prime bank count (§5.2)
+//	gtx285+blocks16                 doubled resident-block ceiling (§5.1)
+//	gtx285+seg16                    16-byte memory transactions (§5.3)
+//	gtx285-6sm+banks17, +blocks16,
+//	+seg16                          the same knobs on the fast slice
+//	gtx280, tesla-c1060             sibling GT200 boards
+//
+// Each call builds a new catalog, so callers may Register their own
+// variants without affecting other fleets.
+func DefaultCatalog() *DeviceCatalog {
+	c := NewDeviceCatalog()
+	full := gpu.GTX285()
+	sliced := func(sms int) Device { return SliceDevice(full, sms) }
+	entries := []struct {
+		name string
+		dev  Device
+	}{
+		{"gtx285", full},
+		{"gtx285-15sm", sliced(15)},
+		{"gtx285-6sm", sliced(6)},
+		{"gtx285-3sm", sliced(3)},
+		{"gtx285+banks17", gpu.GTX285(gpu.WithBanks(17))},
+		{"gtx285+blocks16", gpu.GTX285(gpu.WithMaxBlocks(16))},
+		{"gtx285+seg16", gpu.GTX285(gpu.WithMinSegment(16))},
+		{"gtx285-6sm+banks17", SliceDevice(gpu.GTX285(gpu.WithBanks(17)), 6)},
+		{"gtx285-6sm+blocks16", SliceDevice(gpu.GTX285(gpu.WithMaxBlocks(16)), 6)},
+		{"gtx285-6sm+seg16", SliceDevice(gpu.GTX285(gpu.WithMinSegment(16)), 6)},
+		{"gtx280", gpu.GTX280()},
+		{"tesla-c1060", gpu.TeslaC1060()},
+	}
+	for _, e := range entries {
+		if err := c.Register(e.name, e.dev); err != nil {
+			panic(err) // built-in entries are statically well-formed
+		}
+	}
+	return c
+}

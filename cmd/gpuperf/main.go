@@ -3,19 +3,24 @@
 // report: per-component times, bottleneck, causes, per-stage
 // breakdown, and the measured (device-simulator) time next to the
 // prediction. With -advise it instead prints the counterfactual
-// advisor's ranked what-if report (§4): the predicted speedup of
-// perfect coalescing, conflict-free shared memory, no divergence,
-// ideal stage overlap, and an occupancy sweep. It is a thin shell
-// over the public gpuperf API — the same analysis a service embeds
-// via gpuperf.NewAnalyzer.
+// advisor's ranked what-if report (§4); with -compare it runs the
+// kernel across a set of catalog devices and prints the ranked
+// cross-device comparison (the architect question). It is a thin
+// shell over the public gpuperf API — the same analysis a service
+// embeds via gpuperf.NewFleet.
 //
 // Usage:
 //
 //	gpuperf -kernel matmul16 | matmul8 | matmul32 | matmul-naive |
 //	        cr | cr-nbc | cr-fwd | spmv-ell | spmv-bell-im |
 //	        spmv-bell-imiv
+//	        [-device gtx285-6sm] [-compare gtx285-6sm,gtx285]
 //	        [-advise] [-disasm] [-n size] [-seed n] [-p workers]
-//	        [-cal file] [-json] [-cpuprofile file] [-memprofile file]
+//	        [-cal-dir dir] [-json] [-cpuprofile file] [-memprofile file]
+//
+// -device names a catalog entry (see `gpuperfd`'s GET /v1/devices or
+// gpuperf.DefaultCatalog); -compare takes a comma-separated device
+// list whose first entry is the speedup baseline.
 package main
 
 import (
@@ -24,17 +29,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gpuperf"
 )
 
 func main() {
 	kernel := flag.String("kernel", "matmul16", "kernel to analyze")
+	device := flag.String("device", gpuperf.DefaultCatalogDevice, "catalog device to analyze for")
+	compare := flag.String("compare", "", "comma-separated catalog devices: run the kernel across all of them and rank (first = baseline)")
 	advse := flag.Bool("advise", false, "print the ranked counterfactual what-if report instead of the analysis")
 	disasm := flag.Bool("disasm", false, "print the kernel disassembly and exit")
 	n := flag.Int("n", 0, "problem size override (matrix dim / systems / block rows)")
 	seed := flag.Int64("seed", 0, "input-generation seed (0 = default)")
-	calFile := flag.String("cal", "", "calibration cache file (loaded if present, written after calibrating)")
+	calDir := flag.String("cal-dir", "", "calibration cache directory (one file per device fingerprint)")
 	parallel := flag.Int("p", 0, "functional-simulation worker goroutines (0 = all cores, 1 = serial)")
 	skipVerify := flag.Bool("skip-verify", false, "skip the (single-threaded) CPU-reference check of the functional output")
 	asJSON := flag.Bool("json", false, "print the result as JSON instead of the text report")
@@ -49,11 +57,12 @@ func main() {
 	}
 	runErr := run(gpuperf.Request{
 		Kernel:     *kernel,
+		Device:     *device,
 		Size:       *n,
 		Seed:       *seed,
 		Measure:    true,
 		SkipVerify: *skipVerify,
-	}, *advse, *disasm, *calFile, *parallel, *asJSON)
+	}, *compare, *advse, *disasm, *calDir, *parallel, *asJSON)
 	if err := stopProf(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -63,11 +72,41 @@ func main() {
 	}
 }
 
-func run(req gpuperf.Request, advse, disasm bool, calFile string, parallel int, asJSON bool) error {
-	a := gpuperf.NewAnalyzer(gpuperf.Options{
-		Parallelism:     parallel,
-		CalibrationPath: calFile,
+func run(req gpuperf.Request, compare string, advse, disasm bool, calDir string, parallel int, asJSON bool) error {
+	f := gpuperf.NewFleet(gpuperf.FleetOptions{
+		DefaultDevice:  req.Device,
+		Parallelism:    parallel,
+		CalibrationDir: calDir,
 	})
+	ctx := context.Background()
+
+	if compare != "" {
+		devices := strings.Split(compare, ",")
+		for i := range devices {
+			devices[i] = strings.TrimSpace(devices[i])
+		}
+		cmp, err := f.Compare(ctx, gpuperf.CompareRequest{
+			Kernel:      req.Kernel,
+			Size:        req.Size,
+			Seed:        req.Seed,
+			Parallelism: parallel,
+			Devices:     devices,
+			Measure:     true,
+		})
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			return printJSON(cmp)
+		}
+		fmt.Print(cmp.Report())
+		return nil
+	}
+
+	a, err := f.Session(req.Device)
+	if err != nil {
+		return err
+	}
 	if disasm {
 		text, err := a.Registry().Disassemble(a.Device(), req.Kernel, gpuperf.Params{Size: req.Size, Seed: req.Seed})
 		if err != nil {
@@ -79,46 +118,48 @@ func run(req gpuperf.Request, advse, disasm bool, calFile string, parallel int, 
 
 	dev := a.Device()
 	fmt.Printf("device: %s (%d SMs, %.0f GFLOPS peak)\n", dev.Name, dev.NumSMs, dev.PeakGFLOPS())
-	fmt.Println("calibrating model (microbenchmarks; skipped when the -cal cache is valid)...")
+	fmt.Println("calibrating model (microbenchmarks; skipped when the -cal-dir cache is valid)...")
 	if err := a.Calibrate(); err != nil {
 		return err
 	}
 	switch {
 	case a.CalibrationFromCache():
-		fmt.Printf("loaded calibration from %s\n", calFile)
-	case calFile == "":
-		fmt.Println("calibrated model (microbenchmarks; cache with -cal)")
+		fmt.Printf("loaded calibration from %s\n", calDir)
+	case calDir == "":
+		fmt.Println("calibrated model (microbenchmarks; cache with -cal-dir)")
 	case a.CalibrationSaveError() != nil:
-		fmt.Printf("calibrated model (warning: could not save to %s: %v)\n", calFile, a.CalibrationSaveError())
+		fmt.Printf("calibrated model (warning: could not save to %s: %v)\n", calDir, a.CalibrationSaveError())
 	default:
-		fmt.Printf("calibrated model, saved to %s\n", calFile)
+		fmt.Printf("calibrated model, saved to %s\n", calDir)
 	}
 
 	if advse {
-		adv, err := a.Advise(context.Background(), req)
+		adv, err := f.Advise(ctx, req)
 		if err != nil {
 			return err
 		}
 		if asJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			return enc.Encode(adv)
+			return printJSON(adv)
 		}
 		fmt.Println()
 		fmt.Print(adv.Report())
 		return nil
 	}
 
-	res, err := a.Analyze(context.Background(), req)
+	res, err := f.Analyze(ctx, req)
 	if err != nil {
 		return err
 	}
 	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		return printJSON(res)
 	}
 	fmt.Println()
 	fmt.Print(res.Report())
 	return nil
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

@@ -1,23 +1,30 @@
-// Command gpuperfd serves the analysis workflow over HTTP: one
-// Analyzer session (one device, one cached calibration) handling
-// concurrent requests.
+// Command gpuperfd serves the analysis workflow over HTTP: one Fleet
+// of per-device Analyzer sessions (one cached calibration each)
+// handling concurrent requests behind a shared admission limit.
 //
-//	gpuperfd [-addr :8080] [-sms n] [-cal file] [-p workers]
+//	gpuperfd [-addr :8080] [-devices gtx285,gtx285-6sm] [-cal-dir dir]
+//	         [-p workers] [-precalibrate]
 //
 // Endpoints:
 //
 //	GET  /healthz      liveness probe
 //	GET  /v1/kernels   list the registry's kernels with their variant
 //	                   families and realized optimizations
-//	POST /v1/analyze   {"kernel":"matmul16","size":64,"seed":7} → Result
+//	GET  /v1/devices   list the served device profiles (name,
+//	                   hardware fingerprint, knobs, peaks)
+//	POST /v1/analyze   {"kernel":"matmul16","size":64,"device":"gtx285-6sm"} → Result
 //	POST /v1/advise    same body → Advice (ranked counterfactual
 //	                   what-if scenarios with predicted speedups)
+//	POST /v1/measure   same body → Measurement (timing simulator
+//	                   only; no calibration)
+//	POST /v1/compare   {"kernel":"spmv-ell","devices":["gtx285-6sm","gtx285"]}
+//	                   → Comparison (ranked across the device set)
 //
-// -sms slices the device to n streaming multiprocessors (per-SM
-// behaviour is unchanged; calibration and small workloads run
-// faster). -cal points at an on-disk calibration cache so restarts
-// skip recalibration. Aborted client connections cancel their
-// in-flight simulations.
+// -devices picks which catalog entries to serve (the first is the
+// default for requests that name none). -cal-dir points at an
+// on-disk calibration cache directory — one file per device
+// fingerprint — so restarts skip recalibration. Aborted client
+// connections cancel their in-flight simulations.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,36 +45,60 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	sms := flag.Int("sms", 0, "slice the device to this many SMs (0 = full chip)")
-	calFile := flag.String("cal", "", "calibration cache file (loaded if present, written after calibrating)")
+	devices := flag.String("devices", gpuperf.DefaultCatalogDevice,
+		"comma-separated catalog devices to serve; the first is the default for requests naming none")
+	calDir := flag.String("cal-dir", "", "calibration cache directory (one file per device fingerprint; loaded if present, written after calibrating)")
 	parallel := flag.Int("p", 0, "functional-simulation worker goroutines per request (0 = all cores)")
-	precalibrate := flag.Bool("precalibrate", false, "calibrate before accepting traffic instead of on the first request")
+	precalibrate := flag.Bool("precalibrate", false, "calibrate every served device before accepting traffic instead of on first use")
 	flag.Parse()
 
-	dev := gpuperf.SliceDevice(gpuperf.DefaultDevice(), *sms)
-	a := gpuperf.NewAnalyzer(gpuperf.Options{
-		Device:          dev,
-		Parallelism:     *parallel,
-		CalibrationPath: *calFile,
-	})
-	log.Printf("gpuperfd: device %s (%d SMs), kernels %v", dev.Name, dev.NumSMs, a.Registry().Names())
-	if *precalibrate {
-		log.Printf("gpuperfd: calibrating...")
-		if err := a.Calibrate(); err != nil {
-			log.Fatalf("gpuperfd: calibration: %v", err)
+	// Serve exactly the named catalog entries: the fleet's catalog is
+	// a subset of the defaults, so GET /v1/devices advertises only
+	// what the operator chose to expose.
+	defaults := gpuperf.DefaultCatalog()
+	served := gpuperf.NewDeviceCatalog()
+	names := strings.Split(*devices, ",")
+	for i, n := range names {
+		names[i] = strings.TrimSpace(n)
+		dev, err := defaults.Resolve(names[i])
+		if err != nil {
+			log.Fatalf("gpuperfd: -devices: %v", err)
 		}
-		if a.CalibrationFromCache() {
-			log.Printf("gpuperfd: calibration loaded from %s", *calFile)
-		} else if err := a.CalibrationSaveError(); err != nil {
-			log.Printf("gpuperfd: calibration ready (cache not saved: %v)", err)
-		} else {
-			log.Printf("gpuperfd: calibration ready")
+		if err := served.Register(names[i], dev); err != nil {
+			log.Fatalf("gpuperfd: -devices: %v", err)
+		}
+	}
+	f := gpuperf.NewFleet(gpuperf.FleetOptions{
+		Catalog:        served,
+		DefaultDevice:  names[0],
+		Parallelism:    *parallel,
+		CalibrationDir: *calDir,
+	})
+	log.Printf("gpuperfd: devices %v (default %s), kernels %v", names, names[0], f.Registry().Names())
+	if *precalibrate {
+		for _, n := range names {
+			a, err := f.Session(n)
+			if err != nil {
+				log.Fatalf("gpuperfd: %v", err)
+			}
+			log.Printf("gpuperfd: calibrating %s...", n)
+			if err := a.Calibrate(); err != nil {
+				log.Fatalf("gpuperfd: calibration of %s: %v", n, err)
+			}
+			switch {
+			case a.CalibrationFromCache():
+				log.Printf("gpuperfd: %s calibration loaded from %s", n, *calDir)
+			case a.CalibrationSaveError() != nil:
+				log.Printf("gpuperfd: %s calibration ready (cache not saved: %v)", n, a.CalibrationSaveError())
+			default:
+				log.Printf("gpuperfd: %s calibration ready", n)
+			}
 		}
 	}
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: logRequests(gpuperf.NewHandler(a)),
+		Handler: logRequests(gpuperf.NewHandler(f)),
 		// Bound hostile/stalled connections. No WriteTimeout: a cold
 		// first analyze legitimately takes tens of seconds while the
 		// model calibrates.

@@ -1,0 +1,137 @@
+package gpuperf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// goldenComparison is a fully-populated Comparison literal — every
+// field the wire format carries, with nothing derived at runtime, so
+// the fixture pins the public JSON schema itself. The fingerprints
+// are the real catalog values for gtx285 and gtx285-6sm, so a change
+// to the fingerprint scheme (which silently invalidates every
+// calibration cache) also shows up here as a deliberate golden diff.
+func goldenComparison() *Comparison {
+	return &Comparison{
+		Kernel:   "spmv-ell",
+		Size:     4096,
+		Seed:     7,
+		Baseline: "gtx285-6sm",
+		Entries: []ComparisonEntry{
+			{
+				Device:           "gtx285",
+				Fingerprint:      "7b25645b987b52f6f07baff2dab6014e",
+				PredictedSeconds: 0.00021,
+				Bottleneck:       "global memory",
+				Speedup:          4.76,
+				MeasuredSeconds:  0.00023,
+			},
+			{
+				Device:           "gtx285-6sm",
+				Fingerprint:      "edd55c4fd980ecc10c9d039f33077ba0",
+				PredictedSeconds: 0.001,
+				Bottleneck:       "global memory",
+				Speedup:          1,
+				MeasuredSeconds:  0.0011,
+			},
+		},
+		Best: "gtx285",
+	}
+}
+
+// TestComparisonGoldenRoundTrip pins the Comparison wire format: the
+// fixture in testdata must match what Marshal produces today, and
+// decoding it must reproduce the full struct. A diff here is a
+// breaking API change — regenerate with -update only deliberately.
+func TestComparisonGoldenRoundTrip(t *testing.T) {
+	want := goldenComparison()
+	blob, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob = append(blob, '\n')
+
+	path := filepath.Join("testdata", "comparison_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestComparisonGolden -update` to create it)", err)
+	}
+	if string(golden) != string(blob) {
+		t.Errorf("Comparison wire format drifted from testdata/comparison_golden.json:\ngot:\n%s\nwant:\n%s", blob, golden)
+	}
+
+	var back Comparison
+	if err := json.Unmarshal(golden, &back); err != nil {
+		t.Fatalf("golden does not decode: %v", err)
+	}
+	if !reflect.DeepEqual(&back, want) {
+		t.Errorf("golden round-trip lost data:\ngot  %+v\nwant %+v", &back, want)
+	}
+
+	// The fixture's fingerprints are the live catalog's: a drift here
+	// means the fingerprint scheme changed, which also invalidates
+	// every on-disk calibration cache — make that loud.
+	catalog := DefaultCatalog()
+	for _, e := range want.Entries {
+		dev, ok := catalog.Lookup(e.Device)
+		if !ok {
+			t.Fatalf("fixture device %q left the catalog", e.Device)
+		}
+		if got := DeviceFingerprint(dev); got != e.Fingerprint {
+			t.Errorf("fingerprint scheme drifted for %s: %s, fixture %s (regenerate deliberately)", e.Device, got, e.Fingerprint)
+		}
+	}
+}
+
+// TestCompareRequestJSONRoundTrip: the CompareRequest wire format
+// holds.
+func TestCompareRequestJSONRoundTrip(t *testing.T) {
+	in := CompareRequest{
+		Kernel:      "matmul16",
+		Size:        256,
+		Seed:        11,
+		Parallelism: 2,
+		Devices:     []string{"gtx285", "gtx285-6sm"},
+		Baseline:    "gtx285-6sm",
+		Measure:     true,
+	}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out CompareRequest
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Errorf("round trip: %+v -> %+v", in, out)
+	}
+}
+
+// TestDeviceProfileJSONRoundTrip: the /v1/devices wire format holds
+// and carries real fingerprints for the built-in catalog.
+func TestDeviceProfileJSONRoundTrip(t *testing.T) {
+	profiles := DefaultCatalog().Profiles()
+	blob, err := json.Marshal(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []DeviceProfile
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, profiles) {
+		t.Error("device profiles do not round-trip")
+	}
+}

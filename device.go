@@ -2,21 +2,36 @@ package gpuperf
 
 import (
 	"fmt"
+	"regexp"
 
 	"gpuperf/internal/gpu"
 )
 
 // Device describes the simulated GPU a session analyzes for. It is
 // the facade's name for the internal configuration type: fields are
-// exported and may be adjusted before constructing an Analyzer (the
-// architect example sweeps bank counts, SM resources and transaction
-// granularity this way), but most callers start from DefaultDevice.
+// exported and may be adjusted before constructing an Analyzer or
+// registering a catalog entry, but most callers start from
+// DefaultDevice or a DeviceCatalog.
 type Device = gpu.Config
 
 // DefaultDevice returns the paper's test platform, the GeForce
 // GTX 285 (30 SMs in 10 clusters, 16-bank shared memory, 512-bit
 // GDDR3 interface).
 func DefaultDevice() Device { return gpu.GTX285() }
+
+// DeviceFingerprint returns the canonical digest of every
+// architectural parameter of dev except its name: two devices
+// differing in any knob have different fingerprints, and renaming a
+// device does not change its fingerprint. Calibration caches and
+// catalog profiles are keyed by it.
+func DeviceFingerprint(dev Device) string { return gpu.Fingerprint(dev) }
+
+// sliceSuffix is the name decoration SliceDevice appends; slicing an
+// already-sliced device replaces it instead of stacking another. Not
+// anchored: catalog variant names put the slice before the knob
+// ("gtx285-6sm+banks17"), and re-slicing those must strip the old
+// marker too.
+var sliceSuffix = regexp.MustCompile(`-\d+sm`)
 
 // SliceDevice returns a copy of dev cut down to at most sms
 // streaming multiprocessors. Per-SM and per-cluster behaviour —
@@ -28,7 +43,9 @@ func DefaultDevice() Device { return gpu.GTX285() }
 // cluster keeps one whole cluster. Small workloads analyzed on a
 // slice keep several blocks resident per SM, which the paper's
 // occupancy effects need; the examples use a 6-SM (two-cluster)
-// slice.
+// slice. Slicing is idempotent: re-slicing an already-sliced device
+// yields the same name and configuration as slicing the original
+// once.
 func SliceDevice(dev Device, sms int) Device {
 	if sms <= 0 || sms >= dev.NumSMs || dev.SMsPerCluster <= 0 {
 		return dev
@@ -41,6 +58,6 @@ func SliceDevice(dev Device, sms int) Device {
 		return dev
 	}
 	dev.NumSMs = sms
-	dev.Name += fmt.Sprintf("-%dsm", sms)
+	dev.Name = sliceSuffix.ReplaceAllLiteralString(dev.Name, "") + fmt.Sprintf("-%dsm", sms)
 	return dev
 }

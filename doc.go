@@ -8,15 +8,25 @@
 //   - A Registry names the built-in case-study kernels (dense
 //     matmul, cyclic reduction, SpMV) and builds deterministic
 //     problem instances from (size, seed) parameters.
-//   - An Analyzer is a reusable session: it owns a Device
-//     configuration and its lazily-built, cached calibration, runs
-//     the functional simulation (sharded across workers, abortable
-//     via context), applies the three-component model, and returns a
-//     fully JSON-serializable Result with the bottleneck verdict,
-//     causes, per-stage breakdown and dynamic-statistics summary.
-//     AnalyzeBatch amortizes the calibration across many requests.
-//   - NewHandler exposes the session over HTTP (cmd/gpuperfd):
-//     POST /v1/analyze, GET /v1/kernels, GET /healthz.
+//   - A DeviceCatalog names immutable device profiles — the stock
+//     GTX 285, its cluster slices, the paper's §5 study variants —
+//     each with a canonical hardware fingerprint that keys the
+//     on-disk calibration cache.
+//   - An Analyzer is a reusable single-device session: it owns a
+//     Device configuration and its lazily-built, cached calibration,
+//     runs the functional simulation (sharded across workers,
+//     abortable via context), applies the three-component model, and
+//     returns a fully JSON-serializable Result with the bottleneck
+//     verdict, causes, per-stage breakdown and dynamic-statistics
+//     summary. AnalyzeBatch amortizes the calibration across many
+//     requests.
+//   - A Fleet routes requests to one session per catalog entry
+//     behind a shared admission limit and calibration cache
+//     directory; Fleet.Compare ranks one kernel across a device set
+//     (the architect question, answered in one call).
+//   - NewHandler exposes a fleet over HTTP (cmd/gpuperfd):
+//     POST /v1/analyze, /v1/advise, /v1/measure, /v1/compare,
+//     GET /v1/kernels, /v1/devices, /healthz.
 //   - RunExperiments and MicrobenchCurves regenerate the paper's
 //     evaluation tables and microbenchmark figures; AssembleText,
 //     DisassembleContainer, RewriteKernel and Microbenchmark are the

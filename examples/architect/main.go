@@ -1,10 +1,13 @@
-// Architect example: use the device simulator the way the paper's
-// §5 conclusions suggest a GPU architect would — sweep the
+// Architect example: use the fleet API the way the paper's §5
+// conclusions suggest a GPU architect would — register the proposed
 // architectural improvements (prime bank count, bigger SMs, finer
-// memory transactions, early resource release) against the three
-// case studies and print which workloads each change helps. Each
-// variant is one Analyzer over a modified Device; Measure runs the
-// timing simulator without paying for a model calibration.
+// memory transactions, early resource release) as named catalog
+// variants of a baseline slice, then let Fleet.Compare run each case
+// study across the whole device set and rank the outcomes. Every
+// variant gets its own calibrated session (cached by hardware
+// fingerprint), and each entry carries both the model's predicted
+// time and the timing simulator's measured one, so the table shows
+// where the calibrated model agrees with the machine it models.
 //
 //	go run ./examples/architect
 package main
@@ -21,66 +24,81 @@ import (
 // matmul tile, conflicted cyclic reduction (forward phase), and
 // SpMV with uncoalesced vector loads. Fixed seeds mean every
 // variant measures the identical problem instance.
-var workloads = []gpuperf.Request{
-	{Kernel: "matmul32", Size: 256, Seed: 7},
-	{Kernel: "cr-fwd", Size: 24, Seed: 7},
-	{Kernel: "spmv-bell-im", Size: 2048, Seed: 7},
+var workloads = []struct {
+	kernel string
+	size   int
+}{
+	{"matmul32", 256},
+	{"cr-fwd", 24},
+	{"spmv-bell-im", 2048},
 }
 
-func main() {
-	base := gpuperf.SliceDevice(gpuperf.DefaultDevice(), 6) // two-cluster slice: fast, same per-SM behaviour
+// baseline is the two-cluster slice the examples use: fast, same
+// per-SM behaviour as the full chip.
+const baseline = "gtx285-6sm"
 
-	variants := []struct {
-		name string
-		dev  gpuperf.Device
-	}{
-		{"17 banks (prime)", with(base, func(d *gpuperf.Device) { d.SharedMemBanks = 17 })},
-		{"3x regs+smem", with(base, func(d *gpuperf.Device) { d.RegistersPerSM *= 3; d.SharedMemPerSM *= 3 })},
-		{"16B transactions", with(base, func(d *gpuperf.Device) { d.MinSegmentBytes = 16 })},
-		{"early release", with(base, func(d *gpuperf.Device) { d.EarlyRelease = true })},
+func main() {
+	catalog := gpuperf.DefaultCatalog()
+	// The study variants the paper's §5 proposes, as catalog entries
+	// derived from the baseline slice. banks17 and seg16 ship in the
+	// default catalog already; the remaining two are registered here.
+	register := func(name string, mutate func(*gpuperf.Device)) {
+		dev, ok := catalog.Lookup(baseline)
+		if !ok {
+			log.Fatalf("catalog lost %s", baseline)
+		}
+		mutate(&dev)
+		if err := catalog.Register(name, dev); err != nil {
+			log.Fatal(err)
+		}
 	}
+	register("gtx285-6sm+bigsm", func(d *gpuperf.Device) { d.RegistersPerSM *= 3; d.SharedMemPerSM *= 3 })
+	register("gtx285-6sm+earlyrelease", func(d *gpuperf.Device) { d.EarlyRelease = true })
+
+	devices := []string{
+		baseline,
+		"gtx285-6sm+banks17",      // prime bank count (§5.2)
+		"gtx285-6sm+bigsm",        // 3x registers and shared memory (§5.1)
+		"gtx285-6sm+seg16",        // 16-byte memory transactions (§5.3)
+		"gtx285-6sm+earlyrelease", // early per-warp resource release (§5.2)
+	}
+
+	f := gpuperf.NewFleet(gpuperf.FleetOptions{
+		Catalog:       catalog,
+		DefaultDevice: baseline,
+	})
 
 	ctx := context.Background()
-	measure := func(dev gpuperf.Device) []float64 {
-		a := gpuperf.NewAnalyzer(gpuperf.Options{Device: dev})
-		out := make([]float64, len(workloads))
-		for i, req := range workloads {
-			m, err := a.Measure(ctx, req)
-			if err != nil {
-				log.Fatal(err)
-			}
-			out[i] = m.Seconds
-		}
-		return out
-	}
-
-	fmt.Printf("%-22s", "variant \\ workload")
 	for _, w := range workloads {
-		fmt.Printf("  %-14s", w.Kernel)
-	}
-	fmt.Println()
-
-	baseline := measure(base)
-	fmt.Printf("%-22s", "baseline (ms)")
-	for _, t := range baseline {
-		fmt.Printf("  %-14.4g", t*1e3)
-	}
-	fmt.Println()
-
-	for _, v := range variants {
-		times := measure(v.dev)
-		fmt.Printf("%-22s", v.name)
-		for i, t := range times {
-			fmt.Printf("  %-14s", fmt.Sprintf("%.2fx", baseline[i]/t))
+		cmp, err := f.Compare(ctx, gpuperf.CompareRequest{
+			Kernel:   w.kernel,
+			Size:     w.size,
+			Seed:     7,
+			Devices:  devices,
+			Baseline: baseline,
+			Measure:  true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workload %s (size %d): ranked by the calibrated model\n", w.kernel, w.size)
+		var baseMeasured float64
+		for _, e := range cmp.Entries {
+			if e.Device == baseline {
+				baseMeasured = e.MeasuredSeconds
+			}
+		}
+		for i, e := range cmp.Entries {
+			measured := "-"
+			if baseMeasured > 0 && e.MeasuredSeconds > 0 {
+				measured = fmt.Sprintf("%.2fx", baseMeasured/e.MeasuredSeconds)
+			}
+			fmt.Printf("  %d. %-26s predicted %8.4g ms (%.2fx vs baseline)   measured %s\n",
+				i+1, e.Device, e.PredictedSeconds*1e3, e.Speedup, measured)
 		}
 		fmt.Println()
 	}
-	fmt.Println("\n(speedups vs baseline; paper §5: prime banks rescue cyclic reduction,")
-	fmt.Println("bigger SMs rescue the 32x32 matmul tile, finer transactions help SpMV)")
-}
-
-func with(d gpuperf.Device, mutate func(*gpuperf.Device)) gpuperf.Device {
-	mutate(&d)
-	d.Name += "+variant"
-	return d
+	fmt.Println("(speedups vs the stock 6-SM slice; paper §5: prime banks rescue cyclic")
+	fmt.Println("reduction, bigger SMs rescue the 32x32 matmul tile, finer transactions")
+	fmt.Println("help SpMV — the measured column is the timing simulator's verdict)")
 }

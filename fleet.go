@@ -1,0 +1,346 @@
+package gpuperf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FleetOptions configures a Fleet.
+type FleetOptions struct {
+	// Catalog names the devices the fleet serves. Nil means
+	// DefaultCatalog().
+	Catalog *DeviceCatalog
+	// Registry resolves kernel names for every session. Nil means
+	// DefaultRegistry.
+	Registry *Registry
+	// DefaultDevice is the catalog entry used when a request leaves
+	// its Device field empty ("" = DefaultCatalogDevice). It must name
+	// a catalog entry; the first request to rely on it fails otherwise.
+	DefaultDevice string
+	// Parallelism is the functional-simulation worker ceiling per
+	// request, applied to every session (0 = all host cores).
+	Parallelism int
+	// CalibrationDir, when set, is the fleet's on-disk calibration
+	// cache: one file per device fingerprint, shared by every session
+	// (and every fleet pointed at the same directory).
+	CalibrationDir string
+	// BatchConcurrency caps how many requests AnalyzeBatch and Compare
+	// fan out at once (0 = GOMAXPROCS).
+	BatchConcurrency int
+	// MaxConcurrent is the fleet-wide admission limit: how many
+	// requests may hold resources at once across ALL devices — one
+	// semaphore shared by every session, so adding catalog entries
+	// never multiplies the operator's resource budget. 0 = GOMAXPROCS.
+	MaxConcurrent int
+}
+
+// Fleet is the multi-device front door: one lazily-calibrated
+// Analyzer session per catalog entry, created on first use and
+// reused for every later request naming that device, all behind one
+// shared admission semaphore and one calibration cache directory.
+// Safe for concurrent use — a service handles all traffic with one
+// Fleet.
+type Fleet struct {
+	opt     FleetOptions
+	catalog *DeviceCatalog
+	reg     *Registry
+	def     string
+	admit   chan struct{}
+
+	mu       sync.Mutex
+	sessions map[string]*Analyzer
+}
+
+// NewFleet builds a fleet. Sessions (and their calibrations) are
+// created lazily per device on first use.
+func NewFleet(opt FleetOptions) *Fleet {
+	catalog := opt.Catalog
+	if catalog == nil {
+		catalog = DefaultCatalog()
+	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	def := opt.DefaultDevice
+	if def == "" {
+		def = DefaultCatalogDevice
+	}
+	limit := opt.MaxConcurrent
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	return &Fleet{
+		opt:      opt,
+		catalog:  catalog,
+		reg:      reg,
+		def:      def,
+		admit:    make(chan struct{}, limit),
+		sessions: map[string]*Analyzer{},
+	}
+}
+
+// Catalog returns the fleet's device catalog.
+func (f *Fleet) Catalog() *DeviceCatalog { return f.catalog }
+
+// Registry returns the fleet's kernel registry.
+func (f *Fleet) Registry() *Registry { return f.reg }
+
+// Kernels lists the fleet's available kernel specs, sorted by name.
+func (f *Fleet) Kernels() []KernelSpec { return f.reg.Specs() }
+
+// Devices lists the fleet's device profiles, sorted by name — the
+// GET /v1/devices response.
+func (f *Fleet) Devices() []DeviceProfile { return f.catalog.Profiles() }
+
+// DefaultDevice returns the catalog name empty-Device requests
+// resolve to.
+func (f *Fleet) DefaultDevice() string { return f.def }
+
+// Session returns the per-device Analyzer for the named catalog
+// entry ("" = the fleet default), creating it on first use. All
+// sessions share the fleet's admission semaphore and calibration
+// cache directory; each owns its device's calibration.
+func (f *Fleet) Session(device string) (*Analyzer, error) {
+	if device == "" {
+		device = f.def
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if a, ok := f.sessions[device]; ok {
+		return a, nil
+	}
+	dev, err := f.catalog.Resolve(device)
+	if err != nil {
+		return nil, err
+	}
+	a := newAnalyzer(Options{
+		Device:           dev,
+		Registry:         f.reg,
+		Parallelism:      f.opt.Parallelism,
+		CalibrationDir:   f.opt.CalibrationDir,
+		BatchConcurrency: f.opt.BatchConcurrency,
+	}, f.admit)
+	f.sessions[device] = a
+	return a, nil
+}
+
+// route resolves the request's device to its session and pins the
+// resolved name into the request so results echo the catalog name.
+func (f *Fleet) route(req *Request) (*Analyzer, error) {
+	a, err := f.Session(req.Device)
+	if err != nil {
+		return nil, err
+	}
+	req.Device = a.Device().Name
+	return a, nil
+}
+
+// Analyze routes the request to its device's session and runs the
+// full workflow there (see Analyzer.Analyze).
+func (f *Fleet) Analyze(ctx context.Context, req Request) (*Result, error) {
+	a, err := f.route(&req)
+	if err != nil {
+		return nil, err
+	}
+	return a.Analyze(ctx, req)
+}
+
+// Advise routes the request to its device's session and runs the
+// counterfactual advisor there (see Analyzer.Advise).
+func (f *Fleet) Advise(ctx context.Context, req Request) (*Advice, error) {
+	a, err := f.route(&req)
+	if err != nil {
+		return nil, err
+	}
+	return a.Advise(ctx, req)
+}
+
+// Measure routes the request to its device's session and runs only
+// the device simulator there — no calibration cost (see
+// Analyzer.Measure).
+func (f *Fleet) Measure(ctx context.Context, req Request) (*Measurement, error) {
+	a, err := f.route(&req)
+	if err != nil {
+		return nil, err
+	}
+	return a.Measure(ctx, req)
+}
+
+// AnalyzeBatch analyzes many requests concurrently, routing each to
+// its device's session. results[i] answers reqs[i]; failures are
+// joined like Analyzer.AnalyzeBatch, wrapped with index and kernel.
+func (f *Fleet) AnalyzeBatch(ctx context.Context, reqs []Request) ([]*Result, error) {
+	return analyzeBatch(ctx, f.opt.BatchConcurrency, reqs, f.Analyze)
+}
+
+// CompareRequest asks how one kernel behaves across a set of catalog
+// devices — the paper's architect questions ("would a 32-bank part
+// fix my conflicts?") as one call.
+type CompareRequest struct {
+	// Kernel names a registry entry; Size and Seed select the problem
+	// instance, built identically for every device per (size, seed).
+	Kernel string `json:"kernel"`
+	Size   int    `json:"size,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	// Parallelism overrides each per-device run's worker count like
+	// Request.Parallelism.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Devices are the catalog entries to compare; at least one is
+	// required, duplicates are rejected.
+	Devices []string `json:"devices"`
+	// Baseline is the device speedups are measured against; empty
+	// means Devices[0]. It must be one of Devices.
+	Baseline string `json:"baseline,omitempty"`
+	// Measure additionally times each device on the timing simulator,
+	// filling every entry's MeasuredSeconds — predicted-vs-measured
+	// agreement across the whole device set.
+	Measure bool `json:"measure,omitempty"`
+}
+
+// Comparison is the fully serializable outcome of one cross-device
+// comparison: one entry per requested device, ranked fastest first
+// by predicted time (ties broken by device name — the ranking is
+// deterministic at any parallelism). Like Result, every field
+// round-trips through JSON unchanged; the HTTP service returns this
+// struct verbatim.
+type Comparison struct {
+	// Kernel, Size and Seed echo the request after normalization.
+	Kernel string `json:"kernel"`
+	Size   int    `json:"size"`
+	Seed   int64  `json:"seed"`
+	// Baseline names the device every Speedup is relative to.
+	Baseline string `json:"baseline"`
+	// Entries holds one verdict per device, ranked fastest first.
+	Entries []ComparisonEntry `json:"entries"`
+	// Best is the top-ranked device name.
+	Best string `json:"best"`
+}
+
+// ComparisonEntry is one device's verdict in a Comparison.
+type ComparisonEntry struct {
+	// Device is the catalog name; Fingerprint the canonical hardware
+	// digest (the calibration-cache key).
+	Device      string `json:"device"`
+	Fingerprint string `json:"fingerprint"`
+	// PredictedSeconds is the calibrated model's execution-time
+	// prediction on this device; Bottleneck its verdict.
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	Bottleneck       string  `json:"bottleneck"`
+	// Speedup is the baseline device's predicted time divided by this
+	// device's (>1 = faster than baseline).
+	Speedup float64 `json:"speedup"`
+	// MeasuredSeconds is the timing simulator's result (only when the
+	// request set Measure).
+	MeasuredSeconds float64 `json:"measured_seconds,omitempty"`
+}
+
+// Compare runs one kernel across the requested device set and ranks
+// the outcomes. Each device's analysis runs in that device's session
+// (calibrating it on first use, cached under its fingerprint);
+// verification is skipped — the functional output is the same
+// everywhere, only the timing differs. Any device failing fails the
+// whole comparison, wrapped with the device name.
+func (f *Fleet) Compare(ctx context.Context, req CompareRequest) (*Comparison, error) {
+	if len(req.Devices) == 0 {
+		return nil, fmt.Errorf("%w: compare needs at least one device", ErrInvalidRequest)
+	}
+	seen := map[string]bool{}
+	for _, d := range req.Devices {
+		if seen[d] {
+			return nil, fmt.Errorf("%w: duplicate device %q in compare set", ErrInvalidRequest, d)
+		}
+		seen[d] = true
+		if _, err := f.catalog.Resolve(d); err != nil {
+			return nil, err
+		}
+	}
+	baseline := req.Baseline
+	if baseline == "" {
+		baseline = req.Devices[0]
+	}
+	if !seen[baseline] {
+		return nil, fmt.Errorf("%w: baseline %q is not in the compare set %v", ErrInvalidRequest, baseline, req.Devices)
+	}
+
+	entries := make([]ComparisonEntry, len(req.Devices))
+	errs := make([]error, len(req.Devices))
+	sizes := make([]int, len(req.Devices))
+	seeds := make([]int64, len(req.Devices))
+	forEachLimit(len(req.Devices), f.opt.BatchConcurrency, func(i int) {
+		name := req.Devices[i]
+		res, err := f.Analyze(ctx, Request{
+			Kernel:      req.Kernel,
+			Device:      name,
+			Size:        req.Size,
+			Seed:        req.Seed,
+			Parallelism: req.Parallelism,
+			Measure:     req.Measure,
+			SkipVerify:  true,
+		})
+		if err != nil {
+			errs[i] = fmt.Errorf("device %q: %w", name, err)
+			return
+		}
+		dev, _ := f.catalog.Lookup(name)
+		entries[i] = ComparisonEntry{
+			Device:           name,
+			Fingerprint:      DeviceFingerprint(dev),
+			PredictedSeconds: res.PredictedSeconds,
+			Bottleneck:       res.Bottleneck,
+			MeasuredSeconds:  res.MeasuredSeconds,
+		}
+		sizes[i], seeds[i] = res.Size, res.Seed
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	var base float64
+	for i := range entries {
+		if entries[i].Device == baseline {
+			base = entries[i].PredictedSeconds
+		}
+	}
+	for i := range entries {
+		if entries[i].PredictedSeconds > 0 {
+			entries[i].Speedup = base / entries[i].PredictedSeconds
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].PredictedSeconds != entries[j].PredictedSeconds {
+			return entries[i].PredictedSeconds < entries[j].PredictedSeconds
+		}
+		return entries[i].Device < entries[j].Device
+	})
+	return &Comparison{
+		Kernel:   req.Kernel,
+		Size:     sizes[0],
+		Seed:     seeds[0],
+		Baseline: baseline,
+		Entries:  entries,
+		Best:     entries[0].Device,
+	}, nil
+}
+
+// Report renders the comparison as the human-readable ranking the
+// gpuperf -compare command prints.
+func (c *Comparison) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel: %s (size %d, seed %d) across %d devices, baseline %s\n",
+		c.Kernel, c.Size, c.Seed, len(c.Entries), c.Baseline)
+	for i, e := range c.Entries {
+		fmt.Fprintf(&b, "%2d. %-24s predicted %9.6g ms  %5.2fx vs baseline  bottleneck: %s",
+			i+1, e.Device, e.PredictedSeconds*1e3, e.Speedup, e.Bottleneck)
+		if e.MeasuredSeconds > 0 {
+			fmt.Fprintf(&b, "  (measured %.6g ms)", e.MeasuredSeconds*1e3)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

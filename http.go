@@ -1,43 +1,57 @@
 package gpuperf
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"log"
 	"net/http"
 )
 
-// NewHandler exposes an Analyzer over HTTP:
+// NewHandler exposes a Fleet over HTTP:
 //
 //	GET  /healthz      liveness probe ("ok")
 //	GET  /v1/kernels   JSON list of the registry's kernel specs
 //	                   (name, description, size bounds, variant
 //	                   family and the advisor scenario each variant
 //	                   realizes)
+//	GET  /v1/devices   JSON list of the catalog's device profiles
+//	                   (name, hardware fingerprint, knobs, peaks)
 //	POST /v1/analyze   body: a Request; response: a Result
 //	POST /v1/advise    body: a Request; response: an Advice (the
 //	                   ranked counterfactual-scenario report)
+//	POST /v1/measure   body: a Request; response: a Measurement
+//	                   (timing simulator only — no calibration)
+//	POST /v1/compare   body: a CompareRequest; response: a Comparison
+//	                   (one kernel ranked across a device set)
 //
-// Analysis errors map to status codes: 400 for a malformed body or
-// parameters the kernel rejects (including sizes beyond the spec's
-// MaxSize ceiling), 404 for an unknown kernel, 503 when the
-// request's context ends before the simulation does, 500 otherwise.
-// Error bodies are {"error": "..."}.
-func NewHandler(a *Analyzer) http.Handler {
+// Request bodies may name any catalog device ("device", "devices");
+// empty means the fleet's default. Analysis errors map to status
+// codes: 400 for a malformed body or parameters the kernel rejects
+// (including sizes beyond the spec's MaxSize ceiling), 404 for an
+// unknown kernel or device, 503 when the request's context ends
+// before the simulation does, 500 otherwise. Error bodies are
+// {"error": "..."}.
+func NewHandler(f *Fleet) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, a.Kernels())
+		writeJSON(w, http.StatusOK, f.Kernels())
+	})
+	mux.HandleFunc("GET /v1/devices", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.Devices())
 	})
 	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
-		req, ok := decodeRequest(w, r)
+		req, ok := decodeBody[Request](w, r)
 		if !ok {
 			return
 		}
-		res, err := a.Analyze(r.Context(), req)
+		res, err := f.Analyze(r.Context(), req)
 		if err != nil {
 			writeAnalysisError(w, err)
 			return
@@ -45,29 +59,54 @@ func NewHandler(a *Analyzer) http.Handler {
 		writeJSON(w, http.StatusOK, res)
 	})
 	mux.HandleFunc("POST /v1/advise", func(w http.ResponseWriter, r *http.Request) {
-		req, ok := decodeRequest(w, r)
+		req, ok := decodeBody[Request](w, r)
 		if !ok {
 			return
 		}
-		adv, err := a.Advise(r.Context(), req)
+		adv, err := f.Advise(r.Context(), req)
 		if err != nil {
 			writeAnalysisError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, adv)
 	})
+	mux.HandleFunc("POST /v1/measure", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeBody[Request](w, r)
+		if !ok {
+			return
+		}
+		m, err := f.Measure(r.Context(), req)
+		if err != nil {
+			writeAnalysisError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
+	})
+	mux.HandleFunc("POST /v1/compare", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeBody[CompareRequest](w, r)
+		if !ok {
+			return
+		}
+		cmp, err := f.Compare(r.Context(), req)
+		if err != nil {
+			writeAnalysisError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, cmp)
+	})
 	return mux
 }
 
-// decodeRequest parses one Request body, writing the error response
-// itself when the body is malformed (ok=false).
-func decodeRequest(w http.ResponseWriter, r *http.Request) (Request, bool) {
-	// A Request is a handful of scalars; a body anywhere near the
-	// cap is garbage, and the cap keeps a hostile stream from
-	// growing the decode buffer without bound.
+// decodeBody parses one JSON request body into T, writing the error
+// response itself when the body is malformed (ok=false).
+func decodeBody[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	// A request is a handful of scalars (plus, for compare, a short
+	// device list); a body anywhere near the cap is garbage, and the
+	// cap keeps a hostile stream from growing the decode buffer
+	// without bound.
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 	dec.DisallowUnknownFields()
-	var req Request
+	var req T
 	if err := dec.Decode(&req); err != nil {
 		if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
 			writeError(w, http.StatusRequestEntityTooLarge, err)
@@ -83,10 +122,11 @@ func decodeRequest(w http.ResponseWriter, r *http.Request) (Request, bool) {
 	return req, true
 }
 
-// writeAnalysisError maps an Analyze/Advise failure to its status.
+// writeAnalysisError maps an Analyze/Advise/Measure/Compare failure
+// to its status.
 func writeAnalysisError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrUnknownKernel):
+	case errors.Is(err, ErrUnknownKernel), errors.Is(err, ErrUnknownDevice):
 		writeError(w, http.StatusNotFound, err)
 	case errors.Is(err, ErrInvalidRequest):
 		writeError(w, http.StatusBadRequest, err)
@@ -97,12 +137,28 @@ func writeAnalysisError(w http.ResponseWriter, err error) {
 	}
 }
 
+// writeJSON encodes v before touching the ResponseWriter, so an
+// unencodable value (a NaN that crept into a float field, say)
+// becomes a logged 500 with a JSON error body instead of a silent
+// 200 with a truncated payload.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("gpuperf: encoding %T response: %v", v, err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\": %q}\n", "gpuperf: encoding response: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// The response line is already on the wire; all we can do for
+		// a dead client is note it.
+		log.Printf("gpuperf: writing %T response: %v", v, err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

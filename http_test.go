@@ -3,6 +3,7 @@ package gpuperf
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,7 +13,7 @@ import (
 // TestHandlerAnalyzeHappyPath: POST /v1/analyze returns a complete
 // JSON Result for a well-formed request.
 func TestHandlerAnalyzeHappyPath(t *testing.T) {
-	h := NewHandler(testAnalyzer(t))
+	h := NewHandler(testFleet(t))
 	req := httptest.NewRequest("POST", "/v1/analyze",
 		strings.NewReader(`{"kernel":"matmul16","size":64,"seed":7}`))
 	rec := httptest.NewRecorder()
@@ -31,7 +32,7 @@ func TestHandlerAnalyzeHappyPath(t *testing.T) {
 
 // TestHandlerAnalyzeUnknownKernel maps ErrUnknownKernel to 404.
 func TestHandlerAnalyzeUnknownKernel(t *testing.T) {
-	h := NewHandler(testAnalyzer(t))
+	h := NewHandler(testFleet(t))
 	req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(`{"kernel":"nope"}`))
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
@@ -47,7 +48,7 @@ func TestHandlerAnalyzeUnknownKernel(t *testing.T) {
 // TestHandlerAnalyzeMalformedBody maps JSON errors to 400 — both
 // syntax errors and unknown fields.
 func TestHandlerAnalyzeMalformedBody(t *testing.T) {
-	h := NewHandler(testAnalyzer(t))
+	h := NewHandler(testFleet(t))
 	for _, body := range []string{
 		`{"kernel":`,
 		`{"bogus_field":1}`,
@@ -66,7 +67,7 @@ func TestHandlerAnalyzeMalformedBody(t *testing.T) {
 
 // TestHandlerAnalyzeOversizedBody: a body past the byte cap gets 413.
 func TestHandlerAnalyzeOversizedBody(t *testing.T) {
-	h := NewHandler(testAnalyzer(t))
+	h := NewHandler(testFleet(t))
 	body := `{"kernel":"` + strings.Repeat("x", 1<<17) + `"}`
 	req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(body))
 	rec := httptest.NewRecorder()
@@ -79,7 +80,7 @@ func TestHandlerAnalyzeOversizedBody(t *testing.T) {
 // TestHandlerAnalyzeOversizedRequest: sizes beyond the kernel's
 // ceiling are the client's fault — 400, not an OOM or a 500.
 func TestHandlerAnalyzeOversizedRequest(t *testing.T) {
-	h := NewHandler(testAnalyzer(t))
+	h := NewHandler(testFleet(t))
 	req := httptest.NewRequest("POST", "/v1/analyze",
 		strings.NewReader(`{"kernel":"matmul32","size":32768}`))
 	rec := httptest.NewRecorder()
@@ -92,7 +93,7 @@ func TestHandlerAnalyzeOversizedRequest(t *testing.T) {
 // TestHandlerAnalyzeCancelledContext: a dead request context (the
 // client hung up) aborts the simulation and reports 503.
 func TestHandlerAnalyzeCancelledContext(t *testing.T) {
-	h := NewHandler(testAnalyzer(t))
+	h := NewHandler(testFleet(t))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req := httptest.NewRequest("POST", "/v1/analyze",
@@ -106,7 +107,7 @@ func TestHandlerAnalyzeCancelledContext(t *testing.T) {
 
 // TestHandlerKernels: GET /v1/kernels lists the registry.
 func TestHandlerKernels(t *testing.T) {
-	h := NewHandler(testAnalyzer(t))
+	h := NewHandler(testFleet(t))
 	req := httptest.NewRequest("GET", "/v1/kernels", nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
@@ -145,7 +146,7 @@ func TestHandlerKernels(t *testing.T) {
 // TestHandlerAdviseHappyPath: POST /v1/advise returns the ranked
 // counterfactual report.
 func TestHandlerAdviseHappyPath(t *testing.T) {
-	h := NewHandler(testAnalyzer(t))
+	h := NewHandler(testFleet(t))
 	req := httptest.NewRequest("POST", "/v1/advise",
 		strings.NewReader(`{"kernel":"matmul-naive","size":128,"seed":7}`))
 	rec := httptest.NewRecorder()
@@ -165,7 +166,7 @@ func TestHandlerAdviseHappyPath(t *testing.T) {
 // TestHandlerAdviseErrors: the advise endpoint shares the analyze
 // endpoint's error mapping.
 func TestHandlerAdviseErrors(t *testing.T) {
-	h := NewHandler(testAnalyzer(t))
+	h := NewHandler(testFleet(t))
 	cases := []struct {
 		body string
 		want int
@@ -187,7 +188,7 @@ func TestHandlerAdviseErrors(t *testing.T) {
 
 // TestHandlerAdviseCancelledContext: an aborted client maps to 503.
 func TestHandlerAdviseCancelledContext(t *testing.T) {
-	h := NewHandler(testAnalyzer(t))
+	h := NewHandler(testFleet(t))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req := httptest.NewRequest("POST", "/v1/advise",
@@ -199,13 +200,176 @@ func TestHandlerAdviseCancelledContext(t *testing.T) {
 	}
 }
 
-// TestHandlerHealthz: the liveness probe needs no analyzer state.
+// TestHandlerHealthz: the liveness probe needs no fleet state.
 func TestHandlerHealthz(t *testing.T) {
-	h := NewHandler(NewAnalyzer(Options{}))
+	h := NewHandler(NewFleet(FleetOptions{}))
 	req := httptest.NewRequest("GET", "/healthz", nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
 		t.Fatalf("healthz: %d %q", rec.Code, rec.Body)
+	}
+}
+
+// TestHandlerDevices: GET /v1/devices lists the catalog profiles
+// with names, fingerprints and architectural knobs.
+func TestHandlerDevices(t *testing.T) {
+	h := NewHandler(testFleet(t))
+	req := httptest.NewRequest("GET", "/v1/devices", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var profiles []DeviceProfile
+	if err := json.Unmarshal(rec.Body.Bytes(), &profiles); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	byName := map[string]DeviceProfile{}
+	for _, p := range profiles {
+		byName[p.Name] = p
+	}
+	for _, want := range []string{"gtx285", "gtx285-6sm", "gtx285+banks17", "tesla-c1060"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("device list missing %s", want)
+		}
+	}
+	for name, p := range byName {
+		if p.Fingerprint == "" || p.NumSMs <= 0 || p.PeakGFLOPS <= 0 || p.SharedMemBanks <= 0 {
+			t.Errorf("device %s profile incomplete on the wire: %+v", name, p)
+		}
+	}
+	if byName["gtx285+banks17"].SharedMemBanks != 17 {
+		t.Errorf("banks17 profile carries %d banks", byName["gtx285+banks17"].SharedMemBanks)
+	}
+	if byName["gtx285"].Fingerprint == byName["gtx285-6sm"].Fingerprint {
+		t.Error("full chip and slice share a fingerprint on the wire")
+	}
+}
+
+// TestHandlerAnalyzeDeviceRouting: the analyze body's device field
+// selects the catalog entry; unknown devices map to 404.
+func TestHandlerAnalyzeDeviceRouting(t *testing.T) {
+	h := NewHandler(testFleet(t))
+	req := httptest.NewRequest("POST", "/v1/analyze",
+		strings.NewReader(`{"kernel":"matmul16","size":64,"seed":7,"device":"gtx285-6sm"}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", rec.Code, rec.Body)
+	}
+	var res Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if res.Device != "gtx285-6sm" {
+		t.Errorf("result device %q, want gtx285-6sm", res.Device)
+	}
+	req = httptest.NewRequest("POST", "/v1/analyze",
+		strings.NewReader(`{"kernel":"matmul16","size":64,"device":"gtx999"}`))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown device: status %d, want 404 (body %s)", rec.Code, rec.Body)
+	}
+}
+
+// TestHandlerMeasure: POST /v1/measure returns a Measurement without
+// any model fields — the calibration-free timing path on the wire.
+func TestHandlerMeasure(t *testing.T) {
+	h := NewHandler(testFleet(t))
+	req := httptest.NewRequest("POST", "/v1/measure",
+		strings.NewReader(`{"kernel":"matmul16","size":64,"seed":7}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", rec.Code, rec.Body)
+	}
+	var m Measurement
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if m.Kernel != "matmul16" || m.Device != "gtx285-6sm" || m.Seconds <= 0 || m.Dominant == "" {
+		t.Errorf("incomplete measurement: %+v", m)
+	}
+	// The measure endpoint shares the analyze endpoint's error map.
+	for body, want := range map[string]int{
+		`{"kernel":"nope"}`:                       http.StatusNotFound,
+		`{"kernel":"matmul16","device":"gtx999"}`: http.StatusNotFound,
+		`{"kernel":"matmul32","size":32768}`:      http.StatusBadRequest,
+		`{"kernel":`:                              http.StatusBadRequest,
+	} {
+		req := httptest.NewRequest("POST", "/v1/measure", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != want {
+			t.Errorf("body %q: status %d, want %d", body, rec.Code, want)
+		}
+	}
+}
+
+// TestHandlerCompare: POST /v1/compare ranks the kernel across the
+// requested devices.
+func TestHandlerCompare(t *testing.T) {
+	h := NewHandler(testFleet(t))
+	req := httptest.NewRequest("POST", "/v1/compare",
+		strings.NewReader(`{"kernel":"matmul16","size":256,"seed":7,"devices":["gtx285-3sm","gtx285-6sm"]}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", rec.Code, rec.Body)
+	}
+	var cmp Comparison
+	if err := json.Unmarshal(rec.Body.Bytes(), &cmp); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(cmp.Entries) != 2 || cmp.Best != "gtx285-6sm" || cmp.Baseline != "gtx285-3sm" {
+		t.Errorf("incomplete comparison: %+v", cmp)
+	}
+}
+
+// TestHandlerCompareErrors: compare maps its validation failures to
+// the shared status codes.
+func TestHandlerCompareErrors(t *testing.T) {
+	h := NewHandler(testFleet(t))
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"kernel":"matmul16"}`, http.StatusBadRequest},                                        // no devices
+		{`{"kernel":"matmul16","devices":["gtx999"]}`, http.StatusNotFound},                     // unknown device
+		{`{"kernel":"nope","devices":["gtx285-6sm"]}`, http.StatusNotFound},                     // unknown kernel
+		{`{"kernel":"matmul16","devices":["gtx285-6sm","gtx285-6sm"]}`, http.StatusBadRequest},  // duplicate
+		{`{"kernel":"matmul16","devices":["gtx285-6sm"],"bogus":1}`, http.StatusBadRequest},     // unknown field
+		{`{"kernel":"matmul16","devices":["gtx285-6sm"]} junk`, http.StatusBadRequest},          // trailing garbage
+		{`{"kernel":"matmul16","devices":["gtx285-6sm"],"baseline":"x"}`, http.StatusBadRequest}, // foreign baseline
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest("POST", "/v1/compare", strings.NewReader(c.body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != c.want {
+			t.Errorf("body %q: status %d, want %d (%s)", c.body, rec.Code, c.want, rec.Body)
+		}
+	}
+}
+
+// TestWriteJSONEncodeFailure: an unencodable value must not produce
+// a silent 200 — the guard answers 500 with a JSON error body.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, math.NaN()) // JSON cannot encode NaN
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+		t.Errorf("error body should be {\"error\": ...}, got %q (%v)", rec.Body, err)
+	}
+	// And the happy path still writes the caller's status exactly once.
+	rec = httptest.NewRecorder()
+	writeJSON(rec, http.StatusTeapot, map[string]int{"x": 1})
+	if rec.Code != http.StatusTeapot || !strings.Contains(rec.Body.String(), `"x": 1`) {
+		t.Errorf("happy path: %d %q", rec.Code, rec.Body)
 	}
 }

@@ -13,7 +13,12 @@
 // machines.
 package gpu
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
 
 // WarpSize is the number of threads that execute one instruction in
 // lockstep. All CUDA-class architectures modeled here use 32.
@@ -222,6 +227,26 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gpu: non-positive clocks in %q", c.Name)
 	}
 	return nil
+}
+
+// Fingerprint returns a stable hexadecimal digest of every
+// architectural parameter of c except its Name. Two configurations
+// differing in any knob — bank count, register file, clocks, segment
+// sizes, early release — have different fingerprints; renaming a
+// configuration does not change its fingerprint. Calibration caches
+// are keyed by this digest, so curves measured for one machine are
+// never reused for a different one, however the machines are named.
+func Fingerprint(c Config) string {
+	c.Name = ""
+	// Struct fields marshal in declaration order, so the JSON form is
+	// canonical for a given package version.
+	blob, err := json.Marshal(c)
+	if err != nil {
+		// Config is a flat struct of scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("gpu: fingerprint: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:16])
 }
 
 // GTX280 returns the GeForce GTX 280 — the GTX 285's predecessor:

@@ -115,3 +115,42 @@ func TestOptionsApplyToVariants(t *testing.T) {
 		t.Error("option not applied to GTX280")
 	}
 }
+
+// TestFingerprint: the digest is stable for one configuration,
+// ignores Name, and changes when any single knob changes — the
+// property the calibration cache directory relies on for never
+// reusing curves across different hardware.
+func TestFingerprint(t *testing.T) {
+	base := GTX285()
+	if Fingerprint(base) != Fingerprint(GTX285()) {
+		t.Error("fingerprint not deterministic")
+	}
+	renamed := base
+	renamed.Name = "something-else"
+	if Fingerprint(renamed) != Fingerprint(base) {
+		t.Error("fingerprint should ignore the configuration name")
+	}
+	mutations := map[string]func(*Config){
+		"sms":       func(c *Config) { c.NumSMs = 6 },
+		"banks":     func(c *Config) { c.SharedMemBanks = 17 },
+		"registers": func(c *Config) { c.RegistersPerSM *= 2 },
+		"smem":      func(c *Config) { c.SharedMemPerSM *= 2 },
+		"segment":   func(c *Config) { c.MinSegmentBytes = 16 },
+		"memclock":  func(c *Config) { c.MemClockHz *= 0.9 },
+		"early":     func(c *Config) { c.EarlyRelease = true },
+		"blocks":    func(c *Config) { c.MaxBlocksPerSM = 16 },
+	}
+	seen := map[string]string{Fingerprint(base): "base"}
+	for knob, m := range mutations {
+		c := base
+		m(&c)
+		fp := Fingerprint(c)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("knob %q collides with %q: fingerprint %s", knob, prev, fp)
+		}
+		seen[fp] = knob
+	}
+	if fp := Fingerprint(base); len(fp) != 32 {
+		t.Errorf("fingerprint %q should be 32 hex chars", fp)
+	}
+}

@@ -75,6 +75,36 @@ func (c *Calibration) SaveFile(path string) error {
 	return nil
 }
 
+// CacheFile returns the calibration-cache path for cfg under the
+// cache directory dir: one file per device fingerprint, so two
+// configurations differing in any knob never share a file, while a
+// renamed-but-identical configuration reuses its curves.
+func CacheFile(dir string, cfg gpu.Config) string {
+	return filepath.Join(dir, "cal-"+gpu.Fingerprint(cfg)+".json")
+}
+
+// LoadCachedCalibration looks up cfg's entry in the cache directory.
+// A missing, unreadable, corrupt or mismatched file — the embedded
+// configuration's fingerprint disagreeing with cfg's, e.g. after a
+// manual rename of cache files — is a cache miss (nil, false), never
+// an error: the caller falls back to a fresh calibration.
+func LoadCachedCalibration(dir string, cfg gpu.Config) (*Calibration, bool) {
+	cal, err := LoadCalibrationFile(CacheFile(dir, cfg))
+	if err != nil || gpu.Fingerprint(cal.Config()) != gpu.Fingerprint(cfg) {
+		return nil, false
+	}
+	return cal, true
+}
+
+// SaveCachedCalibration writes c into its fingerprint slot under dir,
+// creating the directory if needed. Atomic like SaveFile.
+func (c *Calibration) SaveCachedCalibration(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("timing: save calibration: %w", err)
+	}
+	return c.SaveFile(CacheFile(dir, c.cfg))
+}
+
 // LoadCalibrationFile reads a calibration cache written by SaveFile.
 func LoadCalibrationFile(path string) (*Calibration, error) {
 	data, err := os.ReadFile(path)

@@ -291,6 +291,97 @@ func TestSaveFileAtomicAndConcurrent(t *testing.T) {
 	}
 }
 
+// TestCacheFilePerFingerprint: two configurations differing in a
+// single knob get distinct cache files; a renamed configuration with
+// identical hardware shares one.
+func TestCacheFilePerFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	base := gpu.GTX285()
+	knobs := map[string]gpu.Config{
+		"base":  base,
+		"banks": gpu.GTX285(gpu.WithBanks(17)),
+		"regs":  gpu.GTX285(gpu.WithRegisters(32768)),
+		"smem":  gpu.GTX285(gpu.WithSharedMem(32 * 1024)),
+		"seg":   gpu.GTX285(gpu.WithMinSegment(16)),
+	}
+	paths := map[string]string{}
+	for name, cfg := range knobs {
+		p := CacheFile(dir, cfg)
+		if prev, dup := paths[p]; dup {
+			t.Errorf("%s and %s share cache file %s", name, prev, p)
+		}
+		paths[p] = name
+	}
+	renamed := base
+	renamed.Name = "fleet-alias"
+	if CacheFile(dir, renamed) != CacheFile(dir, base) {
+		t.Error("renaming a configuration must not move its cache slot")
+	}
+}
+
+// TestCachedCalibrationRoundTrip: SaveCachedCalibration creates the
+// directory and LoadCachedCalibration finds the entry for the same
+// hardware only.
+func TestCachedCalibrationRoundTrip(t *testing.T) {
+	c := cal(t)
+	dir := filepath.Join(t.TempDir(), "nested", "cache")
+	if err := c.SaveCachedCalibration(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := LoadCachedCalibration(dir, c.Config())
+	if !ok {
+		t.Fatal("cache miss for the configuration that was just saved")
+	}
+	if got.Config().Name != c.Config().Name {
+		t.Error("config not persisted")
+	}
+	if _, ok := LoadCachedCalibration(dir, gpu.GTX285(gpu.WithBanks(17))); ok {
+		t.Error("cache for the stock device served a 17-bank variant")
+	}
+}
+
+// TestCachedCalibrationCorruptionIsAMiss: a corrupt, truncated or
+// fingerprint-mismatched cache file reads as a miss (fall back to
+// fresh calibration), never as an error or as wrong curves.
+func TestCachedCalibrationCorruptionIsAMiss(t *testing.T) {
+	c := cal(t)
+	cfg := c.Config()
+	dir := t.TempDir()
+	if err := c.SaveCachedCalibration(dir); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(CacheFile(dir, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, blob := range map[string][]byte{
+		"garbage":   []byte("not json at all"),
+		"truncated": good[:len(good)/2],
+		"empty":     {},
+	} {
+		if err := os.WriteFile(CacheFile(dir, cfg), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := LoadCachedCalibration(dir, cfg); ok {
+			t.Errorf("%s cache file served as a hit", name)
+		}
+	}
+	// A valid file sitting in the wrong fingerprint slot (e.g. a
+	// manual rename) must also miss: the embedded hardware is not the
+	// requested hardware.
+	other := gpu.GTX285(gpu.WithBanks(17))
+	if err := os.WriteFile(CacheFile(dir, other), good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LoadCachedCalibration(dir, other); ok {
+		t.Error("stock-device curves served for the 17-bank variant")
+	}
+	// And a missing directory is a plain miss.
+	if _, ok := LoadCachedCalibration(filepath.Join(dir, "nope"), cfg); ok {
+		t.Error("missing directory served as a hit")
+	}
+}
+
 func TestLoadCalibrationRejectsCorruption(t *testing.T) {
 	c := cal(t)
 	data, err := c.MarshalJSON()

@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
-# gpuperfd smoke test: build the service, start it on a 6-SM device
-# slice, wait for liveness, run one analyze and one advise request
-# end to end, and assert the kernel list carries the variant-family
-# metadata, the analyze response its bottleneck verdict, and the
-# advise response its ranked scenarios.
+# gpuperfd smoke test: build the service, start it with a two-device
+# fleet (the full GTX 285 and its 6-SM slice) and a calibration cache
+# directory, wait for liveness, then drive every endpoint end to end:
+# the kernel list must carry the variant-family metadata, the device
+# list both catalog entries with distinct hardware fingerprints, the
+# analyze response its bottleneck verdict, the advise response its
+# ranked scenarios, the measure response a positive timing, and a
+# cross-device /v1/compare on a bandwidth-bound kernel must rank the
+# full chip above the 6-SM slice. Finally the cache directory must
+# hold one calibration file per device fingerprint.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR=127.0.0.1:8097
 BINDIR=$(mktemp -d)
+CALDIR="$BINDIR/cal"
 
 go build -o "$BINDIR/gpuperfd" ./cmd/gpuperfd
-"$BINDIR/gpuperfd" -addr "$ADDR" -sms 6 &
+"$BINDIR/gpuperfd" -addr "$ADDR" -devices gtx285-6sm,gtx285 -cal-dir "$CALDIR" &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true; rm -rf "$BINDIR"' EXIT
 
@@ -27,7 +33,7 @@ for i in $(seq 1 100); do
 done
 
 KERNELS=$(curl -fsS "http://$ADDR/v1/kernels")
-echo "$KERNELS" | grep -q '"matmul16"' || {
+grep -q '"matmul16"' <<<"$KERNELS" || {
     echo "smoke: kernel list missing matmul16: $KERNELS" >&2
     exit 1
 }
@@ -35,26 +41,84 @@ echo "$KERNELS" | grep -q '"matmul16"' || {
 # size bounds, variant family, and the advisor scenario each
 # optimization variant realizes.
 for field in '"description"' '"max_size"' '"family": "matmul"' '"optimization": "conflict-free-shared"'; do
-    echo "$KERNELS" | grep -q "$field" || {
+    grep -q "$field" <<<"$KERNELS" || {
         echo "smoke: kernel list missing $field: $KERNELS" >&2
         exit 1
     }
 done
 
+# The device list carries both served catalog entries, each with a
+# hardware fingerprint, and the fingerprints differ.
+DEVICES=$(curl -fsS "http://$ADDR/v1/devices")
+for field in '"gtx285"' '"gtx285-6sm"' '"fingerprint"' '"peak_gflops"'; do
+    grep -q "$field" <<<"$DEVICES" || {
+        echo "smoke: device list missing $field: $DEVICES" >&2
+        exit 1
+    }
+done
+NFP=$(echo "$DEVICES" | grep -o '"fingerprint": "[^"]*"' | sort -u | wc -l)
+if [ "$NFP" -ne 2 ]; then
+    echo "smoke: expected 2 distinct device fingerprints, got $NFP: $DEVICES" >&2
+    exit 1
+fi
+
+# Analyze on the (fast) slice, named explicitly via the device field.
 OUT=$(curl -fsS -X POST "http://$ADDR/v1/analyze" \
-    -d '{"kernel":"matmul16","size":64,"seed":7}')
-echo "$OUT" | grep -q '"bottleneck"' || {
+    -d '{"kernel":"matmul16","size":64,"seed":7,"device":"gtx285-6sm"}')
+grep -q '"bottleneck"' <<<"$OUT" || {
     echo "smoke: analyze response missing bottleneck field: $OUT" >&2
+    exit 1
+}
+grep -q '"device": "gtx285-6sm"' <<<"$OUT" || {
+    echo "smoke: analyze response does not echo the catalog device: $OUT" >&2
     exit 1
 }
 
 ADVICE=$(curl -fsS -X POST "http://$ADDR/v1/advise" \
-    -d '{"kernel":"matmul-naive","size":128,"seed":7}')
+    -d '{"kernel":"matmul-naive","size":128,"seed":7,"device":"gtx285-6sm"}')
 for field in '"scenarios"' '"speedup"' '"top": "perfect-coalescing"'; do
-    echo "$ADVICE" | grep -q "$field" || {
+    grep -q "$field" <<<"$ADVICE" || {
         echo "smoke: advise response missing $field: $ADVICE" >&2
         exit 1
     }
 done
 
-echo "smoke: ok ($(echo "$OUT" | grep -o '"bottleneck": "[^"]*"' | head -1); advise top $(echo "$ADVICE" | grep -o '"top": "[^"]*"'))"
+# Measure is the calibration-free timing path.
+MEAS=$(curl -fsS -X POST "http://$ADDR/v1/measure" \
+    -d '{"kernel":"matmul16","size":64,"seed":7,"device":"gtx285-6sm"}')
+grep -q '"seconds"' <<<"$MEAS" || {
+    echo "smoke: measure response missing seconds: $MEAS" >&2
+    exit 1
+}
+
+# Cross-device comparison on a bandwidth-bound kernel: the full chip
+# must rank above the 6-SM slice (more SMs keep the memory system
+# busier), i.e. best = gtx285 and its speedup vs the slice > 1.
+CMP=$(curl -fsS -X POST "http://$ADDR/v1/compare" \
+    -d '{"kernel":"spmv-ell","size":4096,"seed":7,"devices":["gtx285-6sm","gtx285"]}')
+grep -q '"best": "gtx285"' <<<"$CMP" || {
+    echo "smoke: compare should rank the full chip first: $CMP" >&2
+    exit 1
+}
+grep -q '"baseline": "gtx285-6sm"' <<<"$CMP" || {
+    echo "smoke: compare baseline should default to the first device: $CMP" >&2
+    exit 1
+}
+# The first (best) entry's speedup vs the 6-SM baseline must be > 1.
+BESTSPEED=$(awk -F'"speedup": ' 'NF>1{split($2,a,","); print a[1]; exit}' <<<"$CMP")
+awk "BEGIN{exit !($BESTSPEED > 1)}" || {
+    echo "smoke: full chip speedup $BESTSPEED should exceed 1: $CMP" >&2
+    exit 1
+}
+
+# Both calibrations must be cached under distinct fingerprint keys.
+NCAL=$(ls "$CALDIR"/cal-*.json 2>/dev/null | wc -l)
+if [ "$NCAL" -ne 2 ]; then
+    echo "smoke: cache dir should hold 2 per-fingerprint calibrations, has $NCAL" >&2
+    ls -la "$CALDIR" >&2 || true
+    exit 1
+fi
+
+BOTTLENECK=$(awk -F'"bottleneck": ' 'NF>1{split($2,a,","); print a[1]; exit}' <<<"$OUT")
+TOP=$(grep -o '"top": "[^"]*"' <<<"$ADVICE")
+echo "smoke: ok (bottleneck $BOTTLENECK; advise $TOP; compare best gtx285 at ${BESTSPEED}x; $NCAL cached calibrations)"
