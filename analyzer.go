@@ -191,6 +191,28 @@ func (a *Analyzer) runCalibration() {
 	}
 }
 
+// StartCalibration launches the session's calibration in the
+// background without waiting for it — what a service calls at boot so
+// /healthz turns ready without blocking startup. Idempotent: later
+// calls (and every Analyze) join the same one run.
+func (a *Analyzer) StartCalibration() {
+	a.calStart.Do(func() { go a.runCalibration() })
+}
+
+// CalibrationReady reports, without blocking and without triggering
+// anything, whether the session's calibration has finished, and with
+// what error. (false, nil) means not started or still running — the
+// readiness probe a health endpoint can poll safely, because probing
+// never forces a device nobody asked for to calibrate.
+func (a *Analyzer) CalibrationReady() (bool, error) {
+	select {
+	case <-a.calDone:
+		return true, a.calErr
+	default:
+		return false, nil
+	}
+}
+
 // CalibrationFromCache reports whether Calibrate loaded the on-disk
 // cache instead of measuring (meaningful after Calibrate returns).
 func (a *Analyzer) CalibrationFromCache() bool { return a.calFromCache }

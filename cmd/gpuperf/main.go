@@ -16,11 +16,16 @@
 //	        spmv-bell-imiv
 //	        [-device gtx285-6sm] [-compare gtx285-6sm,gtx285]
 //	        [-advise] [-disasm] [-n size] [-seed n] [-p workers]
-//	        [-cal-dir dir] [-json] [-cpuprofile file] [-memprofile file]
+//	        [-cal-dir dir] [-cache-dir dir] [-json]
+//	        [-cpuprofile file] [-memprofile file]
 //
 // -device names a catalog entry (see `gpuperfd`'s GET /v1/devices or
 // gpuperf.DefaultCatalog); -compare takes a comma-separated device
-// list whose first entry is the speedup baseline.
+// list whose first entry is the speedup baseline. -cache-dir points
+// at an on-disk result cache: a repeat of an identical invocation is
+// served from its content-addressed slot without calibrating or
+// simulating anything (results are deterministic per request tuple,
+// so the cached bytes are exactly what a fresh run would print).
 package main
 
 import (
@@ -43,6 +48,7 @@ func main() {
 	n := flag.Int("n", 0, "problem size override (matrix dim / systems / block rows)")
 	seed := flag.Int64("seed", 0, "input-generation seed (0 = default)")
 	calDir := flag.String("cal-dir", "", "calibration cache directory (one file per device fingerprint)")
+	cacheDir := flag.String("cache-dir", "", "result cache directory (one content-addressed slot per request fingerprint; repeats skip simulation entirely)")
 	parallel := flag.Int("p", 0, "functional-simulation worker goroutines (0 = all cores, 1 = serial)")
 	skipVerify := flag.Bool("skip-verify", false, "skip the (single-threaded) CPU-reference check of the functional output")
 	asJSON := flag.Bool("json", false, "print the result as JSON instead of the text report")
@@ -62,7 +68,7 @@ func main() {
 		Seed:       *seed,
 		Measure:    true,
 		SkipVerify: *skipVerify,
-	}, *compare, *advse, *disasm, *calDir, *parallel, *asJSON)
+	}, *compare, *advse, *disasm, *calDir, *cacheDir, *parallel, *asJSON)
 	if err := stopProf(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -72,20 +78,28 @@ func main() {
 	}
 }
 
-func run(req gpuperf.Request, compare string, advse, disasm bool, calDir string, parallel int, asJSON bool) error {
+func run(req gpuperf.Request, compare string, advse, disasm bool, calDir, cacheDir string, parallel int, asJSON bool) error {
 	f := gpuperf.NewFleet(gpuperf.FleetOptions{
 		DefaultDevice:  req.Device,
 		Parallelism:    parallel,
 		CalibrationDir: calDir,
+		CacheDir:       cacheDir,
 	})
 	ctx := context.Background()
+	// cacheNote narrates the result cache's verdict for text output —
+	// a HIT means nothing was calibrated or simulated for this run.
+	cacheNote := func(st gpuperf.CacheStatus) {
+		if cacheDir != "" && !asJSON {
+			fmt.Printf("result cache %s (%s)\n", st, cacheDir)
+		}
+	}
 
 	if compare != "" {
 		devices := strings.Split(compare, ",")
 		for i := range devices {
 			devices[i] = strings.TrimSpace(devices[i])
 		}
-		cmp, err := f.Compare(ctx, gpuperf.CompareRequest{
+		cmp, st, err := f.CompareCached(ctx, gpuperf.CompareRequest{
 			Kernel:      req.Kernel,
 			Size:        req.Size,
 			Seed:        req.Seed,
@@ -96,6 +110,7 @@ func run(req gpuperf.Request, compare string, advse, disasm bool, calDir string,
 		if err != nil {
 			return err
 		}
+		cacheNote(st)
 		if asJSON {
 			return printJSON(cmp)
 		}
@@ -118,26 +133,33 @@ func run(req gpuperf.Request, compare string, advse, disasm bool, calDir string,
 
 	dev := a.Device()
 	fmt.Printf("device: %s (%d SMs, %.0f GFLOPS peak)\n", dev.Name, dev.NumSMs, dev.PeakGFLOPS())
-	fmt.Println("calibrating model (microbenchmarks; skipped when the -cal-dir cache is valid)...")
-	if err := a.Calibrate(); err != nil {
-		return err
-	}
-	switch {
-	case a.CalibrationFromCache():
-		fmt.Printf("loaded calibration from %s\n", calDir)
-	case calDir == "":
-		fmt.Println("calibrated model (microbenchmarks; cache with -cal-dir)")
-	case a.CalibrationSaveError() != nil:
-		fmt.Printf("calibrated model (warning: could not save to %s: %v)\n", calDir, a.CalibrationSaveError())
-	default:
-		fmt.Printf("calibrated model, saved to %s\n", calDir)
+	if cacheDir == "" {
+		// Without a result cache every run needs the model, so
+		// calibrate eagerly and narrate it. With -cache-dir the
+		// calibration stays lazy: a cache hit never needs it, and a
+		// miss triggers it inside the analysis.
+		fmt.Println("calibrating model (microbenchmarks; skipped when the -cal-dir cache is valid)...")
+		if err := a.Calibrate(); err != nil {
+			return err
+		}
+		switch {
+		case a.CalibrationFromCache():
+			fmt.Printf("loaded calibration from %s\n", calDir)
+		case calDir == "":
+			fmt.Println("calibrated model (microbenchmarks; cache with -cal-dir)")
+		case a.CalibrationSaveError() != nil:
+			fmt.Printf("calibrated model (warning: could not save to %s: %v)\n", calDir, a.CalibrationSaveError())
+		default:
+			fmt.Printf("calibrated model, saved to %s\n", calDir)
+		}
 	}
 
 	if advse {
-		adv, err := f.Advise(ctx, req)
+		adv, st, err := f.AdviseCached(ctx, req)
 		if err != nil {
 			return err
 		}
+		cacheNote(st)
 		if asJSON {
 			return printJSON(adv)
 		}
@@ -146,10 +168,11 @@ func run(req gpuperf.Request, compare string, advse, disasm bool, calDir string,
 		return nil
 	}
 
-	res, err := f.Analyze(ctx, req)
+	res, st, err := f.AnalyzeCached(ctx, req)
 	if err != nil {
 		return err
 	}
+	cacheNote(st)
 	if asJSON {
 		return printJSON(res)
 	}

@@ -1,30 +1,50 @@
 // Command gpuperfd serves the analysis workflow over HTTP: one Fleet
 // of per-device Analyzer sessions (one cached calibration each)
-// handling concurrent requests behind a shared admission limit.
+// handling concurrent requests behind a shared admission limit, every
+// Analyze/Advise/Compare memoized by a content-addressed result
+// cache with singleflight dedup.
 //
 //	gpuperfd [-addr :8080] [-devices gtx285,gtx285-6sm] [-cal-dir dir]
-//	         [-p workers] [-precalibrate]
+//	         [-cache-dir dir] [-cache-mem bytes] [-p workers]
+//	         [-precalibrate]
+//	gpuperfd -route http://w1:8098,http://w2:8099 [-addr :8080]
+//	         [-devices ...]
 //
 // Endpoints:
 //
-//	GET  /healthz      liveness probe
+//	GET  /healthz      readiness probe (JSON; 503 until the default
+//	                   device's calibration is loaded or built)
 //	GET  /v1/kernels   list the registry's kernels with their variant
 //	                   families and realized optimizations
 //	GET  /v1/devices   list the served device profiles (name,
 //	                   hardware fingerprint, knobs, peaks)
+//	GET  /v1/stats     result-cache counters (hits, misses,
+//	                   coalesced, evictions, in-flight)
 //	POST /v1/analyze   {"kernel":"matmul16","size":64,"device":"gtx285-6sm"} → Result
 //	POST /v1/advise    same body → Advice (ranked counterfactual
 //	                   what-if scenarios with predicted speedups)
 //	POST /v1/measure   same body → Measurement (timing simulator
-//	                   only; no calibration)
+//	                   only; no calibration, no result cache)
 //	POST /v1/compare   {"kernel":"spmv-ell","devices":["gtx285-6sm","gtx285"]}
 //	                   → Comparison (ranked across the device set)
 //
 // -devices picks which catalog entries to serve (the first is the
 // default for requests that name none). -cal-dir points at an
 // on-disk calibration cache directory — one file per device
-// fingerprint — so restarts skip recalibration. Aborted client
-// connections cancel their in-flight simulations.
+// fingerprint — so restarts skip recalibration. -cache-dir does the
+// same for analysis results: one content-addressed slot per request
+// fingerprint, so repeats (even across restarts) are hits, with
+// -cache-mem bounding the in-memory tier. Aborted client connections
+// cancel their in-flight simulations.
+//
+// With -route the daemon is a ROUTER instead of a worker: it
+// consistent-hashes each request's device fingerprint across the
+// given worker URLs (each worker owns a stable shard, so
+// calibrations and caches never duplicate), scatter-gathers
+// cross-shard comparisons, health-checks the workers via their
+// /healthz, and fails fast with 503 when a shard is down. The worker
+// flags (-cal-dir, -cache-dir, -cache-mem, -p, -precalibrate) are
+// ignored in router mode.
 package main
 
 import (
@@ -48,13 +68,17 @@ func main() {
 	devices := flag.String("devices", gpuperf.DefaultCatalogDevice,
 		"comma-separated catalog devices to serve; the first is the default for requests naming none")
 	calDir := flag.String("cal-dir", "", "calibration cache directory (one file per device fingerprint; loaded if present, written after calibrating)")
+	cacheDir := flag.String("cache-dir", "", "result cache directory (one content-addressed slot per request fingerprint; hits survive restarts)")
+	cacheMem := flag.Int64("cache-mem", 0, "in-memory result cache budget in bytes (0 = 32 MiB default, negative = disk-only)")
 	parallel := flag.Int("p", 0, "functional-simulation worker goroutines per request (0 = all cores)")
 	precalibrate := flag.Bool("precalibrate", false, "calibrate every served device before accepting traffic instead of on first use")
+	route := flag.String("route", "", "comma-separated worker base URLs: run as a router sharding requests by device fingerprint instead of serving analyses")
 	flag.Parse()
 
 	// Serve exactly the named catalog entries: the fleet's catalog is
 	// a subset of the defaults, so GET /v1/devices advertises only
-	// what the operator chose to expose.
+	// what the operator chose to expose. In router mode the same
+	// catalog drives the shard table — it must match the workers'.
 	defaults := gpuperf.DefaultCatalog()
 	served := gpuperf.NewDeviceCatalog()
 	names := strings.Split(*devices, ",")
@@ -68,37 +92,45 @@ func main() {
 			log.Fatalf("gpuperfd: -devices: %v", err)
 		}
 	}
-	f := gpuperf.NewFleet(gpuperf.FleetOptions{
-		Catalog:        served,
-		DefaultDevice:  names[0],
-		Parallelism:    *parallel,
-		CalibrationDir: *calDir,
-	})
-	log.Printf("gpuperfd: devices %v (default %s), kernels %v", names, names[0], f.Registry().Names())
-	if *precalibrate {
-		for _, n := range names {
-			a, err := f.Session(n)
-			if err != nil {
-				log.Fatalf("gpuperfd: %v", err)
-			}
-			log.Printf("gpuperfd: calibrating %s...", n)
-			if err := a.Calibrate(); err != nil {
-				log.Fatalf("gpuperfd: calibration of %s: %v", n, err)
-			}
-			switch {
-			case a.CalibrationFromCache():
-				log.Printf("gpuperfd: %s calibration loaded from %s", n, *calDir)
-			case a.CalibrationSaveError() != nil:
-				log.Printf("gpuperfd: %s calibration ready (cache not saved: %v)", n, a.CalibrationSaveError())
-			default:
-				log.Printf("gpuperfd: %s calibration ready", n)
-			}
+
+	var handler http.Handler
+	if *route != "" {
+		workers := strings.Split(*route, ",")
+		rt, err := gpuperf.NewRouter(gpuperf.RouterOptions{
+			Workers:       workers,
+			Catalog:       served,
+			DefaultDevice: names[0],
+		})
+		if err != nil {
+			log.Fatalf("gpuperfd: -route: %v", err)
+		}
+		defer rt.Close()
+		handler = rt.Handler()
+		log.Printf("gpuperfd: routing devices %v (default %s) across workers %v", names, names[0], rt.Workers())
+		for name, wk := range rt.Health().Shards {
+			log.Printf("gpuperfd: shard %s -> %s", name, wk)
+		}
+	} else {
+		f := gpuperf.NewFleet(gpuperf.FleetOptions{
+			Catalog:        served,
+			DefaultDevice:  names[0],
+			Parallelism:    *parallel,
+			CalibrationDir: *calDir,
+			CacheDir:       *cacheDir,
+			CacheBytes:     *cacheMem,
+		})
+		handler = gpuperf.NewHandler(f)
+		log.Printf("gpuperfd: devices %v (default %s), kernels %v", names, names[0], f.Registry().Names())
+		if *cacheDir != "" {
+			log.Printf("gpuperfd: result cache at %s", *cacheDir)
+		}
+		if *precalibrate {
+			precalibrateAll(f, names, *calDir)
 		}
 	}
-
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: logRequests(gpuperf.NewHandler(f)),
+		Handler: logRequests(handler),
 		// Bound hostile/stalled connections. No WriteTimeout: a cold
 		// first analyze legitimately takes tens of seconds while the
 		// model calibrates.
@@ -127,6 +159,29 @@ func main() {
 			} else {
 				log.Printf("gpuperfd: shutdown: %v", err)
 			}
+		}
+	}
+}
+
+// precalibrateAll calibrates every served device before the listener
+// opens, so /healthz answers ready from the first probe.
+func precalibrateAll(f *gpuperf.Fleet, names []string, calDir string) {
+	for _, n := range names {
+		a, err := f.Session(n)
+		if err != nil {
+			log.Fatalf("gpuperfd: %v", err)
+		}
+		log.Printf("gpuperfd: calibrating %s...", n)
+		if err := a.Calibrate(); err != nil {
+			log.Fatalf("gpuperfd: calibration of %s: %v", n, err)
+		}
+		switch {
+		case a.CalibrationFromCache():
+			log.Printf("gpuperfd: %s calibration loaded from %s", n, calDir)
+		case a.CalibrationSaveError() != nil:
+			log.Printf("gpuperfd: %s calibration ready (cache not saved: %v)", n, a.CalibrationSaveError())
+		default:
+			log.Printf("gpuperfd: %s calibration ready", n)
 		}
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"gpuperf/internal/resultstore"
 )
 
 // FleetOptions configures a Fleet.
@@ -37,6 +39,19 @@ type FleetOptions struct {
 	// semaphore shared by every session, so adding catalog entries
 	// never multiplies the operator's resource budget. 0 = GOMAXPROCS.
 	MaxConcurrent int
+	// CacheDir, when set, is the fleet's on-disk result cache: one
+	// content-addressed slot per request fingerprint, surviving
+	// restarts and shared by every fleet (and process) pointed at the
+	// same directory — the result-side sibling of CalibrationDir.
+	CacheDir string
+	// CacheBytes is the in-memory result-cache budget (sum of cached
+	// payload sizes). 0 means DefaultCacheBytes; a negative value
+	// disables the memory tier, leaving disk-only caching when
+	// CacheDir is set.
+	CacheBytes int64
+	// DisableCache turns the result cache off entirely: every
+	// Analyze/Advise/Compare recomputes and reports CacheBypass.
+	DisableCache bool
 }
 
 // Fleet is the multi-device front door: one lazily-calibrated
@@ -51,6 +66,12 @@ type Fleet struct {
 	reg     *Registry
 	def     string
 	admit   chan struct{}
+	// store is the result cache behind Analyze/Advise/Compare (nil
+	// when DisableCache): deterministic requests are memoized by
+	// fingerprint and identical in-flight requests coalesce onto one
+	// simulation. Measure stays uncached — it is calibration-free and
+	// cheap.
+	store *resultstore.Store
 
 	mu       sync.Mutex
 	sessions map[string]*Analyzer
@@ -75,12 +96,23 @@ func NewFleet(opt FleetOptions) *Fleet {
 	if limit <= 0 {
 		limit = runtime.GOMAXPROCS(0)
 	}
+	var store *resultstore.Store
+	if !opt.DisableCache {
+		budget := opt.CacheBytes
+		if budget == 0 {
+			budget = DefaultCacheBytes
+		} else if budget < 0 {
+			budget = 0
+		}
+		store = resultstore.New(resultstore.Config{MemoryBytes: budget, Dir: opt.CacheDir})
+	}
 	return &Fleet{
 		opt:      opt,
 		catalog:  catalog,
 		reg:      reg,
 		def:      def,
 		admit:    make(chan struct{}, limit),
+		store:    store,
 		sessions: map[string]*Analyzer{},
 	}
 }
@@ -141,24 +173,76 @@ func (f *Fleet) route(req *Request) (*Analyzer, error) {
 	return a, nil
 }
 
+// normalize pins the registry's concrete size and seed into the
+// request (the cheap prepare half, no build), so cache keys treat
+// "size 0" and the kernel's explicit default as the same request.
+func (f *Fleet) normalize(req *Request) error {
+	_, p, err := f.reg.prepare(req.Kernel, Params{Size: req.Size, Seed: req.Seed})
+	if err != nil {
+		return err
+	}
+	req.Size, req.Seed = p.Size, p.Seed
+	return nil
+}
+
 // Analyze routes the request to its device's session and runs the
-// full workflow there (see Analyzer.Analyze).
+// full workflow there (see Analyzer.Analyze), served through the
+// fleet's result cache.
 func (f *Fleet) Analyze(ctx context.Context, req Request) (*Result, error) {
+	res, _, err := f.AnalyzeCached(ctx, req)
+	return res, err
+}
+
+// AnalyzeCached is Analyze also reporting how the result cache served
+// the request — the HTTP layer's X-Cache header. A repeat of an
+// identical request (same kernel, normalized size/seed,
+// output-affecting options and device hardware) is a hit; identical
+// requests in flight at once coalesce onto one simulation.
+func (f *Fleet) AnalyzeCached(ctx context.Context, req Request) (*Result, CacheStatus, error) {
 	a, err := f.route(&req)
 	if err != nil {
-		return nil, err
+		return nil, CacheBypass, err
 	}
-	return a.Analyze(ctx, req)
+	if f.store == nil {
+		res, err := a.Analyze(ctx, req)
+		return res, CacheBypass, err
+	}
+	if err := f.normalize(&req); err != nil {
+		return nil, CacheBypass, err
+	}
+	key := analyzeKey(req, DeviceFingerprint(a.Device()))
+	return cachedFetch(ctx, f, key, func(ctx context.Context) (*Result, error) {
+		return a.Analyze(ctx, req)
+	})
 }
 
 // Advise routes the request to its device's session and runs the
-// counterfactual advisor there (see Analyzer.Advise).
+// counterfactual advisor there (see Analyzer.Advise), served through
+// the fleet's result cache.
 func (f *Fleet) Advise(ctx context.Context, req Request) (*Advice, error) {
+	adv, _, err := f.AdviseCached(ctx, req)
+	return adv, err
+}
+
+// AdviseCached is Advise also reporting how the result cache served
+// the request. Advice ignores Measure and SkipVerify, so requests
+// differing only there share one cached slot.
+func (f *Fleet) AdviseCached(ctx context.Context, req Request) (*Advice, CacheStatus, error) {
 	a, err := f.route(&req)
 	if err != nil {
-		return nil, err
+		return nil, CacheBypass, err
 	}
-	return a.Advise(ctx, req)
+	if f.store == nil {
+		adv, err := a.Advise(ctx, req)
+		return adv, CacheBypass, err
+	}
+	if err := f.normalize(&req); err != nil {
+		return nil, CacheBypass, err
+	}
+	key := adviseKey(req, DeviceFingerprint(a.Device()))
+	return cachedFetch(ctx, f, key, func(ctx context.Context) (*Advice, error) {
+		return a.Advise(ctx, req)
+	})
 }
 
 // Measure routes the request to its device's session and runs only
@@ -240,41 +324,53 @@ type ComparisonEntry struct {
 	MeasuredSeconds float64 `json:"measured_seconds,omitempty"`
 }
 
-// Compare runs one kernel across the requested device set and ranks
-// the outcomes. Each device's analysis runs in that device's session
-// (calibrating it on first use, cached under its fingerprint);
-// verification is skipped — the functional output is the same
-// everywhere, only the timing differs. Any device failing fails the
-// whole comparison, wrapped with the device name.
-func (f *Fleet) Compare(ctx context.Context, req CompareRequest) (*Comparison, error) {
+// validateCompare fail-fasts a compare request against a catalog:
+// non-empty duplicate-free device set, every name resolvable, the
+// baseline a member. It returns the effective baseline and the device
+// set's hardware fingerprints (parallel to req.Devices) — the
+// compare cache key's raw material. Shared by Fleet.Compare and the
+// router, so local and proxied requests reject identically.
+func validateCompare(cat *DeviceCatalog, req CompareRequest) (baseline string, fps []string, err error) {
 	if len(req.Devices) == 0 {
-		return nil, fmt.Errorf("%w: compare needs at least one device", ErrInvalidRequest)
+		return "", nil, fmt.Errorf("%w: compare needs at least one device", ErrInvalidRequest)
 	}
 	seen := map[string]bool{}
-	for _, d := range req.Devices {
+	fps = make([]string, len(req.Devices))
+	for i, d := range req.Devices {
 		if seen[d] {
-			return nil, fmt.Errorf("%w: duplicate device %q in compare set", ErrInvalidRequest, d)
+			return "", nil, fmt.Errorf("%w: duplicate device %q in compare set", ErrInvalidRequest, d)
 		}
 		seen[d] = true
-		if _, err := f.catalog.Resolve(d); err != nil {
-			return nil, err
+		dev, err := cat.Resolve(d)
+		if err != nil {
+			return "", nil, err
 		}
+		fps[i] = DeviceFingerprint(dev)
 	}
-	baseline := req.Baseline
+	baseline = req.Baseline
 	if baseline == "" {
 		baseline = req.Devices[0]
 	}
 	if !seen[baseline] {
-		return nil, fmt.Errorf("%w: baseline %q is not in the compare set %v", ErrInvalidRequest, baseline, req.Devices)
+		return "", nil, fmt.Errorf("%w: baseline %q is not in the compare set %v", ErrInvalidRequest, baseline, req.Devices)
 	}
+	return baseline, fps, nil
+}
 
+// compareFanout runs one analysis per compare-set device through
+// analyzeFn — a local session for Fleet.Compare, a remote worker for
+// the router's scatter-gather — then ranks the entries and assembles
+// the Comparison. One implementation, so a proxied comparison is
+// byte-identical to a local one.
+func compareFanout(ctx context.Context, cat *DeviceCatalog, limit int, req CompareRequest, baseline string,
+	analyzeFn func(context.Context, Request) (*Result, error)) (*Comparison, error) {
 	entries := make([]ComparisonEntry, len(req.Devices))
 	errs := make([]error, len(req.Devices))
 	sizes := make([]int, len(req.Devices))
 	seeds := make([]int64, len(req.Devices))
-	forEachLimit(len(req.Devices), f.opt.BatchConcurrency, func(i int) {
+	forEachLimit(len(req.Devices), limit, func(i int) {
 		name := req.Devices[i]
-		res, err := f.Analyze(ctx, Request{
+		res, err := analyzeFn(ctx, Request{
 			Kernel:      req.Kernel,
 			Device:      name,
 			Size:        req.Size,
@@ -287,7 +383,7 @@ func (f *Fleet) Compare(ctx context.Context, req CompareRequest) (*Comparison, e
 			errs[i] = fmt.Errorf("device %q: %w", name, err)
 			return
 		}
-		dev, _ := f.catalog.Lookup(name)
+		dev, _ := cat.Lookup(name)
 		entries[i] = ComparisonEntry{
 			Device:           name,
 			Fingerprint:      DeviceFingerprint(dev),
@@ -326,6 +422,124 @@ func (f *Fleet) Compare(ctx context.Context, req CompareRequest) (*Comparison, e
 		Entries:  entries,
 		Best:     entries[0].Device,
 	}, nil
+}
+
+// Compare runs one kernel across the requested device set and ranks
+// the outcomes, served through the fleet's result cache. Each
+// device's analysis runs in that device's session (calibrating it on
+// first use, cached under its fingerprint); verification is skipped —
+// the functional output is the same everywhere, only the timing
+// differs. Any device failing fails the whole comparison, wrapped
+// with the device name.
+func (f *Fleet) Compare(ctx context.Context, req CompareRequest) (*Comparison, error) {
+	c, _, err := f.CompareCached(ctx, req)
+	return c, err
+}
+
+// CompareCached is Compare also reporting how the result cache served
+// the request. The key is order-independent over the device set (as
+// hardware fingerprints) given the same effective baseline, so
+// reordering the devices field re-serves the cached ranking.
+func (f *Fleet) CompareCached(ctx context.Context, req CompareRequest) (*Comparison, CacheStatus, error) {
+	baseline, fps, err := validateCompare(f.catalog, req)
+	if err != nil {
+		return nil, CacheBypass, err
+	}
+	compute := func(ctx context.Context) (*Comparison, error) {
+		return compareFanout(ctx, f.catalog, f.opt.BatchConcurrency, req, baseline, f.Analyze)
+	}
+	if f.store == nil {
+		c, err := compute(ctx)
+		return c, CacheBypass, err
+	}
+	norm := req
+	if _, p, err := f.reg.prepare(req.Kernel, Params{Size: req.Size, Seed: req.Seed}); err != nil {
+		return nil, CacheBypass, err
+	} else {
+		norm.Size, norm.Seed = p.Size, p.Seed
+	}
+	var baselineFP string
+	for i, d := range req.Devices {
+		if d == baseline {
+			baselineFP = fps[i]
+		}
+	}
+	key := compareKey(norm, fps, baselineFP)
+	return cachedFetch(ctx, f, key, compute)
+}
+
+// FleetHealth is the GET /healthz wire type: overall readiness plus
+// one entry per device session the fleet has opened (the default
+// device always appears, opened or not).
+type FleetHealth struct {
+	// Status is "ok" once the default device's calibration is loaded
+	// or built, "error" if that calibration failed, "starting" before
+	// either — the service answers 503 until "ok".
+	Status  string         `json:"status"`
+	Devices []DeviceHealth `json:"devices"`
+}
+
+// DeviceHealth is one device's readiness in a FleetHealth.
+type DeviceHealth struct {
+	Device      string `json:"device"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Default     bool   `json:"default,omitempty"`
+	// Calibrated reports the session's calibration finished cleanly;
+	// FromCache that it was loaded from CalibrationDir rather than
+	// measured.
+	Calibrated bool   `json:"calibrated"`
+	FromCache  bool   `json:"from_cache,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Health reports the fleet's readiness without triggering any work:
+// probing never opens a session, never starts a calibration, and
+// never blocks on one in progress — so a router polling every
+// worker's /healthz cannot force workers to calibrate devices their
+// shard will never be asked about. Use Session + StartCalibration (or
+// the daemon's -precalibrate) to drive readiness.
+func (f *Fleet) Health() FleetHealth {
+	f.mu.Lock()
+	sessions := make(map[string]*Analyzer, len(f.sessions))
+	for name, a := range f.sessions {
+		sessions[name] = a
+	}
+	f.mu.Unlock()
+
+	names := make([]string, 0, len(sessions)+1)
+	for name := range sessions {
+		names = append(names, name)
+	}
+	if _, ok := sessions[f.def]; !ok {
+		names = append(names, f.def)
+	}
+	sort.Strings(names)
+
+	h := FleetHealth{Status: "starting"}
+	for _, name := range names {
+		d := DeviceHealth{Device: name, Default: name == f.def}
+		if a, ok := sessions[name]; ok {
+			d.Fingerprint = DeviceFingerprint(a.Device())
+			done, err := a.CalibrationReady()
+			d.Calibrated = done && err == nil
+			d.FromCache = a.CalibrationFromCache()
+			if done && err != nil {
+				d.Error = err.Error()
+			}
+		} else if dev, err := f.catalog.Resolve(name); err == nil {
+			d.Fingerprint = DeviceFingerprint(dev)
+		}
+		if d.Default {
+			switch {
+			case d.Error != "":
+				h.Status = "error"
+			case d.Calibrated:
+				h.Status = "ok"
+			}
+		}
+		h.Devices = append(h.Devices, d)
+	}
+	return h
 }
 
 // Report renders the comparison as the human-readable ranking the

@@ -3,27 +3,36 @@ package gpuperf
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 )
 
 // NewHandler exposes a Fleet over HTTP:
 //
-//	GET  /healthz      liveness probe ("ok")
+//	GET  /healthz      readiness probe: a FleetHealth JSON body,
+//	                   200 once the default device's calibration is
+//	                   loaded or built, 503 before ("starting") or on
+//	                   calibration failure ("error")
 //	GET  /v1/kernels   JSON list of the registry's kernel specs
 //	                   (name, description, size bounds, variant
 //	                   family and the advisor scenario each variant
 //	                   realizes)
 //	GET  /v1/devices   JSON list of the catalog's device profiles
 //	                   (name, hardware fingerprint, knobs, peaks)
+//	GET  /v1/stats     result-cache counters (a CacheStats body:
+//	                   hits, misses, coalesced, evictions, in-flight)
 //	POST /v1/analyze   body: a Request; response: a Result
 //	POST /v1/advise    body: a Request; response: an Advice (the
 //	                   ranked counterfactual-scenario report)
 //	POST /v1/measure   body: a Request; response: a Measurement
-//	                   (timing simulator only — no calibration)
+//	                   (timing simulator only — no calibration, no
+//	                   result cache)
 //	POST /v1/compare   body: a CompareRequest; response: a Comparison
 //	                   (one kernel ranked across a device set)
 //
@@ -34,41 +43,56 @@ import (
 // unknown kernel or device, 503 when the request's context ends
 // before the simulation does, 500 otherwise. Error bodies are
 // {"error": "..."}.
+//
+// Responses are deterministic per request tuple, so the cacheable
+// routes carry caching headers: analyze/advise/compare report how the
+// fleet's result cache served them via X-Cache (HIT, MISS or
+// COALESCED — absent when the fleet runs with DisableCache), and
+// every deterministic body gets a strong ETag honoring If-None-Match
+// with 304 Not Modified. The fully static kernel and device listings
+// additionally set Cache-Control.
 func NewHandler(f *Fleet) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
+		h := f.Health()
+		status := http.StatusOK
+		if h.Status != "ok" {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.CacheStats())
 	})
 	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, f.Kernels())
+		writeCachedJSON(w, r, f.Kernels(), CacheBypass, staticCacheControl)
 	})
 	mux.HandleFunc("GET /v1/devices", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, f.Devices())
+		writeCachedJSON(w, r, f.Devices(), CacheBypass, staticCacheControl)
 	})
 	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		req, ok := decodeBody[Request](w, r)
 		if !ok {
 			return
 		}
-		res, err := f.Analyze(r.Context(), req)
+		res, st, err := f.AnalyzeCached(r.Context(), req)
 		if err != nil {
 			writeAnalysisError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		writeCachedJSON(w, r, res, st, "")
 	})
 	mux.HandleFunc("POST /v1/advise", func(w http.ResponseWriter, r *http.Request) {
 		req, ok := decodeBody[Request](w, r)
 		if !ok {
 			return
 		}
-		adv, err := f.Advise(r.Context(), req)
+		adv, st, err := f.AdviseCached(r.Context(), req)
 		if err != nil {
 			writeAnalysisError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, adv)
+		writeCachedJSON(w, r, adv, st, "")
 	})
 	mux.HandleFunc("POST /v1/measure", func(w http.ResponseWriter, r *http.Request) {
 		req, ok := decodeBody[Request](w, r)
@@ -87,15 +111,20 @@ func NewHandler(f *Fleet) http.Handler {
 		if !ok {
 			return
 		}
-		cmp, err := f.Compare(r.Context(), req)
+		cmp, st, err := f.CompareCached(r.Context(), req)
 		if err != nil {
 			writeAnalysisError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, cmp)
+		writeCachedJSON(w, r, cmp, st, "")
 	})
 	return mux
 }
+
+// staticCacheControl is the policy for the kernel and device
+// listings: fully static for a server's lifetime, so clients may
+// reuse them for an hour (and revalidate for free via the ETag).
+const staticCacheControl = "public, max-age=3600"
 
 // decodeBody parses one JSON request body into T, writing the error
 // response itself when the body is malformed (ok=false).
@@ -137,28 +166,98 @@ func writeAnalysisError(w http.ResponseWriter, err error) {
 	}
 }
 
+// encodeJSON renders v exactly as the service sends it (indented,
+// trailing newline) — one encoder, so the ETag and the body can never
+// disagree.
+func encodeJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// etagFor derives the strong validator for a response body: its
+// SHA-256 truncated to 16 bytes, quoted per RFC 9110. Bodies are
+// deterministic per request tuple, so equal tags mean equal bytes.
+func etagFor(body []byte) string {
+	sum := sha256.Sum256(body)
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// etagMatch reports whether an If-None-Match header value matches
+// etag, honoring the wildcard and comparing weakly (a W/ prefix on a
+// candidate is ignored — for bodies this deterministic, weak and
+// strong coincide).
+func etagMatch(header, etag string) bool {
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(cand), "W/"))
+		if cand != "" && (cand == "*" || cand == etag) {
+			return true
+		}
+	}
+	return false
+}
+
+// writeCachedJSON is writeJSON for deterministic bodies: it stamps
+// the strong ETag, answers a matching If-None-Match with 304 Not
+// Modified (headers only), reports the fleet cache's verdict via
+// X-Cache (omitted for CacheBypass), and applies cacheControl when
+// the route sets one.
+func writeCachedJSON(w http.ResponseWriter, r *http.Request, v any, st CacheStatus, cacheControl string) {
+	body, err := encodeJSON(v)
+	if err != nil {
+		writeEncodeFailure(w, v, err)
+		return
+	}
+	h := w.Header()
+	etag := etagFor(body)
+	h.Set("ETag", etag)
+	if cacheControl != "" {
+		h.Set("Cache-Control", cacheControl)
+	}
+	if st != "" && st != CacheBypass {
+		h.Set("X-Cache", string(st))
+	}
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(body); err != nil {
+		log.Printf("gpuperf: writing %T response: %v", v, err)
+	}
+}
+
 // writeJSON encodes v before touching the ResponseWriter, so an
 // unencodable value (a NaN that crept into a float field, say)
 // becomes a logged 500 with a JSON error body instead of a silent
 // 200 with a truncated payload.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("gpuperf: encoding %T response: %v", v, err)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusInternalServerError)
-		fmt.Fprintf(w, "{\"error\": %q}\n", "gpuperf: encoding response: "+err.Error())
+	body, err := encodeJSON(v)
+	if err != nil {
+		writeEncodeFailure(w, v, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if _, err := w.Write(buf.Bytes()); err != nil {
+	if _, err := w.Write(body); err != nil {
 		// The response line is already on the wire; all we can do for
 		// a dead client is note it.
 		log.Printf("gpuperf: writing %T response: %v", v, err)
 	}
+}
+
+// writeEncodeFailure is the shared encode-error tail of writeJSON and
+// writeCachedJSON.
+func writeEncodeFailure(w http.ResponseWriter, v any, err error) {
+	log.Printf("gpuperf: encoding %T response: %v", v, err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusInternalServerError)
+	fmt.Fprintf(w, "{\"error\": %q}\n", "gpuperf: encoding response: "+err.Error())
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

@@ -1,6 +1,7 @@
 package gpuperf
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestHandlerAnalyzeHappyPath: POST /v1/analyze returns a complete
@@ -200,14 +202,145 @@ func TestHandlerAdviseCancelledContext(t *testing.T) {
 	}
 }
 
-// TestHandlerHealthz: the liveness probe needs no fleet state.
+// TestHandlerHealthz: /healthz is readiness-aware — a JSON
+// FleetHealth answering 503 "starting" until the default device's
+// calibration is loaded or built, 200 "ok" after, and probing never
+// triggers a calibration itself (a router polls workers' /healthz;
+// the probe must not force every worker to calibrate its default
+// device).
 func TestHandlerHealthz(t *testing.T) {
-	h := NewHandler(NewFleet(FleetOptions{}))
-	req := httptest.NewRequest("GET", "/healthz", nil)
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
-		t.Fatalf("healthz: %d %q", rec.Code, rec.Body)
+	a := testAnalyzer(t)
+	dir := t.TempDir()
+	if err := a.cal.SaveCachedCalibration(dir); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFleet(FleetOptions{DefaultDevice: "gtx285-6sm", CalibrationDir: dir})
+	h := NewHandler(f)
+
+	get := func() (int, FleetHealth) {
+		t.Helper()
+		req := httptest.NewRequest("GET", "/healthz", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		var fh FleetHealth
+		if err := json.Unmarshal(rec.Body.Bytes(), &fh); err != nil {
+			t.Fatalf("healthz body is not FleetHealth JSON: %v (%s)", err, rec.Body)
+		}
+		return rec.Code, fh
+	}
+
+	// Fresh fleet: not ready, and the probe itself must not change that.
+	for i := 0; i < 2; i++ {
+		code, fh := get()
+		if code != http.StatusServiceUnavailable || fh.Status != "starting" {
+			t.Fatalf("probe %d: %d %q, want 503 starting", i, code, fh.Status)
+		}
+		if len(fh.Devices) != 1 || fh.Devices[0].Device != "gtx285-6sm" || !fh.Devices[0].Default {
+			t.Fatalf("probe %d devices: %+v", i, fh.Devices)
+		}
+		if fh.Devices[0].Calibrated {
+			t.Fatalf("probe %d: default reported calibrated before any work", i)
+		}
+	}
+
+	// Readiness arrives when the default device's calibration does
+	// (here loaded from the seeded cache).
+	sess, err := f.Session("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	code, fh := get()
+	if code != http.StatusOK || fh.Status != "ok" {
+		t.Fatalf("after calibration: %d %q, want 200 ok", code, fh.Status)
+	}
+	d := fh.Devices[0]
+	if !d.Calibrated || !d.FromCache || d.Fingerprint == "" {
+		t.Errorf("ready device entry incomplete: %+v", d)
+	}
+}
+
+// TestHandlerStats: GET /v1/stats exposes the result-cache counters,
+// and they move with traffic.
+func TestHandlerStats(t *testing.T) {
+	h := NewHandler(testFleet(t))
+	get := func() CacheStats {
+		t.Helper()
+		req := httptest.NewRequest("GET", "/v1/stats", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("stats status %d", rec.Code)
+		}
+		var st CacheStats
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatalf("bad stats JSON: %v", err)
+		}
+		return st
+	}
+	if st := get(); !st.Enabled {
+		t.Fatal("shared fleet's cache should be enabled")
+	}
+	before := get()
+	body := `{"kernel":"matmul16","size":64,"seed":41}`
+	for i := 0; i < 2; i++ {
+		req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("analyze %d: status %d (%s)", i, rec.Code, rec.Body)
+		}
+	}
+	after := get()
+	if after.Misses != before.Misses+1 {
+		t.Errorf("misses %d -> %d, want exactly one more", before.Misses, after.Misses)
+	}
+	if after.Hits != before.Hits+1 {
+		t.Errorf("hits %d -> %d, want exactly one more", before.Hits, after.Hits)
+	}
+	if after.Entries == 0 || after.Bytes == 0 || after.MemoryBudgetBytes != DefaultCacheBytes {
+		t.Errorf("gauges look wrong: %+v", after)
+	}
+}
+
+// TestHandlerStaticCachingHeaders: the fully static kernel and device
+// listings carry Cache-Control and a strong ETag, and a matching
+// If-None-Match turns into 304 with an empty body.
+func TestHandlerStaticCachingHeaders(t *testing.T) {
+	h := NewHandler(testFleet(t))
+	for _, path := range []string{"/v1/kernels", "/v1/devices"} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", path, rec.Code)
+		}
+		etag := rec.Header().Get("ETag")
+		if len(etag) < 4 || !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+			t.Fatalf("%s: ETag %q is not a quoted strong validator", path, etag)
+		}
+		if cc := rec.Header().Get("Cache-Control"); !strings.Contains(cc, "max-age") {
+			t.Errorf("%s: Cache-Control %q", path, cc)
+		}
+
+		req = httptest.NewRequest("GET", path, nil)
+		req.Header.Set("If-None-Match", etag)
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotModified || rec.Body.Len() != 0 {
+			t.Errorf("%s revalidation: %d with %d body bytes, want bare 304", path, rec.Code, rec.Body.Len())
+		}
+
+		// A stale validator re-serves the full body.
+		req = httptest.NewRequest("GET", path, nil)
+		req.Header.Set("If-None-Match", `"deadbeef"`)
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+			t.Errorf("%s stale revalidation: %d with %d body bytes, want full 200", path, rec.Code, rec.Body.Len())
+		}
 	}
 }
 
@@ -336,12 +469,12 @@ func TestHandlerCompareErrors(t *testing.T) {
 		body string
 		want int
 	}{
-		{`{"kernel":"matmul16"}`, http.StatusBadRequest},                                        // no devices
-		{`{"kernel":"matmul16","devices":["gtx999"]}`, http.StatusNotFound},                     // unknown device
-		{`{"kernel":"nope","devices":["gtx285-6sm"]}`, http.StatusNotFound},                     // unknown kernel
-		{`{"kernel":"matmul16","devices":["gtx285-6sm","gtx285-6sm"]}`, http.StatusBadRequest},  // duplicate
-		{`{"kernel":"matmul16","devices":["gtx285-6sm"],"bogus":1}`, http.StatusBadRequest},     // unknown field
-		{`{"kernel":"matmul16","devices":["gtx285-6sm"]} junk`, http.StatusBadRequest},          // trailing garbage
+		{`{"kernel":"matmul16"}`, http.StatusBadRequest},                                         // no devices
+		{`{"kernel":"matmul16","devices":["gtx999"]}`, http.StatusNotFound},                      // unknown device
+		{`{"kernel":"nope","devices":["gtx285-6sm"]}`, http.StatusNotFound},                      // unknown kernel
+		{`{"kernel":"matmul16","devices":["gtx285-6sm","gtx285-6sm"]}`, http.StatusBadRequest},   // duplicate
+		{`{"kernel":"matmul16","devices":["gtx285-6sm"],"bogus":1}`, http.StatusBadRequest},      // unknown field
+		{`{"kernel":"matmul16","devices":["gtx285-6sm"]} junk`, http.StatusBadRequest},           // trailing garbage
 		{`{"kernel":"matmul16","devices":["gtx285-6sm"],"baseline":"x"}`, http.StatusBadRequest}, // foreign baseline
 	}
 	for _, c := range cases {
@@ -371,5 +504,77 @@ func TestWriteJSONEncodeFailure(t *testing.T) {
 	writeJSON(rec, http.StatusTeapot, map[string]int{"x": 1})
 	if rec.Code != http.StatusTeapot || !strings.Contains(rec.Body.String(), `"x": 1`) {
 		t.Errorf("happy path: %d %q", rec.Code, rec.Body)
+	}
+}
+
+// TestHTTPCacheSpeedupAndStats is the acceptance criterion for the
+// result cache at the HTTP layer: a repeat of an identical
+// /v1/analyze is served byte-identically from the cache, at least two
+// orders of magnitude faster than the cold miss, with the X-Cache
+// header flipping MISS -> HIT, the stats counters moving, and a
+// revalidation via the cold response's ETag collapsing to a bare 304.
+func TestHTTPCacheSpeedupAndStats(t *testing.T) {
+	// A private fleet (seeded with the shared session's calibration so
+	// the cold time measures simulation, not calibration) keeps the
+	// counters deterministic.
+	a := testAnalyzer(t)
+	dir := t.TempDir()
+	if err := a.cal.SaveCachedCalibration(dir); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFleet(FleetOptions{DefaultDevice: "gtx285-6sm", CalibrationDir: dir})
+	h := NewHandler(f)
+
+	const body = `{"kernel":"spmv-ell","size":4096,"seed":9}`
+	post := func() (*httptest.ResponseRecorder, time.Duration) {
+		t.Helper()
+		req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		start := time.Now()
+		h.ServeHTTP(rec, req)
+		elapsed := time.Since(start)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d (%s)", rec.Code, rec.Body)
+		}
+		return rec, elapsed
+	}
+
+	cold, coldTime := post()
+	if got := cold.Header().Get("X-Cache"); got != string(CacheMiss) {
+		t.Fatalf("cold X-Cache %q, want MISS", got)
+	}
+	warm, warmTime := post()
+	if got := warm.Header().Get("X-Cache"); got != string(CacheHit) {
+		t.Fatalf("warm X-Cache %q, want HIT", got)
+	}
+	if !bytes.Equal(cold.Body.Bytes(), warm.Body.Bytes()) {
+		t.Error("cached response is not byte-identical to the computed one")
+	}
+	if warm.Header().Get("ETag") != cold.Header().Get("ETag") {
+		t.Errorf("ETag changed across the hit: %q vs %q",
+			cold.Header().Get("ETag"), warm.Header().Get("ETag"))
+	}
+	// The >=100x bar: a cold spmv-ell@4096 simulates for hundreds of
+	// milliseconds; a hit decodes ~2 KB of JSON. Guard against a
+	// pathologically fast cold run (CI noise) rather than fail falsely.
+	if coldTime > 10*time.Millisecond && warmTime > coldTime/100 {
+		t.Errorf("hit not >=100x faster: cold %v, warm %v", coldTime, warmTime)
+	}
+	t.Logf("cold %v, warm %v (%.0fx)", coldTime, warmTime,
+		float64(coldTime)/float64(warmTime))
+
+	// Conditional repeat: the client already holds the bytes.
+	req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(body))
+	req.Header.Set("If-None-Match", cold.Header().Get("ETag"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified || rec.Body.Len() != 0 {
+		t.Errorf("revalidation: %d with %d body bytes, want bare 304",
+			rec.Code, rec.Body.Len())
+	}
+
+	st := f.CacheStats()
+	if st.Misses != 1 || st.Hits != 2 || st.Entries != 1 {
+		t.Errorf("stats after cold+hit+304: %+v", st)
 	}
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the engine benchmark suite and emit BENCH_4.json.
+# bench.sh — run the engine benchmark suite and emit BENCH_6.json.
 #
 # Runs BenchmarkRunParallel (end-to-end blocks/s) plus the per-layer
 # microbenchmarks (warp step, bank conflicts, coalescing) with
@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
-OUT="${OUT:-BENCH_4.json}"
+OUT="${OUT:-BENCH_6.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 

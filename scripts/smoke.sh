@@ -1,38 +1,67 @@
 #!/usr/bin/env bash
-# gpuperfd smoke test: build the service, start it with a two-device
-# fleet (the full GTX 285 and its 6-SM slice) and a calibration cache
-# directory, wait for liveness, then drive every endpoint end to end:
-# the kernel list must carry the variant-family metadata, the device
-# list both catalog entries with distinct hardware fingerprints, the
-# analyze response its bottleneck verdict, the advise response its
-# ranked scenarios, the measure response a positive timing, and a
-# cross-device /v1/compare on a bandwidth-bound kernel must rank the
-# full chip above the 6-SM slice. Finally the cache directory must
-# hold one calibration file per device fingerprint.
+# gpuperfd smoke test, two legs.
+#
+# Leg 1 — one worker: build the service, start it with a two-device
+# fleet (the full GTX 285 and its 6-SM slice), a calibration cache and
+# a result cache, then drive every endpoint end to end: readiness
+# (healthz 503 "starting" before any calibration, 200 "ok" after),
+# kernel/device listings with caching headers and a working
+# If-None-Match 304, analyze/advise/compare each served MISS then HIT
+# with byte-identical bodies, the cache-hit timing win, /v1/stats
+# counters, and the on-disk calibration and result slots.
+#
+# Leg 2 — a 2-worker router: two lazy workers plus a gpuperfd -route
+# front door that consistent-hashes devices by hardware fingerprint.
+# Analyze/advise/compare twice each through the router (MISS then
+# HIT), nonzero aggregated hit counters, and shard purity: each
+# worker's calibration dir holds only fingerprints of devices the
+# router's shard table assigns to it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ADDR=127.0.0.1:8097
 BINDIR=$(mktemp -d)
-CALDIR="$BINDIR/cal"
+PIDS=()
+trap 'for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$BINDIR"' EXIT
 
 go build -o "$BINDIR/gpuperfd" ./cmd/gpuperfd
-"$BINDIR/gpuperfd" -addr "$ADDR" -devices gtx285-6sm,gtx285 -cal-dir "$CALDIR" &
-PID=$!
-trap 'kill "$PID" 2>/dev/null || true; rm -rf "$BINDIR"' EXIT
 
-for i in $(seq 1 100); do
-    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
-        break
-    fi
-    if ! kill -0 "$PID" 2>/dev/null; then
-        echo "smoke: gpuperfd died before becoming healthy" >&2
-        exit 1
-    fi
-    sleep 0.2
-done
+# wait_http URL: poll until the server answers any HTTP status at all.
+wait_http() {
+    for _ in $(seq 1 150); do
+        local code
+        code=$(curl -s -o /dev/null -w '%{http_code}' "$1" || true)
+        [ "$code" != "000" ] && return 0
+        sleep 0.2
+    done
+    echo "smoke: $1 never came up" >&2
+    exit 1
+}
 
-KERNELS=$(curl -fsS "http://$ADDR/v1/kernels")
+# post URL BODY HDRFILE: POST, body on stdout, headers to HDRFILE.
+post() { curl -fsS -X POST "$1" -d "$2" -D "$3"; }
+
+# xcache HDRFILE: the response's X-Cache verdict.
+xcache() { awk -F': ' 'tolower($1)=="x-cache"{gsub(/\r/,"",$2); print $2}' "$1"; }
+
+### Leg 1: one worker ########################################################
+
+ADDR=127.0.0.1:8097
+CALDIR="$BINDIR/cal"
+CACHEDIR="$BINDIR/cache"
+
+"$BINDIR/gpuperfd" -addr "$ADDR" -devices gtx285-6sm,gtx285 \
+    -cal-dir "$CALDIR" -cache-dir "$CACHEDIR" &
+PIDS+=($!)
+wait_http "http://$ADDR/healthz"
+
+# Readiness: nothing is calibrated yet, so healthz must refuse.
+HCODE=$(curl -s -o "$BINDIR/h1" -w '%{http_code}' "http://$ADDR/healthz")
+if [ "$HCODE" != "503" ] || ! grep -q '"starting"' "$BINDIR/h1"; then
+    echo "smoke: fresh healthz should be 503 starting, got $HCODE: $(cat "$BINDIR/h1")" >&2
+    exit 1
+fi
+
+KERNELS=$(curl -fsS -D "$BINDIR/kh" "http://$ADDR/v1/kernels")
 grep -q '"matmul16"' <<<"$KERNELS" || {
     echo "smoke: kernel list missing matmul16: $KERNELS" >&2
     exit 1
@@ -46,6 +75,19 @@ for field in '"description"' '"max_size"' '"family": "matmul"' '"optimization": 
         exit 1
     }
 done
+# Static listings carry caching headers, and their ETag revalidates.
+grep -qi '^cache-control: .*max-age' "$BINDIR/kh" || {
+    echo "smoke: kernel list missing Cache-Control:" >&2
+    cat "$BINDIR/kh" >&2
+    exit 1
+}
+ETAG=$(awk -F': ' 'tolower($1)=="etag"{gsub(/\r/,"",$2); print $2}' "$BINDIR/kh")
+[ -n "$ETAG" ] || { echo "smoke: kernel list has no ETag" >&2; exit 1; }
+CODE304=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $ETAG" "http://$ADDR/v1/kernels")
+if [ "$CODE304" != "304" ]; then
+    echo "smoke: If-None-Match revalidation answered $CODE304, want 304" >&2
+    exit 1
+fi
 
 # The device list carries both served catalog entries, each with a
 # hardware fingerprint, and the fingerprints differ.
@@ -62,9 +104,10 @@ if [ "$NFP" -ne 2 ]; then
     exit 1
 fi
 
-# Analyze on the (fast) slice, named explicitly via the device field.
-OUT=$(curl -fsS -X POST "http://$ADDR/v1/analyze" \
-    -d '{"kernel":"matmul16","size":64,"seed":7,"device":"gtx285-6sm"}')
+# Analyze on the (fast) slice, twice: a cold MISS, then a HIT with the
+# identical body.
+BODY='{"kernel":"matmul16","size":64,"seed":7,"device":"gtx285-6sm"}'
+OUT=$(post "http://$ADDR/v1/analyze" "$BODY" "$BINDIR/a1")
 grep -q '"bottleneck"' <<<"$OUT" || {
     echo "smoke: analyze response missing bottleneck field: $OUT" >&2
     exit 1
@@ -73,17 +116,39 @@ grep -q '"device": "gtx285-6sm"' <<<"$OUT" || {
     echo "smoke: analyze response does not echo the catalog device: $OUT" >&2
     exit 1
 }
+OUT2=$(post "http://$ADDR/v1/analyze" "$BODY" "$BINDIR/a2")
+if [ "$(xcache "$BINDIR/a1")" != "MISS" ] || [ "$(xcache "$BINDIR/a2")" != "HIT" ]; then
+    echo "smoke: analyze X-Cache $(xcache "$BINDIR/a1") then $(xcache "$BINDIR/a2"), want MISS then HIT" >&2
+    exit 1
+fi
+if [ "$OUT" != "$OUT2" ]; then
+    echo "smoke: cached analyze body differs from the computed one" >&2
+    exit 1
+fi
 
-ADVICE=$(curl -fsS -X POST "http://$ADDR/v1/advise" \
-    -d '{"kernel":"matmul-naive","size":128,"seed":7,"device":"gtx285-6sm"}')
+# The default device is calibrated now, so readiness flipped.
+HCODE=$(curl -s -o "$BINDIR/h2" -w '%{http_code}' "http://$ADDR/healthz")
+if [ "$HCODE" != "200" ] || ! grep -q '"ok"' "$BINDIR/h2"; then
+    echo "smoke: post-traffic healthz should be 200 ok, got $HCODE: $(cat "$BINDIR/h2")" >&2
+    exit 1
+fi
+
+ADVICE=$(post "http://$ADDR/v1/advise" \
+    '{"kernel":"matmul-naive","size":128,"seed":7,"device":"gtx285-6sm"}' "$BINDIR/ad1")
 for field in '"scenarios"' '"speedup"' '"top": "perfect-coalescing"'; do
     grep -q "$field" <<<"$ADVICE" || {
         echo "smoke: advise response missing $field: $ADVICE" >&2
         exit 1
     }
 done
+post "http://$ADDR/v1/advise" \
+    '{"kernel":"matmul-naive","size":128,"seed":7,"device":"gtx285-6sm"}' "$BINDIR/ad2" >/dev/null
+if [ "$(xcache "$BINDIR/ad2")" != "HIT" ]; then
+    echo "smoke: repeat advise was $(xcache "$BINDIR/ad2"), want HIT" >&2
+    exit 1
+fi
 
-# Measure is the calibration-free timing path.
+# Measure is the calibration-free timing path (and is never cached).
 MEAS=$(curl -fsS -X POST "http://$ADDR/v1/measure" \
     -d '{"kernel":"matmul16","size":64,"seed":7,"device":"gtx285-6sm"}')
 grep -q '"seconds"' <<<"$MEAS" || {
@@ -93,9 +158,14 @@ grep -q '"seconds"' <<<"$MEAS" || {
 
 # Cross-device comparison on a bandwidth-bound kernel: the full chip
 # must rank above the 6-SM slice (more SMs keep the memory system
-# busier), i.e. best = gtx285 and its speedup vs the slice > 1.
-CMP=$(curl -fsS -X POST "http://$ADDR/v1/compare" \
-    -d '{"kernel":"spmv-ell","size":4096,"seed":7,"devices":["gtx285-6sm","gtx285"]}')
+# busier), i.e. best = gtx285 and its speedup vs the slice > 1. The
+# cold run calibrates gtx285; time both to show the cache-hit win.
+CMPBODY='{"kernel":"spmv-ell","size":4096,"seed":7,"devices":["gtx285-6sm","gtx285"]}'
+T0=$(date +%s%N)
+CMP=$(post "http://$ADDR/v1/compare" "$CMPBODY" "$BINDIR/c1")
+T1=$(date +%s%N)
+CMP2=$(post "http://$ADDR/v1/compare" "$CMPBODY" "$BINDIR/c2")
+T2=$(date +%s%N)
 grep -q '"best": "gtx285"' <<<"$CMP" || {
     echo "smoke: compare should rank the full chip first: $CMP" >&2
     exit 1
@@ -110,15 +180,159 @@ awk "BEGIN{exit !($BESTSPEED > 1)}" || {
     echo "smoke: full chip speedup $BESTSPEED should exceed 1: $CMP" >&2
     exit 1
 }
+if [ "$(xcache "$BINDIR/c1")" != "MISS" ] || [ "$(xcache "$BINDIR/c2")" != "HIT" ]; then
+    echo "smoke: compare X-Cache $(xcache "$BINDIR/c1") then $(xcache "$BINDIR/c2"), want MISS then HIT" >&2
+    exit 1
+fi
+if [ "$CMP" != "$CMP2" ]; then
+    echo "smoke: cached compare body differs from the computed one" >&2
+    exit 1
+fi
+COLD_MS=$(( (T1 - T0) / 1000000 ))
+WARM_MS=$(( (T2 - T1) / 1000000 ))
+if [ "$WARM_MS" -ge "$COLD_MS" ]; then
+    echo "smoke: cache hit (${WARM_MS}ms) not faster than cold compare (${COLD_MS}ms)" >&2
+    exit 1
+fi
 
-# Both calibrations must be cached under distinct fingerprint keys.
+# Stats: the traffic above must show up as hits and misses.
+STATS=$(curl -fsS "http://$ADDR/v1/stats")
+HITS=$(grep -o '"hits": [0-9]*' <<<"$STATS" | head -1 | awk '{print $2}')
+MISSES=$(grep -o '"misses": [0-9]*' <<<"$STATS" | head -1 | awk '{print $2}')
+if [ "${HITS:-0}" -lt 3 ] || [ "${MISSES:-0}" -lt 1 ]; then
+    echo "smoke: stats hits=$HITS misses=$MISSES, want >=3/>=1: $STATS" >&2
+    exit 1
+fi
+
+# Both calibrations cached under distinct fingerprint keys, and the
+# result cache holds content-addressed slots.
 NCAL=$(ls "$CALDIR"/cal-*.json 2>/dev/null | wc -l)
 if [ "$NCAL" -ne 2 ]; then
     echo "smoke: cache dir should hold 2 per-fingerprint calibrations, has $NCAL" >&2
     ls -la "$CALDIR" >&2 || true
     exit 1
 fi
+NRES=$(ls "$CACHEDIR"/res-*.json 2>/dev/null | wc -l)
+if [ "$NRES" -lt 3 ]; then
+    echo "smoke: result cache should hold >=3 slots, has $NRES" >&2
+    exit 1
+fi
+
+kill "${PIDS[0]}" 2>/dev/null || true
+wait "${PIDS[0]}" 2>/dev/null || true
 
 BOTTLENECK=$(awk -F'"bottleneck": ' 'NF>1{split($2,a,","); print a[1]; exit}' <<<"$OUT")
 TOP=$(grep -o '"top": "[^"]*"' <<<"$ADVICE")
-echo "smoke: ok (bottleneck $BOTTLENECK; advise $TOP; compare best gtx285 at ${BESTSPEED}x; $NCAL cached calibrations)"
+echo "smoke: leg 1 ok (bottleneck $BOTTLENECK; advise $TOP; compare best gtx285 at ${BESTSPEED}x; cold compare ${COLD_MS}ms vs hit ${WARM_MS}ms; $NCAL calibrations, $NRES result slots)"
+
+### Leg 2: 2-worker router ###################################################
+
+W1=127.0.0.1:8098
+W2=127.0.0.1:8099
+RT=127.0.0.1:8100
+
+"$BINDIR/gpuperfd" -addr "$W1" -devices gtx285-6sm,gtx285 \
+    -cal-dir "$BINDIR/cal-w1" -cache-dir "$BINDIR/cache-w1" &
+PIDS+=($!)
+"$BINDIR/gpuperfd" -addr "$W2" -devices gtx285-6sm,gtx285 \
+    -cal-dir "$BINDIR/cal-w2" -cache-dir "$BINDIR/cache-w2" &
+PIDS+=($!)
+wait_http "http://$W1/healthz"
+wait_http "http://$W2/healthz"
+
+"$BINDIR/gpuperfd" -addr "$RT" -devices gtx285-6sm,gtx285 \
+    -route "$W1,$W2" &
+PIDS+=($!)
+# The router is "ok" once both workers answer their probes at all
+# (workers still calibrating are routable), so wait for a 200.
+for _ in $(seq 1 150); do
+    RCODE=$(curl -s -o "$BINDIR/rh" -w '%{http_code}' "http://$RT/healthz" || true)
+    [ "$RCODE" = "200" ] && break
+    sleep 0.2
+done
+if [ "$RCODE" != "200" ] || ! grep -q '"shards"' "$BINDIR/rh"; then
+    echo "smoke: router healthz $RCODE: $(cat "$BINDIR/rh" 2>/dev/null)" >&2
+    exit 1
+fi
+
+# Analyze, advise and compare through the router, twice each:
+# MISS/COALESCED never on the repeat — the second pass is all HITs.
+for EP in analyze advise; do
+    RBODY='{"kernel":"matmul16","size":64,"seed":11,"device":"gtx285"}'
+    R1=$(post "http://$RT/v1/$EP" "$RBODY" "$BINDIR/r1")
+    R2=$(post "http://$RT/v1/$EP" "$RBODY" "$BINDIR/r2")
+    if [ "$(xcache "$BINDIR/r1")" != "MISS" ] || [ "$(xcache "$BINDIR/r2")" != "HIT" ]; then
+        echo "smoke: router $EP X-Cache $(xcache "$BINDIR/r1") then $(xcache "$BINDIR/r2"), want MISS then HIT" >&2
+        exit 1
+    fi
+    if [ "$R1" != "$R2" ]; then
+        echo "smoke: router $EP repeat body differs" >&2
+        exit 1
+    fi
+done
+RCMPBODY='{"kernel":"matmul16","size":64,"seed":11,"devices":["gtx285-6sm","gtx285"]}'
+T0=$(date +%s%N)
+RC1=$(post "http://$RT/v1/compare" "$RCMPBODY" "$BINDIR/rc1")
+T1=$(date +%s%N)
+RC2=$(post "http://$RT/v1/compare" "$RCMPBODY" "$BINDIR/rc2")
+T2=$(date +%s%N)
+if [ "$(xcache "$BINDIR/rc1")" != "MISS" ] || [ "$(xcache "$BINDIR/rc2")" != "HIT" ]; then
+    echo "smoke: router compare X-Cache $(xcache "$BINDIR/rc1") then $(xcache "$BINDIR/rc2"), want MISS then HIT" >&2
+    exit 1
+fi
+[ "$RC1" = "$RC2" ] || { echo "smoke: router compare repeat body differs" >&2; exit 1; }
+RCOLD_MS=$(( (T1 - T0) / 1000000 ))
+RWARM_MS=$(( (T2 - T1) / 1000000 ))
+
+# Aggregated stats across the worker set: a nonzero hit rate.
+RSTATS=$(curl -fsS "http://$RT/v1/stats")
+RHITS=$(grep -o '"hits": [0-9]*' <<<"$RSTATS" | head -1 | awk '{print $2}')
+RMISSES=$(grep -o '"misses": [0-9]*' <<<"$RSTATS" | head -1 | awk '{print $2}')
+if [ "${RHITS:-0}" -lt 3 ] || [ "${RMISSES:-0}" -lt 1 ]; then
+    echo "smoke: router stats hits=$RHITS misses=$RMISSES: $RSTATS" >&2
+    exit 1
+fi
+
+# Shard purity: each worker's calibration dir may hold only the
+# fingerprints of devices the router's shard table assigns to it.
+DEVJSON=$(curl -fsS "http://$RT/v1/devices")
+RHEALTH=$(cat "$BINDIR/rh")
+shard_of() { # device name -> owning worker URL
+    grep -o "\"$1\": \"http[^\"]*\"" <<<"$RHEALTH" | head -1 | awk -F'"' '{print $4}'
+}
+fp_of() { # device name -> hardware fingerprint
+    awk -F'"' -v want="$1" '
+        $2=="name" {n=$4}
+        $2=="fingerprint" && n==want {print $4; exit}' <<<"$DEVJSON"
+}
+check_purity() { # worker addr, cal dir
+    local waddr=$1 wdir=$2 f fp owned
+    for f in "$wdir"/cal-*.json; do
+        [ -e "$f" ] || continue
+        fp=$(basename "$f"); fp=${fp#cal-}; fp=${fp%.json}
+        owned=no
+        for dev in gtx285-6sm gtx285; do
+            if [ "$(fp_of "$dev")" = "$fp" ] && [ "$(shard_of "$dev")" = "http://$waddr" ]; then
+                owned=yes
+            fi
+        done
+        if [ "$owned" != "yes" ]; then
+            echo "smoke: worker $waddr calibrated fingerprint $fp outside its shard" >&2
+            echo "smoke: shard table: $(grep -o '"shards": {[^}]*}' <<<"$RHEALTH")" >&2
+            exit 1
+        fi
+    done
+}
+check_purity "$W1" "$BINDIR/cal-w1"
+check_purity "$W2" "$BINDIR/cal-w2"
+# A worker owning zero shards never creates its cal dir; don't let
+# pipefail turn that ls miss into a script death.
+NCAL1=$(ls "$BINDIR/cal-w1"/cal-*.json 2>/dev/null | wc -l || true)
+NCAL2=$(ls "$BINDIR/cal-w2"/cal-*.json 2>/dev/null | wc -l || true)
+if [ $((NCAL1 + NCAL2)) -ne 2 ]; then
+    echo "smoke: the two shards should hold 2 calibrations total, have $NCAL1+$NCAL2" >&2
+    exit 1
+fi
+
+echo "smoke: leg 2 ok (router over $W1/$W2; cold compare ${RCOLD_MS}ms vs hit ${RWARM_MS}ms; fleet hits=$RHITS misses=$RMISSES; shard calibrations $NCAL1+$NCAL2)"
+echo "smoke: ok"
