@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gpuperf/internal/advise"
 	"gpuperf/internal/barra"
@@ -43,6 +44,12 @@ type Options struct {
 	// callers produced them. Excess callers wait, respecting their
 	// contexts, before building anything. 0 = GOMAXPROCS.
 	MaxConcurrent int
+	// DisableBlockReplay forces every functional simulation through
+	// live per-block execution instead of the engine's
+	// homogeneous-block replay (see barra.Options). Results are
+	// bit-identical either way; the escape hatch exists for
+	// debugging and for measuring replay's effect.
+	DisableBlockReplay bool
 }
 
 // Request asks for one kernel analysis.
@@ -72,6 +79,12 @@ type Request struct {
 	// (O(n³) for matmul), so large requests that only need the model
 	// verdict can opt out of paying for it.
 	SkipVerify bool `json:"skip_verify,omitempty"`
+	// NoReplay forces this request's functional simulation through
+	// live per-block execution, bypassing homogeneous-block replay
+	// (the per-request form of Options.DisableBlockReplay). Stats and
+	// the model verdict are bit-identical either way; only the
+	// Result's engine counters change.
+	NoReplay bool `json:"no_replay,omitempty"`
 }
 
 // Analyzer is a reusable session around the paper's Fig. 1 workflow:
@@ -99,6 +112,9 @@ type Analyzer struct {
 	calErr       error
 	calFromCache bool
 	calSaveErr   error
+
+	// engine accumulates simulation-engine counters across requests.
+	engine engineCounters
 }
 
 // NewAnalyzer builds a session. Calibration happens lazily on the
@@ -311,12 +327,57 @@ func (a *Analyzer) simulate(ctx context.Context, req *Request, dropVerify bool) 
 		return nil, nil, err
 	}
 	r.stats, err = barra.RunContext(ctx, a.dev, r.w.Launch, r.w.Mem,
-		&barra.Options{Parallelism: a.workers(*req), Regions: r.w.Regions})
+		&barra.Options{
+			Parallelism:        a.workers(*req),
+			Regions:            r.w.Regions,
+			DisableBlockReplay: a.opt.DisableBlockReplay || req.NoReplay,
+		})
 	if err != nil {
 		release()
 		return nil, nil, err
 	}
+	a.engine.add(r.stats.Engine)
 	return r, release, nil
+}
+
+// EngineCounters is the cumulative functional-engine effectiveness
+// summary of a session (or, summed, a fleet): how many blocks were
+// actually simulated vs served by homogeneous-block replay, and how
+// much single-step dispatch batched warp stepping absorbed. Exposed
+// through GET /v1/stats.
+type EngineCounters struct {
+	// BlocksSimulated/BlocksReplayed split every simulated launch's
+	// blocks by how the engine derived their statistics. Runs with
+	// replay bypassed (hooks, -no-replay) count nothing.
+	BlocksSimulated int64 `json:"blocks_simulated"`
+	BlocksReplayed  int64 `json:"blocks_replayed"`
+	// BatchedRuns/BatchedInstrs count the batched warp-stepping runs
+	// the engine path issued and the instructions they covered.
+	BatchedRuns   int64 `json:"batched_runs"`
+	BatchedInstrs int64 `json:"batched_instrs"`
+}
+
+// engineCounters is the atomic accumulator behind EngineCounters.
+type engineCounters struct {
+	simulated, replayed, runs, instrs atomic.Int64
+}
+
+func (c *engineCounters) add(e barra.EngineStats) {
+	c.simulated.Add(e.BlocksSimulated)
+	c.replayed.Add(e.BlocksReplayed)
+	c.runs.Add(e.BatchedRuns)
+	c.instrs.Add(e.BatchedInstrs)
+}
+
+// EngineCounters returns the session's cumulative simulation-engine
+// counters across every request it has served.
+func (a *Analyzer) EngineCounters() EngineCounters {
+	return EngineCounters{
+		BlocksSimulated: a.engine.simulated.Load(),
+		BlocksReplayed:  a.engine.replayed.Load(),
+		BatchedRuns:     a.engine.runs.Load(),
+		BatchedInstrs:   a.engine.instrs.Load(),
+	}
 }
 
 // Analyze runs the full workflow for one request: build the kernel's

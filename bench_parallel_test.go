@@ -1,8 +1,11 @@
-// BenchmarkRunParallel measures the sharded execution engine's
-// scaling: one large SpMV launch (ELL format, >4096 blocks — the
-// shape of the paper's Fig. 11 sweeps at production size) run
-// serially (p1) and with one worker per host core (pN). The Stats
-// are bit-identical between the two; only wall clock changes.
+// BenchmarkRunParallel measures simulator throughput on the paper's
+// two regular kernel families: dense matmul (16×16 shared-memory
+// tile) and the QCD-like ELL SpMV at production size (>4096 blocks —
+// the shape of the paper's Fig. 11 sweeps). Each kernel runs with
+// homogeneous-block replay on and off, serially (p1) and with one
+// worker per host core (pN). The Stats are bit-identical across all
+// combinations; only wall clock changes. Every sub-benchmark reports
+// a blocks/s metric.
 //
 //	go test -run - -bench BenchmarkRunParallel -benchtime 2x
 package gpuperf
@@ -22,7 +25,12 @@ import (
 // benchBlockRows sizes the ELL launch at 3·175104/128 = 4104 blocks.
 const benchBlockRows = 175104
 
+// benchMatmulN sizes the matmul16 launch at (512/16)² = 1024 blocks.
+const benchMatmulN = 512
+
 func BenchmarkRunParallel(b *testing.B) {
+	cfg := gpu.GTX285()
+
 	m, err := sparse.GenQCDLike(benchBlockRows, 9, rand.New(rand.NewSource(42)))
 	if err != nil {
 		b.Fatal(err)
@@ -36,26 +44,47 @@ func BenchmarkRunParallel(b *testing.B) {
 	for i := range x {
 		x[i] = rng.Float32()
 	}
-	l := sp.Launch()
-	if l.Grid < 4096 {
-		b.Fatalf("benchmark grid %d below the 4096-block target", l.Grid)
+	spMem, err := sp.NewMemory(x)
+	if err != nil {
+		b.Fatal(err)
 	}
-	cfg := gpu.GTX285()
+	spLaunch := sp.Launch()
+	if spLaunch.Grid < 4096 {
+		b.Fatalf("benchmark grid %d below the 4096-block target", spLaunch.Grid)
+	}
 
-	for _, p := range []int{1, runtime.NumCPU()} {
-		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				mem, err := sp.NewMemory(x)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				if _, err := barra.Run(cfg, l, mem, &barra.Options{Parallelism: p}); err != nil {
-					b.Fatal(err)
-				}
+	mm, err := DefaultRegistry().Build(cfg, "matmul16", Params{Size: benchMatmulN, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Both kernels write only their output arrays (C, y), so one
+	// memory image is reused across iterations: re-running rewrites
+	// the same values and the timed region is pure simulation.
+	legs := []struct {
+		kernel string
+		l      barra.Launch
+		mem    *barra.Memory
+	}{
+		{"matmul16", mm.Launch, mm.Mem},
+		{"spmv-ell", spLaunch, spMem},
+	}
+	for _, leg := range legs {
+		for _, mode := range []string{"replay", "noreplay"} {
+			for _, p := range []int{1, runtime.NumCPU()} {
+				b.Run(fmt.Sprintf("%s/%s/p%d", leg.kernel, mode, p), func(b *testing.B) {
+					opt := &barra.Options{
+						Parallelism:        p,
+						DisableBlockReplay: mode == "noreplay",
+					}
+					for i := 0; i < b.N; i++ {
+						if _, err := barra.Run(cfg, leg.l, leg.mem, opt); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(leg.l.Grid)*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+				})
 			}
-			b.ReportMetric(float64(l.Grid)*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
-		})
+		}
 	}
 }

@@ -68,28 +68,33 @@ type CacheStats struct {
 	Entries           int   `json:"entries"`
 	Bytes             int64 `json:"bytes"`
 	MemoryBudgetBytes int64 `json:"memory_budget_bytes"`
+	// Engine reports the fleet's cumulative simulation-engine
+	// effectiveness (blocks replayed vs simulated, batched stepping),
+	// summed across sessions. Populated even when the result cache is
+	// disabled.
+	Engine EngineCounters `json:"engine"`
 }
 
 // CacheStats returns a snapshot of the fleet's result-cache counters.
 func (f *Fleet) CacheStats() CacheStats {
+	cs := CacheStats{Engine: f.EngineCounters()}
 	if f.store == nil {
-		return CacheStats{}
+		return cs
 	}
 	st := f.store.Stats()
-	return CacheStats{
-		Enabled:           true,
-		Hits:              st.Hits,
-		MemoryHits:        st.MemoryHits,
-		DiskHits:          st.DiskHits,
-		Misses:            st.Misses,
-		Coalesced:         st.Coalesced,
-		Evictions:         st.Evictions,
-		SaveErrors:        st.SaveErrors,
-		InFlight:          st.InFlight,
-		Entries:           st.Entries,
-		Bytes:             st.Bytes,
-		MemoryBudgetBytes: st.MemoryBudget,
-	}
+	cs.Enabled = true
+	cs.Hits = st.Hits
+	cs.MemoryHits = st.MemoryHits
+	cs.DiskHits = st.DiskHits
+	cs.Misses = st.Misses
+	cs.Coalesced = st.Coalesced
+	cs.Evictions = st.Evictions
+	cs.SaveErrors = st.SaveErrors
+	cs.InFlight = st.InFlight
+	cs.Entries = st.Entries
+	cs.Bytes = st.Bytes
+	cs.MemoryBudgetBytes = st.MemoryBudget
+	return cs
 }
 
 // requestKey is the canonical pre-image of a request fingerprint.
@@ -111,6 +116,10 @@ type requestKey struct {
 	// leaves them false.
 	Measure    bool `json:"measure,omitempty"`
 	SkipVerify bool `json:"skip_verify,omitempty"`
+	// NoReplay zeroes Result's engine counters (the stats themselves
+	// are bit-identical). Advice carries no engine counters, so
+	// adviseKey leaves it false too.
+	NoReplay bool `json:"no_replay,omitempty"`
 	// Device is the hardware fingerprint for analyze/advise.
 	Device string `json:"device,omitempty"`
 	// Devices/Baseline are the compare set's hardware fingerprints
@@ -143,6 +152,7 @@ func analyzeKey(req Request, devFP string) string {
 		Seed:       req.Seed,
 		Measure:    req.Measure,
 		SkipVerify: req.SkipVerify,
+		NoReplay:   req.NoReplay,
 		Device:     devFP,
 	}.digest()
 }

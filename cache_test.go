@@ -143,8 +143,12 @@ func TestFleetCacheBitIdentical(t *testing.T) {
 	if st != CacheBypass {
 		t.Fatalf("DisableCache fleet reported %s, want BYPASS", st)
 	}
-	if s := bare.CacheStats(); s.Enabled || s != (CacheStats{}) {
+	if s := bare.CacheStats(); s.Enabled || s != (CacheStats{Engine: s.Engine}) {
 		t.Errorf("DisableCache fleet has live cache stats: %+v", s)
+	} else if s.Engine.BlocksSimulated == 0 {
+		// The engine counters ride on /v1/stats but are independent of
+		// the result cache: they stay live with caching disabled.
+		t.Errorf("DisableCache fleet lost its engine counters: %+v", s.Engine)
 	}
 
 	for name, v := range map[string]*Result{"hit": warm, "uncached": fresh} {

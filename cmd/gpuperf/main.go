@@ -51,6 +51,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "result cache directory (one content-addressed slot per request fingerprint; repeats skip simulation entirely)")
 	parallel := flag.Int("p", 0, "functional-simulation worker goroutines (0 = all cores, 1 = serial)")
 	skipVerify := flag.Bool("skip-verify", false, "skip the (single-threaded) CPU-reference check of the functional output")
+	noReplay := flag.Bool("no-replay", false, "force live per-block simulation, bypassing homogeneous-block replay (results are bit-identical; this is the slow path)")
 	asJSON := flag.Bool("json", false, "print the result as JSON instead of the text report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
@@ -68,6 +69,7 @@ func main() {
 		Seed:       *seed,
 		Measure:    true,
 		SkipVerify: *skipVerify,
+		NoReplay:   *noReplay,
 	}, *compare, *advse, *disasm, *calDir, *cacheDir, *parallel, *asJSON)
 	if err := stopProf(); err != nil && runErr == nil {
 		runErr = err

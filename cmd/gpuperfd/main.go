@@ -72,6 +72,7 @@ func main() {
 	cacheMem := flag.Int64("cache-mem", 0, "in-memory result cache budget in bytes (0 = 32 MiB default, negative = disk-only)")
 	parallel := flag.Int("p", 0, "functional-simulation worker goroutines per request (0 = all cores)")
 	precalibrate := flag.Bool("precalibrate", false, "calibrate every served device before accepting traffic instead of on first use")
+	noReplay := flag.Bool("no-replay", false, "force live per-block simulation for every request, bypassing homogeneous-block replay (results are bit-identical; this is the slow path)")
 	route := flag.String("route", "", "comma-separated worker base URLs: run as a router sharding requests by device fingerprint instead of serving analyses")
 	flag.Parse()
 
@@ -112,12 +113,13 @@ func main() {
 		}
 	} else {
 		f := gpuperf.NewFleet(gpuperf.FleetOptions{
-			Catalog:        served,
-			DefaultDevice:  names[0],
-			Parallelism:    *parallel,
-			CalibrationDir: *calDir,
-			CacheDir:       *cacheDir,
-			CacheBytes:     *cacheMem,
+			Catalog:            served,
+			DefaultDevice:      names[0],
+			Parallelism:        *parallel,
+			CalibrationDir:     *calDir,
+			CacheDir:           *cacheDir,
+			CacheBytes:         *cacheMem,
+			DisableBlockReplay: *noReplay,
 		})
 		handler = gpuperf.NewHandler(f)
 		log.Printf("gpuperfd: devices %v (default %s), kernels %v", names, names[0], f.Registry().Names())

@@ -52,6 +52,11 @@ type FleetOptions struct {
 	// DisableCache turns the result cache off entirely: every
 	// Analyze/Advise/Compare recomputes and reports CacheBypass.
 	DisableCache bool
+	// DisableBlockReplay forces every session's functional
+	// simulations through live per-block execution (see
+	// Options.DisableBlockReplay). Results are bit-identical either
+	// way.
+	DisableBlockReplay bool
 }
 
 // Fleet is the multi-device front door: one lazily-calibrated
@@ -152,14 +157,31 @@ func (f *Fleet) Session(device string) (*Analyzer, error) {
 		return nil, err
 	}
 	a := newAnalyzer(Options{
-		Device:           dev,
-		Registry:         f.reg,
-		Parallelism:      f.opt.Parallelism,
-		CalibrationDir:   f.opt.CalibrationDir,
-		BatchConcurrency: f.opt.BatchConcurrency,
+		Device:             dev,
+		Registry:           f.reg,
+		Parallelism:        f.opt.Parallelism,
+		CalibrationDir:     f.opt.CalibrationDir,
+		BatchConcurrency:   f.opt.BatchConcurrency,
+		DisableBlockReplay: f.opt.DisableBlockReplay,
 	}, f.admit)
 	f.sessions[device] = a
 	return a, nil
+}
+
+// EngineCounters sums the simulation-engine counters across every
+// session the fleet has created.
+func (f *Fleet) EngineCounters() EngineCounters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total EngineCounters
+	for _, a := range f.sessions {
+		c := a.EngineCounters()
+		total.BlocksSimulated += c.BlocksSimulated
+		total.BlocksReplayed += c.BlocksReplayed
+		total.BatchedRuns += c.BatchedRuns
+		total.BatchedInstrs += c.BatchedInstrs
+	}
+	return total
 }
 
 // route resolves the request's device to its session and pins the

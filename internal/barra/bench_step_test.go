@@ -51,7 +51,7 @@ func divergentKernel() *isa.Program {
 
 func benchWarpStep(b *testing.B, prog *isa.Program) {
 	mem := NewMemory(1 << 12)
-	shared := make([]byte, 16)
+	shared := make([]uint32, 4)
 	w, err := NewWarp(prog, 0, 0, 32, 1, 32, shared, mem)
 	if err != nil {
 		b.Fatal(err)

@@ -11,7 +11,6 @@
 package barra
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -35,7 +34,14 @@ import (
 // that turns a contract violation into a run error instead of a
 // silent data race.
 type Memory struct {
-	b []byte
+	// words backs the byte-addressed memory as aligned little-endian
+	// 32-bit words: every ISA access is one word, so word storage makes
+	// the device-side load/store a single indexed move instead of a
+	// byte-slice decode. size preserves the byte size NewMemory was
+	// given (the last, partial word of an unaligned size is
+	// unaddressable, exactly as before).
+	words []uint32
+	size  int
 	// writers/readers hold the per-word last-writer and last-reader
 	// block IDs (-1 = untouched this run) while VerifyBlockIsolation
 	// tracking is armed; nil otherwise. Entries are updated with
@@ -50,17 +56,17 @@ type Memory struct {
 }
 
 // NewMemory allocates size bytes of zeroed global memory.
-func NewMemory(size int) *Memory { return &Memory{b: make([]byte, size)} }
+func NewMemory(size int) *Memory { return &Memory{words: make([]uint32, size/4), size: size} }
 
 // Size returns the memory size in bytes.
-func (m *Memory) Size() int { return len(m.b) }
+func (m *Memory) Size() int { return m.size }
 
 func (m *Memory) check(addr uint32) error {
 	if addr%4 != 0 {
 		return fmt.Errorf("barra: unaligned access at %#x", addr)
 	}
-	if int(addr)+4 > len(m.b) {
-		return fmt.Errorf("barra: access at %#x beyond memory size %#x", addr, len(m.b))
+	if int(addr/4) >= len(m.words) {
+		return fmt.Errorf("barra: access at %#x beyond memory size %#x", addr, m.size)
 	}
 	return nil
 }
@@ -71,7 +77,7 @@ func (m *Memory) Load32(addr uint32) (uint32, error) {
 	if err := m.check(addr); err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint32(m.b[addr:]), nil
+	return m.words[addr/4], nil
 }
 
 // Store32 writes the 32-bit word at byte address addr (host access:
@@ -80,14 +86,14 @@ func (m *Memory) Store32(addr, v uint32) error {
 	if err := m.check(addr); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint32(m.b[addr:], v)
+	m.words[addr/4] = v
 	return nil
 }
 
 // startTracking arms the disjoint-writes detector for one run.
 func (m *Memory) startTracking() {
-	m.writers = make([]int32, len(m.b)/4)
-	m.readers = make([]int32, len(m.b)/4)
+	m.writers = make([]int32, len(m.words))
+	m.readers = make([]int32, len(m.words))
 	for i := range m.writers {
 		m.writers[i] = -1
 		m.readers[i] = -1
@@ -100,36 +106,38 @@ func (m *Memory) stopTracking() { m.writers, m.readers = nil, nil }
 // load32 is the device-side load: block is the reading block, checked
 // against the tracker when armed.
 func (m *Memory) load32(addr uint32, block int) (uint32, error) {
-	if err := m.check(addr); err != nil {
-		return 0, err
+	i := addr >> 2
+	if addr&3 != 0 || int(i) >= len(m.words) {
+		return 0, m.check(addr)
 	}
 	if m.writers != nil {
-		if w := atomic.LoadInt32(&m.writers[addr>>2]); w >= 0 && int(w) != block {
+		if w := atomic.LoadInt32(&m.writers[i]); w >= 0 && int(w) != block {
 			return 0, fmt.Errorf("barra: block %d reads word %#x written by block %d in the same run — cross-block sharing violates the disjoint-writes contract",
 				block, addr, w)
 		}
-		atomic.StoreInt32(&m.readers[addr>>2], int32(block))
+		atomic.StoreInt32(&m.readers[i], int32(block))
 	}
-	return binary.LittleEndian.Uint32(m.b[addr:]), nil
+	return m.words[i], nil
 }
 
 // store32 is the device-side store: block is the writing block,
 // recorded and checked against the tracker when armed.
 func (m *Memory) store32(addr, v uint32, block int) error {
-	if err := m.check(addr); err != nil {
-		return err
+	i := addr >> 2
+	if addr&3 != 0 || int(i) >= len(m.words) {
+		return m.check(addr)
 	}
 	if m.writers != nil {
-		if prev := atomic.SwapInt32(&m.writers[addr>>2], int32(block)); prev >= 0 && prev != int32(block) {
+		if prev := atomic.SwapInt32(&m.writers[i], int32(block)); prev >= 0 && prev != int32(block) {
 			return fmt.Errorf("barra: blocks %d and %d both write word %#x — cross-block writes violate the disjoint-writes contract",
 				prev, block, addr)
 		}
-		if r := atomic.LoadInt32(&m.readers[addr>>2]); r >= 0 && r != int32(block) {
+		if r := atomic.LoadInt32(&m.readers[i]); r >= 0 && r != int32(block) {
 			return fmt.Errorf("barra: block %d writes word %#x that block %d read in the same run — cross-block sharing violates the disjoint-writes contract",
 				block, addr, r)
 		}
 	}
-	binary.LittleEndian.PutUint32(m.b[addr:], v)
+	m.words[i] = v
 	return nil
 }
 
@@ -155,8 +163,8 @@ func (m *Memory) checkRange(base uint32, n int) error {
 	if base%4 != 0 {
 		return fmt.Errorf("barra: unaligned access at %#x", base)
 	}
-	if end := int64(base) + 4*int64(n); end > int64(len(m.b)) {
-		return fmt.Errorf("barra: bulk access [%#x,%#x) beyond memory size %#x", base, end, len(m.b))
+	if end := int64(base) + 4*int64(n); end > 4*int64(len(m.words)) {
+		return fmt.Errorf("barra: bulk access [%#x,%#x) beyond memory size %#x", base, end, m.size)
 	}
 	return nil
 }
@@ -166,8 +174,9 @@ func (m *Memory) WriteFloats(base uint32, fs []float32) error {
 	if err := m.checkRange(base, len(fs)); err != nil {
 		return err
 	}
+	dst := m.words[base/4:]
 	for i, f := range fs {
-		binary.LittleEndian.PutUint32(m.b[base+uint32(4*i):], math.Float32bits(f))
+		dst[i] = math.Float32bits(f)
 	}
 	return nil
 }
@@ -178,8 +187,9 @@ func (m *Memory) ReadFloats(base uint32, n int) ([]float32, error) {
 		return nil, err
 	}
 	out := make([]float32, n)
+	src := m.words[base/4:]
 	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(m.b[base+uint32(4*i):]))
+		out[i] = math.Float32frombits(src[i])
 	}
 	return out, nil
 }
@@ -189,9 +199,7 @@ func (m *Memory) WriteWords(base uint32, ws []uint32) error {
 	if err := m.checkRange(base, len(ws)); err != nil {
 		return err
 	}
-	for i, w := range ws {
-		binary.LittleEndian.PutUint32(m.b[base+uint32(4*i):], w)
-	}
+	copy(m.words[base/4:], ws)
 	return nil
 }
 
@@ -201,8 +209,6 @@ func (m *Memory) ReadWords(base uint32, n int) ([]uint32, error) {
 		return nil, err
 	}
 	out := make([]uint32, n)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint32(m.b[base+uint32(4*i):])
-	}
+	copy(out, m.words[base/4:])
 	return out, nil
 }

@@ -87,6 +87,15 @@ type Options struct {
 	// built-in Stats collector; they receive every execution event
 	// and are merged in block order (see Collector).
 	Collectors []Collector
+	// DisableBlockReplay forces every block through live per-step
+	// simulation. By default the engine detects blocks whose
+	// instruction stream and address shape match a previously
+	// executed block's signature and replays that block's stats shard
+	// instead of re-deriving it (see replay.go) — functional
+	// execution and the returned Stats are bit-identical either way.
+	// Replay is bypassed automatically when a GlobalAccessHook or
+	// extra Collectors are armed, since both observe per-step events.
+	DisableBlockReplay bool
 	// VerifyBlockIsolation enables the cross-block sharing detector:
 	// the run fails if a block reads or writes a global-memory word
 	// another block wrote during the same run, or writes a word
@@ -182,6 +191,16 @@ func RunContext(ctx context.Context, cfg gpu.Config, l Launch, mem *Memory, opt 
 	sc := newStatsCollector(l, opt.Regions, rc.segs)
 	rc.collectors = append([]Collector{sc}, opt.Collectors...)
 
+	if !opt.DisableBlockReplay && rc.hook == nil && len(opt.Collectors) == 0 {
+		maxA := cfg.MaxSegmentBytes
+		for _, s := range rc.segs {
+			if s > maxA {
+				maxA = s
+			}
+		}
+		rc.replay = newReplayState(l.Prog, opt.Regions, maxA)
+	}
+
 	if opt.VerifyBlockIsolation {
 		mem.startTracking()
 		defer mem.stopTracking()
@@ -206,5 +225,15 @@ func RunContext(ctx context.Context, cfg gpu.Config, l Launch, mem *Memory, opt 
 			}
 		}
 	}
-	return sc.finish(), nil
+	st := sc.finish()
+	if rc.replay != nil {
+		sim := int64(len(rc.replay.classes)) + rc.replay.liveBlocks.Load()
+		st.Engine = EngineStats{
+			BlocksSimulated: sim,
+			BlocksReplayed:  int64(l.Grid) - sim,
+			BatchedRuns:     rc.replay.batchedRuns.Load(),
+			BatchedInstrs:   rc.replay.batchedInstrs.Load(),
+		}
+	}
+	return st, nil
 }

@@ -90,6 +90,32 @@ type Stats struct {
 
 	// Launch echoes the launch geometry.
 	Grid, Block int
+
+	// Engine reports how the execution engine produced these stats
+	// (all zero on the live path: hooks armed, foreign collectors, or
+	// replay disabled). The counters are deterministic at a fixed
+	// Parallelism; the per-worker adaptive fallback can shift a few
+	// blocks between simulated and replayed across different worker
+	// counts on irregular workloads. Every other Stats field is
+	// bit-identical regardless.
+	Engine EngineStats
+}
+
+// EngineStats are the execution engine's replay and batching
+// counters for one run.
+type EngineStats struct {
+	// BlocksSimulated is the number of blocks whose statistics were
+	// derived by full simulation: one per block equivalence class,
+	// plus any blocks run live by workers that abandoned replay.
+	// BlocksReplayed is the number of blocks that reused a class's
+	// canonical shard instead. Their sum is the grid size.
+	BlocksSimulated int64
+	BlocksReplayed  int64
+	// BatchedRuns is the number of multi-instruction batched steps;
+	// BatchedInstrs the warp instructions they covered (out of
+	// Total.WarpInstrs).
+	BatchedRuns   int64
+	BatchedInstrs int64
 }
 
 // InstructionDensity returns FMADs / total warp instructions — the
@@ -179,6 +205,34 @@ func accumulate(dst, src *StageStats) {
 	dst.WarpsWithWork += src.WarpsWithWork
 }
 
+// deaccumulate is accumulate's exact inverse: dst -= src, field by
+// field. The replay engine uses it to strip a block's data-derived
+// (variant) contributions out of its full shard, leaving the
+// class-invariant uniform shard (see replay.go).
+func deaccumulate(dst, src *StageStats) {
+	dst.WarpInstrs -= src.WarpInstrs
+	for c := range dst.ByClass {
+		dst.ByClass[c] -= src.ByClass[c]
+	}
+	dst.FMADs -= src.FMADs
+	dst.SharedAccesses -= src.SharedAccesses
+	dst.SharedTx -= src.SharedTx
+	dst.SharedTxNoConflict -= src.SharedTxNoConflict
+	dst.SharedBytes -= src.SharedBytes
+	dst.Global.Transactions -= src.Global.Transactions
+	dst.Global.Bytes -= src.Global.Bytes
+	dst.GlobalUsefulBytes -= src.GlobalUsefulBytes
+	dst.GlobalRequests -= src.GlobalRequests
+	for c := range dst.DivByClass {
+		dst.DivByClass[c] -= src.DivByClass[c]
+	}
+	dst.DivActiveLanes -= src.DivActiveLanes
+	for d := range dst.ConflictDeg {
+		dst.ConflictDeg[d] -= src.ConflictDeg[d]
+	}
+	dst.WarpsWithWork -= src.WarpsWithWork
+}
+
 // statsCollector is the built-in Collector producing *Stats. Blocks
 // record into index-keyed slices (cheaper than maps in the hot loop);
 // Merge converts to the public map form.
@@ -262,6 +316,86 @@ func (c *statsCollector) Block(blockID int) BlockCollector {
 		}
 	}
 	return bs
+}
+
+// copyFrom overwrites b's counters with src's, reusing b's backing
+// storage. Both shards must belong to the same collector (identical
+// segment and region geometry) — the replay path copying a class's
+// canonical shard into a pooled per-block one.
+func (b *blockStats) copyFrom(src *blockStats) {
+	b.stages = append(b.stages[:0], src.stages...)
+	copy(b.globalAt, src.globalAt)
+	for i := range b.regionTraffic {
+		copy(b.regionTraffic[i], src.regionTraffic[i])
+	}
+	copy(b.regionUseful, src.regionUseful)
+}
+
+// add folds src's counters into b, field by field. Both shards must
+// belong to the same collector. Stages b lacks are created — a
+// variant shard can end before the block's last stage.
+func (b *blockStats) add(src *blockStats) {
+	for i := range src.stages {
+		accumulate(b.stage(i), &src.stages[i])
+	}
+	for i := range src.globalAt {
+		b.globalAt[i].Transactions += src.globalAt[i].Transactions
+		b.globalAt[i].Bytes += src.globalAt[i].Bytes
+	}
+	for ri := range src.regionTraffic {
+		for si := range src.regionTraffic[ri] {
+			b.regionTraffic[ri][si].Transactions += src.regionTraffic[ri][si].Transactions
+			b.regionTraffic[ri][si].Bytes += src.regionTraffic[ri][si].Bytes
+		}
+	}
+	for ri := range src.regionUseful {
+		b.regionUseful[ri] += src.regionUseful[ri]
+	}
+}
+
+// sub removes src's counters from b — add's exact inverse. src must
+// be a subset of b's activity (a block's variant shard subtracted
+// from the same block's full shard).
+func (b *blockStats) sub(src *blockStats) {
+	for i := range src.stages {
+		deaccumulate(b.stage(i), &src.stages[i])
+	}
+	for i := range src.globalAt {
+		b.globalAt[i].Transactions -= src.globalAt[i].Transactions
+		b.globalAt[i].Bytes -= src.globalAt[i].Bytes
+	}
+	for ri := range src.regionTraffic {
+		for si := range src.regionTraffic[ri] {
+			b.regionTraffic[ri][si].Transactions -= src.regionTraffic[ri][si].Transactions
+			b.regionTraffic[ri][si].Bytes -= src.regionTraffic[ri][si].Bytes
+		}
+	}
+	for ri := range src.regionUseful {
+		b.regionUseful[ri] -= src.regionUseful[ri]
+	}
+}
+
+// release returns an unmerged shard to the pool (the replay path
+// abandoning a lean pass's shard, or retiring a scratch one).
+func (b *blockStats) release() {
+	b.c = nil
+	blockStatsPool.Put(b)
+}
+
+// clone returns an independent deep copy of b, retained as a replay
+// class's canonical shard for the rest of the run.
+func (b *blockStats) clone() *blockStats {
+	c := &blockStats{
+		c:             b.c,
+		stages:        append([]StageStats(nil), b.stages...),
+		globalAt:      append([]MemTraffic(nil), b.globalAt...),
+		regionTraffic: make([][]MemTraffic, len(b.regionTraffic)),
+		regionUseful:  append([]int64(nil), b.regionUseful...),
+	}
+	for i := range b.regionTraffic {
+		c.regionTraffic[i] = append([]MemTraffic(nil), b.regionTraffic[i]...)
+	}
+	return c
 }
 
 func (b *blockStats) stage(i int) *StageStats {

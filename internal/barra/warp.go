@@ -1,7 +1,6 @@
 package barra
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -62,12 +61,21 @@ type Warp struct {
 	blockDim int
 	gridDim  int
 
-	shared []byte
+	// shared is the block's shared-memory arena as aligned 32-bit
+	// words (every ISA access is one word).
+	shared []uint32
 	global *Memory
 
 	// smemOpVal caches the current instruction's shared-memory ALU
 	// operand (warp-uniform by construction).
 	smemOpVal uint32
+	// scal backs broadcast operand views (one slot per source).
+	scal [3][1]uint32
+
+	// undo, when non-nil, logs every global store as a (word index,
+	// old value) pair so the engine path can rewind the block on a
+	// replay-signature miss (see replay.go). Nil on the live path.
+	undo *[]uint32
 }
 
 // StepInfo reports what one Step executed; it is reused across calls
@@ -158,6 +166,32 @@ type instrMeta struct {
 	class   isa.Class
 	kind    execKind
 	hasSmem bool // reads a shared-memory ALU operand
+	// fast marks instructions execFast handles with hoisted operand
+	// views — every opcode of the case-study kernels. Instructions
+	// with special-register operands or double-precision register
+	// pairs fall back to the per-lane execLane path.
+	fast bool
+	// run is the length of the maximal batched run starting at this
+	// PC: consecutive per-lane instructions that are unguarded (so
+	// the active mask is the split mask throughout) and touch no
+	// memory (so no per-lane addresses need recording). 0 when this
+	// instruction cannot head a run. stepRun executes a whole run in
+	// one call when the warp is convergent.
+	run int32
+}
+
+// fastOp reports whether execFast implements op.
+func fastOp(op isa.Opcode) bool {
+	switch op {
+	case isa.OpNOP, isa.OpMOV, isa.OpIADD, isa.OpISUB, isa.OpIMUL, isa.OpIMAD,
+		isa.OpIMIN, isa.OpIMAX, isa.OpSHL, isa.OpSHR, isa.OpAND, isa.OpOR,
+		isa.OpXOR, isa.OpISETP, isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFMAD,
+		isa.OpFNMAD, isa.OpFMIN, isa.OpFMAX, isa.OpFSETP, isa.OpRCP, isa.OpRSQ,
+		isa.OpSIN, isa.OpCOS, isa.OpLG2, isa.OpEX2,
+		isa.OpGLD, isa.OpGST, isa.OpSLD, isa.OpSST:
+		return true
+	}
+	return false
 }
 
 // predecode builds the per-PC metadata of p. It runs once per
@@ -179,13 +213,26 @@ func predecode(p *isa.Program) []instrMeta {
 		}
 		md.hasSmem = in.SrcA.Kind == isa.KindSmem ||
 			in.SrcB.Kind == isa.KindSmem || in.SrcC.Kind == isa.KindSmem
+		md.fast = fastOp(in.Op) &&
+			in.SrcA.Kind != isa.KindSReg && in.SrcB.Kind != isa.KindSReg &&
+			in.SrcC.Kind != isa.KindSReg
 		meta[i] = md
+	}
+	for i := len(meta) - 1; i >= 0; i-- {
+		in := &p.Code[i]
+		if meta[i].kind == kindLane && in.Guard == isa.PT && !in.GuardNeg &&
+			!isa.IsMemory(in.Op) {
+			meta[i].run = 1
+			if i+1 < len(meta) {
+				meta[i].run += meta[i+1].run
+			}
+		}
 	}
 	return meta
 }
 
 // NewWarp builds a warp ready to run prog. Lanes [0,lanes) exist.
-func NewWarp(prog *isa.Program, blockID, warpID, blockDim, gridDim, lanes int, shared []byte, global *Memory) (*Warp, error) {
+func NewWarp(prog *isa.Program, blockID, warpID, blockDim, gridDim, lanes int, shared []uint32, global *Memory) (*Warp, error) {
 	if lanes <= 0 || lanes > gpu.WarpSize {
 		return nil, fmt.Errorf("barra: warp with %d lanes", lanes)
 	}
@@ -377,13 +424,520 @@ func (w *Warp) Step(info *StepInfo) error {
 		info.SmemAddr = in.Imm
 	}
 
-	for m := active; m != 0; m &= m - 1 {
-		lane := bits.TrailingZeros32(m)
-		if err := w.execLane(in, lane, info); err != nil {
-			return fmt.Errorf("barra: %q pc=%d lane=%d: %w", w.prog.Name, pc, lane, err)
+	if md.fast {
+		if err := w.execFast(in, active, pc, &info.Addr); err != nil {
+			return err
+		}
+	} else {
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			if err := w.execLane(in, lane, info); err != nil {
+				return fmt.Errorf("barra: %q pc=%d lane=%d: %w", w.prog.Name, pc, lane, err)
+			}
 		}
 	}
 	w.splits[cur].pc++
+	return nil
+}
+
+// stepRun executes n consecutive instructions starting at the
+// current PC in one call. The caller guarantees the warp is
+// convergent and n ≤ the predecoded run length at the PC, so every
+// instruction executes with the full split mask and no control
+// transfer, memory access, or divergence change can occur: the only
+// bookkeeping per instruction is the shared-operand broadcast. info
+// is used only as lane-address scratch by the exec fallback.
+func (w *Warp) stepRun(n int, info *StepInfo) error {
+	s := &w.splits[0]
+	pc := s.pc
+	mask := s.mask
+	for k := 0; k < n; k++ {
+		in := &w.prog.Code[pc+k]
+		md := &w.meta[pc+k]
+		if md.hasSmem {
+			v, err := w.sharedLoad(in.Imm)
+			if err != nil {
+				return fmt.Errorf("barra: %q pc=%d: shared operand: %w", w.prog.Name, pc+k, err)
+			}
+			w.smemOpVal = v
+		}
+		if md.fast {
+			if err := w.execFast(in, mask, pc+k, &info.Addr); err != nil {
+				return err
+			}
+		} else {
+			for m := mask; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				if err := w.execLane(in, lane, info); err != nil {
+					return fmt.Errorf("barra: %q pc=%d lane=%d: %w", w.prog.Name, pc+k, lane, err)
+				}
+			}
+		}
+	}
+	s.pc = pc + n
+	return nil
+}
+
+// view is a hoisted per-lane operand: base slice s indexed l&m, where
+// m is WarpSize-1 for a per-lane register column and 0 for a
+// broadcast scalar (immediate, shared-memory operand, absent source).
+type view struct {
+	s []uint32
+	m int
+}
+
+func (v view) at(l int) uint32   { return v.s[l&v.m] }
+func (v view) fat(l int) float32 { return math.Float32frombits(v.s[l&v.m]) }
+
+// regCol returns register r's 32-lane column.
+func (w *Warp) regCol(r isa.Reg) []uint32 {
+	base := int(r) * gpu.WarpSize
+	return w.regs[base : base+gpu.WarpSize : base+gpu.WarpSize]
+}
+
+// srcView resolves one source operand into a view; k picks the
+// broadcast scratch slot (0..2 for SrcA..SrcC).
+func (w *Warp) srcView(o isa.Operand, imm uint32, k int) view {
+	switch o.Kind {
+	case isa.KindReg:
+		return view{w.regCol(o.Reg), gpu.WarpSize - 1}
+	case isa.KindImm:
+		w.scal[k][0] = imm
+	case isa.KindSmem:
+		w.scal[k][0] = w.smemOpVal
+	default:
+		w.scal[k][0] = 0
+	}
+	return view{w.scal[k][:1], 0}
+}
+
+// execFast executes one predecoded instruction for every active lane
+// with the opcode dispatch and operand resolution hoisted out of the
+// lane loop — the semantic twin of execLane (which remains the
+// fallback for special-register operands and double-precision ops).
+// addrs receives per-lane byte addresses for memory instructions.
+func (w *Warp) execFast(in *isa.Instruction, active LaneMask, pc int, addrs *[gpu.WarpSize]uint32) error {
+	const ws = gpu.WarpSize
+	switch in.Op {
+	case isa.OpNOP:
+
+	case isa.OpMOV:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		if active == ^LaneMask(0) {
+			if a.m != 0 {
+				copy(d, a.s)
+			} else {
+				v := a.s[0]
+				for l := range d {
+					d[l] = v
+				}
+			}
+			break
+		}
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = a.at(l)
+			}
+		}
+	case isa.OpIADD:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		// Full-mask fast paths: constant-length reslices eliminate the
+		// per-lane bounds and mask work of view.at.
+		if active == ^LaneMask(0) && a.m != 0 {
+			ds, as := d[:ws], a.s[:ws]
+			if b.m != 0 {
+				bs := b.s[:ws]
+				for l := 0; l < ws; l++ {
+					ds[l] = as[l] + bs[l]
+				}
+			} else {
+				bv := b.s[0]
+				for l := 0; l < ws; l++ {
+					ds[l] = as[l] + bv
+				}
+			}
+			break
+		}
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = a.at(l) + b.at(l)
+			}
+		}
+	case isa.OpISUB:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = a.at(l) - b.at(l)
+			}
+		}
+	case isa.OpIMUL:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = a.at(l) * b.at(l)
+			}
+		}
+	case isa.OpIMAD:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		c := w.srcView(in.SrcC, in.Imm, 2)
+		if active == ^LaneMask(0) && a.m&c.m != 0 {
+			ds, as, cs := d[:ws], a.s[:ws], c.s[:ws]
+			if b.m != 0 {
+				bs := b.s[:ws]
+				for l := 0; l < ws; l++ {
+					ds[l] = as[l]*bs[l] + cs[l]
+				}
+			} else {
+				bv := b.s[0]
+				for l := 0; l < ws; l++ {
+					ds[l] = as[l]*bv + cs[l]
+				}
+			}
+			break
+		}
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = a.at(l)*b.at(l) + c.at(l)
+			}
+		}
+	case isa.OpIMIN:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = uint32(min(int32(a.at(l)), int32(b.at(l))))
+			}
+		}
+	case isa.OpIMAX:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = uint32(max(int32(a.at(l)), int32(b.at(l))))
+			}
+		}
+	case isa.OpSHL:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		if active == ^LaneMask(0) && a.m != 0 && b.m == 0 {
+			ds, as, sh := d[:ws], a.s[:ws], b.s[0]&31
+			for l := 0; l < ws; l++ {
+				ds[l] = as[l] << sh
+			}
+			break
+		}
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = a.at(l) << (b.at(l) & 31)
+			}
+		}
+	case isa.OpSHR:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = a.at(l) >> (b.at(l) & 31)
+			}
+		}
+	case isa.OpAND:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = a.at(l) & b.at(l)
+			}
+		}
+	case isa.OpOR:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = a.at(l) | b.at(l)
+			}
+		}
+	case isa.OpXOR:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = a.at(l) ^ b.at(l)
+			}
+		}
+	case isa.OpISETP:
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		var res LaneMask
+		if active == ^LaneMask(0) && a.m != 0 && b.m == 0 {
+			as, bv, cmp := a.s[:ws], int32(b.s[0]), in.Cmp
+			for l := 0; l < ws; l++ {
+				if icmp(cmp, int32(as[l]), bv) {
+					res |= 1 << uint(l)
+				}
+			}
+		} else {
+			for l := 0; l < ws; l++ {
+				if active>>uint(l)&1 != 0 && icmp(in.Cmp, int32(a.at(l)), int32(b.at(l))) {
+					res |= 1 << uint(l)
+				}
+			}
+		}
+		w.preds[in.PDst] = w.preds[in.PDst]&^active | res
+	case isa.OpFSETP:
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		var res LaneMask
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 && fcmp(in.Cmp, a.fat(l), b.fat(l)) {
+				res |= 1 << uint(l)
+			}
+		}
+		w.preds[in.PDst] = w.preds[in.PDst]&^active | res
+	case isa.OpFADD:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		if active == ^LaneMask(0) && a.m&b.m != 0 {
+			ds, as, bs := d[:ws], a.s[:ws], b.s[:ws]
+			for l := 0; l < ws; l++ {
+				ds[l] = math.Float32bits(math.Float32frombits(as[l]) + math.Float32frombits(bs[l]))
+			}
+			break
+		}
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(a.fat(l) + b.fat(l))
+			}
+		}
+	case isa.OpFSUB:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(a.fat(l) - b.fat(l))
+			}
+		}
+	case isa.OpFMUL:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		if active == ^LaneMask(0) && a.m&b.m != 0 {
+			ds, as, bs := d[:ws], a.s[:ws], b.s[:ws]
+			for l := 0; l < ws; l++ {
+				ds[l] = math.Float32bits(math.Float32frombits(as[l]) * math.Float32frombits(bs[l]))
+			}
+			break
+		}
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(a.fat(l) * b.fat(l))
+			}
+		}
+	case isa.OpFMAD:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		c := w.srcView(in.SrcC, in.Imm, 2)
+		if active == ^LaneMask(0) && b.m&c.m != 0 {
+			ds, bs, cs := d[:ws], b.s[:ws], c.s[:ws]
+			if a.m != 0 {
+				as := a.s[:ws]
+				for l := 0; l < ws; l++ {
+					ds[l] = math.Float32bits(math.Float32frombits(as[l])*math.Float32frombits(bs[l]) + math.Float32frombits(cs[l]))
+				}
+			} else {
+				av := math.Float32frombits(a.s[0])
+				for l := 0; l < ws; l++ {
+					ds[l] = math.Float32bits(av*math.Float32frombits(bs[l]) + math.Float32frombits(cs[l]))
+				}
+			}
+			break
+		}
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(a.fat(l)*b.fat(l) + c.fat(l))
+			}
+		}
+	case isa.OpFNMAD:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		c := w.srcView(in.SrcC, in.Imm, 2)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(c.fat(l) - a.fat(l)*b.fat(l))
+			}
+		}
+	case isa.OpFMIN:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(float32(math.Min(float64(a.fat(l)), float64(b.fat(l)))))
+			}
+		}
+	case isa.OpFMAX:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(float32(math.Max(float64(a.fat(l)), float64(b.fat(l)))))
+			}
+		}
+	case isa.OpRCP:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(1 / a.fat(l))
+			}
+		}
+	case isa.OpRSQ:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(float32(1 / math.Sqrt(float64(a.fat(l)))))
+			}
+		}
+	case isa.OpSIN:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(float32(math.Sin(float64(a.fat(l)))))
+			}
+		}
+	case isa.OpCOS:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(float32(math.Cos(float64(a.fat(l)))))
+			}
+		}
+	case isa.OpLG2:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(float32(math.Log2(float64(a.fat(l)))))
+			}
+		}
+	case isa.OpEX2:
+		d := w.regCol(in.Dst)
+		a := w.srcView(in.SrcA, in.Imm, 0)
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 != 0 {
+				d[l] = math.Float32bits(float32(math.Exp2(float64(a.fat(l)))))
+			}
+		}
+
+	case isa.OpGLD:
+		d := w.regCol(in.Dst)
+		a := w.regCol(in.SrcA.Reg) // memory addresses are always registers
+		imm := in.Imm
+		if g := w.global; g.writers == nil {
+			// Tracking disarmed: load32 reduces to a bounds check and a
+			// word read, inlined here because gathers dominate the
+			// memory-bound profile.
+			words := g.words
+			for l := 0; l < ws; l++ {
+				if active>>uint(l)&1 == 0 {
+					continue
+				}
+				addr := a[l] + imm
+				addrs[l] = addr
+				i := addr >> 2
+				if addr&3 != 0 || int(i) >= len(words) {
+					return fmt.Errorf("barra: %q pc=%d lane=%d: %w", w.prog.Name, pc, l, g.check(addr))
+				}
+				d[l] = words[i]
+			}
+			break
+		}
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 == 0 {
+				continue
+			}
+			addr := a[l] + imm
+			addrs[l] = addr
+			v, err := w.global.load32(addr, w.blockID)
+			if err != nil {
+				return fmt.Errorf("barra: %q pc=%d lane=%d: %w", w.prog.Name, pc, l, err)
+			}
+			d[l] = v
+		}
+	case isa.OpGST:
+		a := w.regCol(in.SrcA.Reg)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		imm := in.Imm
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 == 0 {
+				continue
+			}
+			addr := a[l] + imm
+			addrs[l] = addr
+			if u := w.undo; u != nil {
+				if i := addr >> 2; addr&3 == 0 && int(i) < len(w.global.words) {
+					*u = append(*u, i, w.global.words[i])
+				}
+			}
+			if err := w.global.store32(addr, b.at(l), w.blockID); err != nil {
+				return fmt.Errorf("barra: %q pc=%d lane=%d: %w", w.prog.Name, pc, l, err)
+			}
+		}
+	case isa.OpSLD:
+		d := w.regCol(in.Dst)
+		a := w.regCol(in.SrcA.Reg)
+		imm := in.Imm
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 == 0 {
+				continue
+			}
+			addr := a[l] + imm
+			addrs[l] = addr
+			v, err := w.sharedLoad(addr)
+			if err != nil {
+				return fmt.Errorf("barra: %q pc=%d lane=%d: %w", w.prog.Name, pc, l, err)
+			}
+			d[l] = v
+		}
+	case isa.OpSST:
+		a := w.regCol(in.SrcA.Reg)
+		b := w.srcView(in.SrcB, in.Imm, 1)
+		imm := in.Imm
+		for l := 0; l < ws; l++ {
+			if active>>uint(l)&1 == 0 {
+				continue
+			}
+			addr := a[l] + imm
+			addrs[l] = addr
+			if err := w.sharedStore(addr, b.at(l)); err != nil {
+				return fmt.Errorf("barra: %q pc=%d lane=%d: %w", w.prog.Name, pc, l, err)
+			}
+		}
+	default:
+		return fmt.Errorf("barra: %q pc=%d: unimplemented fast opcode %s", w.prog.Name, pc, in.Op)
+	}
 	return nil
 }
 
@@ -504,6 +1058,11 @@ func (w *Warp) execLane(in *isa.Instruction, lane int, info *StepInfo) error {
 	case isa.OpGST:
 		addr := a + in.Imm
 		info.Addr[lane] = addr
+		if u := w.undo; u != nil {
+			if i := addr >> 2; addr&3 == 0 && int(i) < len(w.global.words) {
+				*u = append(*u, i, w.global.words[i])
+			}
+		}
 		if err := w.global.store32(addr, b, w.blockID); err != nil {
 			return err
 		}
@@ -543,23 +1102,25 @@ func (w *Warp) srcF64(o isa.Operand, lane int) float64 {
 }
 
 func (w *Warp) sharedLoad(addr uint32) (uint32, error) {
-	if addr%4 != 0 {
+	i := addr >> 2
+	if addr&3 != 0 {
 		return 0, fmt.Errorf("unaligned shared load at %#x", addr)
 	}
-	if int(addr)+4 > len(w.shared) {
-		return 0, fmt.Errorf("shared load at %#x beyond allocation %#x", addr, len(w.shared))
+	if int(i) >= len(w.shared) {
+		return 0, fmt.Errorf("shared load at %#x beyond allocation %#x", addr, 4*len(w.shared))
 	}
-	return binary.LittleEndian.Uint32(w.shared[addr:]), nil
+	return w.shared[i], nil
 }
 
 func (w *Warp) sharedStore(addr, v uint32) error {
-	if addr%4 != 0 {
+	i := addr >> 2
+	if addr&3 != 0 {
 		return fmt.Errorf("unaligned shared store at %#x", addr)
 	}
-	if int(addr)+4 > len(w.shared) {
-		return fmt.Errorf("shared store at %#x beyond allocation %#x", addr, len(w.shared))
+	if int(i) >= len(w.shared) {
+		return fmt.Errorf("shared store at %#x beyond allocation %#x", addr, 4*len(w.shared))
 	}
-	binary.LittleEndian.PutUint32(w.shared[addr:], v)
+	w.shared[i] = v
 	return nil
 }
 

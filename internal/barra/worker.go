@@ -41,6 +41,11 @@ type runContext struct {
 	hook     func(blockID int, load bool, addrs []uint32)
 	dispatch *hookDispatcher // non-nil iff hook set and >1 worker
 
+	// replay is the homogeneous-block replay machinery; non-nil iff
+	// the run takes the engine path (no hook, no foreign collectors,
+	// replay not disabled — see replay.go).
+	replay *replayState
+
 	// maxInstr is the per-run warp-instruction budget
 	// (Options.MaxWarpInstructions); budget counts the unreserved
 	// remainder, drawn down by workers in budgetBatch chunks.
@@ -93,8 +98,8 @@ func (ctx *runContext) cancelled() error {
 type worker struct {
 	ctx *runContext
 
-	shared    []byte  // shared-memory arena, zeroed per block
-	warps     []*Warp // reused via Reset
+	shared    []uint32 // shared-memory arena, zeroed per block
+	warps     []*Warp  // reused via Reset
 	atBarrier []bool
 	workCount []int64
 
@@ -114,6 +119,14 @@ type worker struct {
 	log      *hookLog // per-block hook journal (nil when hook inline/absent)
 
 	bcs []BlockCollector // collectors of the block in flight
+
+	// eng is the replay signature and undo scratch of the engine
+	// path (see replay.go); unused on the live path.
+	eng engineState
+	// engHits and engMisses drive the engine path's per-worker
+	// adaptive fallback: a worker whose first engineFallbackMisses
+	// blocks all miss without one hit stops attempting replay.
+	engHits, engMisses int
 }
 
 // initBlock (re)binds the worker's scratch state to blockID.
@@ -122,7 +135,7 @@ func (w *worker) initBlock(blockID int) error {
 	l := w.ctx.launch
 	nw := l.WarpsPerBlock()
 	if w.shared == nil {
-		w.shared = make([]byte, l.Prog.SharedMemBytes)
+		w.shared = make([]uint32, l.Prog.SharedMemBytes/4)
 		w.warps = make([]*Warp, nw)
 		for wi := 0; wi < nw; wi++ {
 			lanes := l.Block - wi*gpu.WarpSize
@@ -265,10 +278,26 @@ func (w *worker) stageEnd(stage int) {
 }
 
 // record derives the memory-system outcome of the step just executed
-// (bank conflicts, coalesced transactions at every granularity) into
-// the worker's StepTrace scratch and feeds it to the block's
+// into the worker's StepTrace scratch and feeds it to the block's
 // collectors.
 func (w *worker) record(stage, wi int) {
+	info := &w.info
+	op := info.In.Op
+	if info.ActiveCount > 0 && !isa.IsControl(op) && op != isa.OpNOP {
+		w.workCount[wi]++
+	}
+	tr := w.buildTrace()
+	for _, bc := range w.bcs {
+		bc.Step(stage, tr)
+	}
+}
+
+// buildTrace derives the memory-system outcome of the step described
+// by w.info (bank conflicts, coalesced transactions at every
+// granularity) into the worker's StepTrace scratch. It is shared by
+// the live path (per executed step) and the replay materializer (per
+// journaled event): both must accumulate identically.
+func (w *worker) buildTrace() *StepTrace {
 	info := &w.info
 	tr := &w.trace
 	tr.Info = info
@@ -277,10 +306,6 @@ func (w *worker) record(stage, wi int) {
 	tr.Global = tr.Global[:0]
 
 	op := info.In.Op
-	if info.ActiveCount > 0 && !isa.IsControl(op) && op != isa.OpNOP {
-		w.workCount[wi]++
-	}
-
 	if info.SmemOperand {
 		// Broadcast read of one shared word per half-warp: one
 		// conflict-free transaction per active half-warp.
@@ -331,10 +356,7 @@ func (w *worker) record(stage, wi int) {
 			tr.Global = append(tr.Global, GlobalHalfWarp{Addrs: addrs, Tx: txs})
 		}
 	}
-
-	for _, bc := range w.bcs {
-		bc.Step(stage, tr)
-	}
+	return tr
 }
 
 // gatherHalf collects the active lanes' addresses of one half-warp
@@ -380,7 +402,16 @@ func (ctx *runContext) execute(workers int) ([]int, [][]BlockCollector, error) {
 					fail(err)
 					return
 				}
-				nb, bcs, err := w.runBlock(b)
+				var (
+					nb  int
+					bcs []BlockCollector
+					err error
+				)
+				if ctx.replay != nil {
+					nb, bcs, err = w.runBlockEngine(b)
+				} else {
+					nb, bcs, err = w.runBlock(b)
+				}
 				if err != nil {
 					fail(err)
 					return

@@ -76,11 +76,12 @@ func (s *Sim) HalfWarpInto(dst []Transaction, addrs []uint32, accessBytes int) [
 		pending = make([]uint32, 0, len(addrs))
 	}
 	pending = append(pending, addrs...)
+	segMask := uint32(s.maxSeg) - 1 // maxSeg is a power of two
 	for len(pending) > 0 {
 		// (1) Segment of the lowest-numbered remaining thread, at
 		// the maximum segment size.
 		segSize := uint32(s.maxSeg)
-		base := pending[0] / segSize * segSize
+		base := pending[0] &^ segMask
 
 		// (2) Serve every thread whose access falls inside,
 		// compacting the rest in place (service order preserved).
@@ -88,7 +89,7 @@ func (s *Sim) HalfWarpInto(dst []Transaction, addrs []uint32, accessBytes int) [
 		lo, hi := uint32(0xffffffff), uint32(0)
 		for _, a := range pending {
 			end := a + uint32(accessBytes) - 1
-			if a/segSize*segSize == base && end/segSize*segSize == base {
+			if a&^segMask == base && end&^segMask == base {
 				if a < lo {
 					lo = a
 				}

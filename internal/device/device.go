@@ -341,7 +341,7 @@ func (s *sim) startBlock(sm *simSM, t float64) error {
 	blockID := s.nextBlk
 	s.nextBlk++
 	nw := l.WarpsPerBlock()
-	shared := make([]byte, l.Prog.SharedMemBytes)
+	shared := make([]uint32, l.Prog.SharedMemBytes/4)
 	blk := &simBlock{sm: sm, live: nw}
 	for wi := 0; wi < nw; wi++ {
 		lanes := l.Block - wi*gpu.WarpSize

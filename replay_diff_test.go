@@ -1,0 +1,89 @@
+package gpuperf
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gpuperf/internal/barra"
+)
+
+// diffSizes keeps the differential sweep fast enough to run under
+// -race: small instances still exercise every stage and every
+// replay-relevant address pattern.
+var diffSizes = map[string]int{
+	"cr":             8,
+	"cr-nbc":         8,
+	"cr-fwd":         8,
+	"matmul-naive":   64,
+	"matmul8":        64,
+	"matmul16":       64,
+	"matmul32":       64,
+	"spmv-ell":       512,
+	"spmv-bell-im":   512,
+	"spmv-bell-imiv": 512,
+}
+
+// TestReplayDifferential proves the homogeneous-block replay engine is
+// invisible in the numbers: for every registry kernel, Stats with
+// replay enabled must be bit-identical (DeepEqual) to Stats from the
+// always-live path, at serial and parallel worker counts. Engine
+// counters are the one intentional difference and are zeroed before
+// the comparison.
+func TestReplayDifferential(t *testing.T) {
+	reg := DefaultRegistry()
+	dev := DefaultDevice()
+	for _, spec := range reg.Specs() {
+		size, ok := diffSizes[spec.Name]
+		if !ok {
+			t.Fatalf("no differential size configured for kernel %q — add it to diffSizes", spec.Name)
+		}
+		for _, p := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/p%d", spec.Name, p), func(t *testing.T) {
+				run := func(disable bool) *barra.Stats {
+					t.Helper()
+					// Fresh build per run: the launch mutates its memory
+					// image. Same (size, seed) rebuilds bit-identical
+					// inputs.
+					w, err := reg.Build(dev, spec.Name, Params{Size: size, Seed: 7})
+					if err != nil {
+						t.Fatalf("build %s: %v", spec.Name, err)
+					}
+					st, err := barra.RunContext(context.Background(), dev, w.Launch, w.Mem, &barra.Options{
+						Regions:            w.Regions,
+						Parallelism:        p,
+						DisableBlockReplay: disable,
+					})
+					if err != nil {
+						t.Fatalf("run %s (disable=%v): %v", spec.Name, disable, err)
+					}
+					return st
+				}
+				on := run(false)
+				off := run(true)
+
+				if off.Engine != (barra.EngineStats{}) {
+					t.Errorf("live path reported engine counters: %+v", off.Engine)
+				}
+				eng := on.Engine
+				if got := eng.BlocksSimulated + eng.BlocksReplayed; got != int64(on.Grid) {
+					t.Errorf("engine counters cover %d blocks, grid is %d", got, on.Grid)
+				}
+
+				on.Engine, off.Engine = barra.EngineStats{}, barra.EngineStats{}
+				if !reflect.DeepEqual(on, off) {
+					t.Errorf("replay-on Stats diverge from live Stats:\n  on:  %+v\n  off: %+v", on, off)
+				}
+
+				// Regular kernels must actually hit the replay cache —
+				// otherwise the engine silently degraded to live-only
+				// and this test proves nothing.
+				if (spec.Name == "matmul16" || spec.Name == "spmv-ell") && eng.BlocksReplayed == 0 {
+					t.Errorf("%s: expected replay hits, got BlocksSimulated=%d BlocksReplayed=%d",
+						spec.Name, eng.BlocksSimulated, eng.BlocksReplayed)
+				}
+			})
+		}
+	}
+}

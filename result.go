@@ -92,13 +92,23 @@ type OccupancySummary struct {
 	Limiter       string `json:"limiter"`
 }
 
-// Diagnostics are the paper's Fig. 1 outputs guiding optimization.
+// Diagnostics are the paper's Fig. 1 outputs guiding optimization,
+// plus the simulator's own effectiveness counters.
 type Diagnostics struct {
 	WarpsPerSM           int     `json:"warps_per_sm"`
 	Density              float64 `json:"density"`
 	CoalescingEfficiency float64 `json:"coalescing_efficiency"`
 	BankConflictFactor   float64 `json:"bank_conflict_factor"`
 	TransPerThread       int     `json:"trans_per_thread"`
+	// BlocksSimulated/BlocksReplayed split this run's blocks by how
+	// the functional engine derived their statistics (see
+	// barra.EngineStats); BatchedRuns/BatchedInstrs report its batched
+	// warp stepping. All zero when replay was bypassed (NoReplay, a
+	// session-level disable, or an irregular launch shape).
+	BlocksSimulated int64 `json:"blocks_simulated"`
+	BlocksReplayed  int64 `json:"blocks_replayed"`
+	BatchedRuns     int64 `json:"batched_runs"`
+	BatchedInstrs   int64 `json:"batched_instrs"`
 }
 
 // StatsSummary condenses the functional run's dynamic statistics.
@@ -160,6 +170,10 @@ func newResult(req Request, dev Device, w *Workload, est *model.Estimate, stats 
 			CoalescingEfficiency: est.CoalescingEfficiency,
 			BankConflictFactor:   est.BankConflictFactor,
 			TransPerThread:       est.TransPerThread,
+			BlocksSimulated:      stats.Engine.BlocksSimulated,
+			BlocksReplayed:       stats.Engine.BlocksReplayed,
+			BatchedRuns:          stats.Engine.BatchedRuns,
+			BatchedInstrs:        stats.Engine.BatchedInstrs,
 		},
 		Stats: StatsSummary{
 			WarpInstrs:         stats.Total.WarpInstrs,

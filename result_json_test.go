@@ -39,8 +39,11 @@ func goldenResult() *Result {
 			{Index: 0, InstructionSeconds: 0.0006, SharedSeconds: 0.0002, GlobalSeconds: 0.0001, Bottleneck: "instruction pipeline", Warps: 16},
 			{Index: 1, InstructionSeconds: 0.00065, SharedSeconds: 0.0003, GlobalSeconds: 0.00005, Bottleneck: "instruction pipeline", Warps: 16},
 		},
-		Occupancy:   OccupancySummary{Blocks: 8, WarpsPerBlock: 2, ActiveWarps: 16, Limiter: "blocks per SM"},
-		Diagnostics: Diagnostics{WarpsPerSM: 16, Density: 0.78, CoalescingEfficiency: 1, BankConflictFactor: 1, TransPerThread: 9},
+		Occupancy: OccupancySummary{Blocks: 8, WarpsPerBlock: 2, ActiveWarps: 16, Limiter: "blocks per SM"},
+		Diagnostics: Diagnostics{
+			WarpsPerSM: 16, Density: 0.78, CoalescingEfficiency: 1, BankConflictFactor: 1, TransPerThread: 9,
+			BlocksSimulated: 1, BlocksReplayed: 63, BatchedRuns: 5376, BatchedInstrs: 64512,
+		},
 		Stats: StatsSummary{
 			WarpInstrs:         1317120,
 			FMADs:              1032192,

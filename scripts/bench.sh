@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# bench.sh — run the engine benchmark suite and emit BENCH_6.json.
+# bench.sh — run the engine benchmark suite and emit BENCH_7.json.
 #
-# Runs BenchmarkRunParallel (end-to-end blocks/s) plus the per-layer
+# Runs BenchmarkRunParallel (end-to-end blocks/s; its sub-benchmarks
+# cover every leg of the matrix: kernel ∈ {matmul16, spmv-ell} ×
+# mode ∈ {replay, noreplay} × P ∈ {1, NumCPU}) plus the per-layer
 # microbenchmarks (warp step, bank conflicts, coalescing) with
 # -benchmem, and converts the results to a JSON array of
 # {name, ns_per_op, ..., B_per_op, allocs_per_op} records so CI and
 # future PRs can diff throughput and allocation counts.
+#
+# The replay/noreplay pairs measure the homogeneous-block replay
+# engine against forced live simulation on the same inputs; the
+# p1/pN pairs measure worker-sharding scaling.
 #
 # Usage:
 #   scripts/bench.sh               # full run (benchtime 2x for the big bench)
@@ -15,9 +21,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
-OUT="${OUT:-BENCH_6.json}"
+OUT="${OUT:-BENCH_7.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
+
+NPROC="$(go env GOMAXPROCS 2>/dev/null || nproc || echo 1)"
+if [ "${NPROC}" -le 1 ]; then
+  echo "==================================================================" >&2
+  echo "WARNING: this host exposes only 1 CPU. The P=NumCPU legs collapse" >&2
+  echo "into duplicates of the P=1 legs (Go suffixes them #01), so the"    >&2
+  echo "numbers below say NOTHING about parallel scaling. Re-run on a"     >&2
+  echo "multi-core host before drawing scaling conclusions."               >&2
+  echo "==================================================================" >&2
+fi
 
 {
   go test -run - -bench BenchmarkRunParallel -benchtime "$BENCHTIME" -benchmem .
