@@ -288,6 +288,12 @@ func (a *Analyzer) prelude(ctx context.Context, req *Request, needCal, dropVerif
 		return nil, nil, err
 	}
 	req.Size, req.Seed = p.Size, p.Seed
+	if spec.Unverified {
+		// Submitted kernels have no CPU reference; pin the flag so the
+		// request (and any cache key derived from it) reflects the
+		// measure-only policy whatever the caller asked for.
+		req.SkipVerify = true
+	}
 	r := &simRun{spec: spec}
 	if needCal {
 		// Wait for the shared calibration before taking a slot, so a
@@ -328,9 +334,10 @@ func (a *Analyzer) simulate(ctx context.Context, req *Request, dropVerify bool) 
 	}
 	r.stats, err = barra.RunContext(ctx, a.dev, r.w.Launch, r.w.Mem,
 		&barra.Options{
-			Parallelism:        a.workers(*req),
-			Regions:            r.w.Regions,
-			DisableBlockReplay: a.opt.DisableBlockReplay || req.NoReplay,
+			Parallelism:         a.workers(*req),
+			Regions:             r.w.Regions,
+			DisableBlockReplay:  a.opt.DisableBlockReplay || req.NoReplay,
+			MaxWarpInstructions: r.w.MaxWarpInstructions,
 		})
 	if err != nil {
 		release()
@@ -397,6 +404,9 @@ func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 	res := newResult(req, a.dev, r.w, est, r.stats)
+	if r.spec.Unverified {
+		res.VerifyError = "unverified: user-submitted"
+	}
 
 	if r.w.Verify != nil {
 		worst, err := r.w.Verify(ctx, r.w.Mem)

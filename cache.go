@@ -68,6 +68,11 @@ type CacheStats struct {
 	Entries           int   `json:"entries"`
 	Bytes             int64 `json:"bytes"`
 	MemoryBudgetBytes int64 `json:"memory_budget_bytes"`
+	// Submissions/SubmissionBytes gauge the resident user-submitted
+	// kernels (the POST /v1/kernels store). Populated even when the
+	// result cache is disabled.
+	Submissions     int   `json:"submissions"`
+	SubmissionBytes int64 `json:"submission_bytes"`
 	// Engine reports the fleet's cumulative simulation-engine
 	// effectiveness (blocks replayed vs simulated, batched stepping),
 	// summed across sessions. Populated even when the result cache is
@@ -78,6 +83,9 @@ type CacheStats struct {
 // CacheStats returns a snapshot of the fleet's result-cache counters.
 func (f *Fleet) CacheStats() CacheStats {
 	cs := CacheStats{Engine: f.EngineCounters()}
+	if f.subs != nil {
+		cs.Submissions, cs.SubmissionBytes = f.subs.Stats()
+	}
 	if f.store == nil {
 		return cs
 	}

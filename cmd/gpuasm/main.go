@@ -7,14 +7,21 @@
 //
 // Usage:
 //
-//	gpuasm as  -o out.gcub in.s          assemble text to container
+//	gpuasm as  -o out.gcub [-roundtrip] in.s   assemble text to container
 //	gpuasm dis in.gcub                   disassemble to stdout
 //	gpuasm rewrite -kernel name -with repl.s -o out.gcub in.gcub
 //	gpuasm gen -kind ichain|scopy|gstream -o out.gcub   generate a
 //	                                     microbenchmark kernel
+//
+// -roundtrip proves the toolchain closes over itself: after
+// assembling, the container is disassembled and the text reassembled,
+// and the two containers must be byte-identical — any mismatch is a
+// printed diff and a non-zero exit. Fuzzing keeps this property
+// honest; the flag makes it checkable on any real input.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +60,7 @@ func usage() {
 func cmdAs(args []string) error {
 	fs := flag.NewFlagSet("as", flag.ExitOnError)
 	out := fs.String("o", "out.gcub", "output container")
+	roundtrip := fs.Bool("roundtrip", false, "after assembling, disassemble and reassemble; fail unless the containers are byte-identical")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("as wants one input file")
@@ -65,7 +73,38 @@ func cmdAs(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *roundtrip {
+		if err := checkRoundtrip(raw); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gpuasm: roundtrip ok (%d bytes)\n", len(raw))
+	}
 	return os.WriteFile(*out, raw, 0o644)
+}
+
+// checkRoundtrip asserts assemble → disassemble → reassemble is the
+// identity on container bytes, reporting the first divergence.
+func checkRoundtrip(raw []byte) error {
+	text, err := gpuperf.DisassembleContainer(raw)
+	if err != nil {
+		return fmt.Errorf("roundtrip: disassembling the fresh container: %v", err)
+	}
+	raw2, err := gpuperf.AssembleText(text)
+	if err != nil {
+		return fmt.Errorf("roundtrip: reassembling the disassembly: %v", err)
+	}
+	if bytes.Equal(raw, raw2) {
+		return nil
+	}
+	if len(raw) != len(raw2) {
+		return fmt.Errorf("roundtrip: container size changed: %d -> %d bytes", len(raw), len(raw2))
+	}
+	for i := range raw {
+		if raw[i] != raw2[i] {
+			return fmt.Errorf("roundtrip: containers diverge at byte %d: %#02x -> %#02x", i, raw[i], raw2[i])
+		}
+	}
+	return nil
 }
 
 func cmdDis(args []string) error {

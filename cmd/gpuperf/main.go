@@ -18,6 +18,9 @@
 //	        [-advise] [-disasm] [-n size] [-seed n] [-p workers]
 //	        [-cal-dir dir] [-cache-dir dir] [-json]
 //	        [-cpuprofile file] [-memprofile file]
+//	gpuperf -submit kernel.s -grid 4 -block 64
+//	        -buffers in:f32:256:random,out:f32:4:zeros
+//	        [-advise] [-device ...] [flags as above]
 //
 // -device names a catalog entry (see `gpuperfd`'s GET /v1/devices or
 // gpuperf.DefaultCatalog); -compare takes a comma-separated device
@@ -26,6 +29,15 @@
 // served from its content-addressed slot without calibrating or
 // simulating anything (results are deterministic per request tuple,
 // so the cached bytes are exactly what a fresh run would print).
+//
+// -submit runs the bring-your-own-kernel path: the assembly file is
+// admitted through the ingest pipeline (static ceilings + the bounds
+// verifier) exactly as a POST /v1/kernels would be, then analyzed
+// under the measure-only policy (the CPU-reference check never runs
+// for user programs; Result.VerifyError says so). -buffers declares
+// the global-memory envelope as comma-separated
+// name:elem:count:fill specs — elem f32|u32, fill zeros|random, or
+// affine:start:step for a linear ramp.
 package main
 
 import (
@@ -34,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"gpuperf"
@@ -52,6 +65,10 @@ func main() {
 	parallel := flag.Int("p", 0, "functional-simulation worker goroutines (0 = all cores, 1 = serial)")
 	skipVerify := flag.Bool("skip-verify", false, "skip the (single-threaded) CPU-reference check of the functional output")
 	noReplay := flag.Bool("no-replay", false, "force live per-block simulation, bypassing homogeneous-block replay (results are bit-identical; this is the slow path)")
+	submit := flag.String("submit", "", "submit this assembly file as a user kernel and analyze it (overrides -kernel; see -grid/-block/-buffers)")
+	grid := flag.Int("grid", 1, "submission launch grid (CTAs; with -submit)")
+	block := flag.Int("block", 64, "submission launch block (threads per CTA; with -submit)")
+	buffers := flag.String("buffers", "", "submission buffers: comma-separated name:elem:count:fill specs (elem f32|u32; fill zeros|random|affine:start:step)")
 	asJSON := flag.Bool("json", false, "print the result as JSON instead of the text report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
@@ -62,6 +79,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gpuperf: %v\n", err)
 		os.Exit(1)
 	}
+	var sub *submitOpts
+	if *submit != "" {
+		sub = &submitOpts{file: *submit, grid: *grid, block: *block, buffers: *buffers}
+	}
 	runErr := run(gpuperf.Request{
 		Kernel:     *kernel,
 		Device:     *device,
@@ -70,7 +91,7 @@ func main() {
 		Measure:    true,
 		SkipVerify: *skipVerify,
 		NoReplay:   *noReplay,
-	}, *compare, *advse, *disasm, *calDir, *cacheDir, *parallel, *asJSON)
+	}, sub, *compare, *advse, *disasm, *calDir, *cacheDir, *parallel, *asJSON)
 	if err := stopProf(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -80,7 +101,16 @@ func main() {
 	}
 }
 
-func run(req gpuperf.Request, compare string, advse, disasm bool, calDir, cacheDir string, parallel int, asJSON bool) error {
+// submitOpts carries the -submit mode's flags: the assembly file and
+// the launch/buffer declaration the ingest pipeline admits it under.
+type submitOpts struct {
+	file    string
+	grid    int
+	block   int
+	buffers string
+}
+
+func run(req gpuperf.Request, sub *submitOpts, compare string, advse, disasm bool, calDir, cacheDir string, parallel int, asJSON bool) error {
 	f := gpuperf.NewFleet(gpuperf.FleetOptions{
 		DefaultDevice:  req.Device,
 		Parallelism:    parallel,
@@ -88,6 +118,20 @@ func run(req gpuperf.Request, compare string, advse, disasm bool, calDir, cacheD
 		CacheDir:       cacheDir,
 	})
 	ctx := context.Background()
+	if sub != nil {
+		rec, err := submitKernel(f, sub)
+		if err != nil {
+			return err
+		}
+		if !asJSON {
+			fmt.Printf("submitted %s (kernel %q, %d×%d launch, %d instructions, %d regs, %d B smem, %d B footprint)\n",
+				rec.ID, rec.Kernel, rec.Grid, rec.Block, rec.Instructions, rec.Registers, rec.SharedMemBytes, rec.FootprintBytes)
+		}
+		// The receipt's id is the registry kernel name; submissions are
+		// one concrete problem instance, so the size is pinned.
+		req.Kernel = rec.ID
+		req.Size = 0
+	}
 	// cacheNote narrates the result cache's verdict for text output —
 	// a HIT means nothing was calibrated or simulated for this run.
 	cacheNote := func(st gpuperf.CacheStatus) {
@@ -181,6 +225,57 @@ func run(req gpuperf.Request, compare string, advse, disasm bool, calDir, cacheD
 	fmt.Println()
 	fmt.Print(res.Report())
 	return nil
+}
+
+// submitKernel reads the -submit assembly file and admits it through
+// the fleet's ingest pipeline, exactly as POST /v1/kernels would.
+func submitKernel(f *gpuperf.Fleet, sub *submitOpts) (*gpuperf.SubmissionReceipt, error) {
+	src, err := os.ReadFile(sub.file)
+	if err != nil {
+		return nil, err
+	}
+	bufs, err := parseBuffers(sub.buffers)
+	if err != nil {
+		return nil, err
+	}
+	return f.SubmitKernel(gpuperf.KernelSubmission{
+		Label:   sub.file,
+		Source:  string(src),
+		Grid:    sub.grid,
+		Block:   sub.block,
+		Buffers: bufs,
+	})
+}
+
+// parseBuffers decodes the -buffers flag: comma-separated
+// name:elem:count:fill items, where fill "affine" takes two more
+// colon fields (start:step).
+func parseBuffers(s string) ([]gpuperf.BufferSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []gpuperf.BufferSpec
+	for _, item := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) != 4 && !(len(parts) == 6 && parts[3] == "affine") {
+			return nil, fmt.Errorf("-buffers %q: want name:elem:count:fill (fill affine takes :start:step)", item)
+		}
+		count, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("-buffers %q: count: %v", item, err)
+		}
+		b := gpuperf.BufferSpec{Name: parts[0], Elem: parts[1], Count: count, Fill: parts[3]}
+		if len(parts) == 6 {
+			if b.Start, err = strconv.ParseFloat(parts[4], 64); err != nil {
+				return nil, fmt.Errorf("-buffers %q: start: %v", item, err)
+			}
+			if b.Step, err = strconv.ParseFloat(parts[5], 64); err != nil {
+				return nil, fmt.Errorf("-buffers %q: step: %v", item, err)
+			}
+		}
+		out = append(out, b)
+	}
+	return out, nil
 }
 
 func printJSON(v any) error {

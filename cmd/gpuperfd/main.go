@@ -6,7 +6,8 @@
 //
 //	gpuperfd [-addr :8080] [-devices gtx285,gtx285-6sm] [-cal-dir dir]
 //	         [-cache-dir dir] [-cache-mem bytes] [-p workers]
-//	         [-precalibrate]
+//	         [-precalibrate] [-subs-dir dir] [-subs-max n]
+//	         [-subs-mem bytes] [-subs-ttl 1h]
 //	gpuperfd -route http://w1:8098,http://w2:8099 [-addr :8080]
 //	         [-devices ...]
 //
@@ -15,7 +16,15 @@
 //	GET  /healthz      readiness probe (JSON; 503 until the default
 //	                   device's calibration is loaded or built)
 //	GET  /v1/kernels   list the registry's kernels with their variant
-//	                   families and realized optimizations
+//	                   families and realized optimizations (resident
+//	                   user submissions included)
+//	POST /v1/kernels   submit a user kernel: assembly text or a GCUB
+//	                   container plus launch geometry and declared
+//	                   buffers → a receipt whose id is the kernel
+//	                   name to analyze (400 names the violated
+//	                   admission ceiling)
+//	DELETE /v1/kernels/{id}
+//	                   evict a submission (204; 404 for unknown ids)
 //	GET  /v1/devices   list the served device profiles (name,
 //	                   hardware fingerprint, knobs, peaks)
 //	GET  /v1/stats     result-cache counters (hits, misses,
@@ -36,6 +45,11 @@
 // fingerprint, so repeats (even across restarts) are hits, with
 // -cache-mem bounding the in-memory tier. Aborted client connections
 // cancel their in-flight simulations.
+//
+// -subs-dir persists user submissions the same way (one slot per
+// submission id), so accepted kernels survive restarts; -subs-max,
+// -subs-mem and -subs-ttl bound the resident set (count, bytes,
+// lifetime — zeros keep the library defaults).
 //
 // With -route the daemon is a ROUTER instead of a worker: it
 // consistent-hashes each request's device fingerprint across the
@@ -73,6 +87,10 @@ func main() {
 	parallel := flag.Int("p", 0, "functional-simulation worker goroutines per request (0 = all cores)")
 	precalibrate := flag.Bool("precalibrate", false, "calibrate every served device before accepting traffic instead of on first use")
 	noReplay := flag.Bool("no-replay", false, "force live per-block simulation for every request, bypassing homogeneous-block replay (results are bit-identical; this is the slow path)")
+	subsDir := flag.String("subs-dir", "", "submission store directory (one slot per user-submitted kernel; accepted submissions survive restarts)")
+	subsMax := flag.Int("subs-max", 0, "max resident user submissions (0 = library default)")
+	subsMem := flag.Int64("subs-mem", 0, "submission store byte budget (0 = library default)")
+	subsTTL := flag.Duration("subs-ttl", 0, "submission time-to-live, e.g. 30m (0 = library default)")
 	route := flag.String("route", "", "comma-separated worker base URLs: run as a router sharding requests by device fingerprint instead of serving analyses")
 	flag.Parse()
 
@@ -120,11 +138,20 @@ func main() {
 			CacheDir:           *cacheDir,
 			CacheBytes:         *cacheMem,
 			DisableBlockReplay: *noReplay,
+			SubmissionDir:      *subsDir,
+			SubmissionLimits: gpuperf.SubmissionLimits{
+				MaxCount: *subsMax,
+				MaxBytes: *subsMem,
+				TTL:      *subsTTL,
+			},
 		})
 		handler = gpuperf.NewHandler(f)
 		log.Printf("gpuperfd: devices %v (default %s), kernels %v", names, names[0], f.Registry().Names())
 		if *cacheDir != "" {
 			log.Printf("gpuperfd: result cache at %s", *cacheDir)
+		}
+		if *subsDir != "" {
+			log.Printf("gpuperfd: submission store at %s (%d resident)", *subsDir, len(f.Submissions()))
 		}
 		if *precalibrate {
 			precalibrateAll(f, names, *calDir)

@@ -57,6 +57,14 @@ type FleetOptions struct {
 	// Options.DisableBlockReplay). Results are bit-identical either
 	// way.
 	DisableBlockReplay bool
+	// SubmissionDir, when set, persists accepted kernel submissions
+	// (POST /v1/kernels) as on-disk slots so a daemon restart keeps
+	// them; empty keeps the submission store in memory only.
+	SubmissionDir string
+	// SubmissionLimits are the per-submission ceilings and store
+	// budgets for user-submitted kernels; zero fields take the
+	// defaults in internal/ingest.
+	SubmissionLimits SubmissionLimits
 }
 
 // Fleet is the multi-device front door: one lazily-calibrated
@@ -77,6 +85,11 @@ type Fleet struct {
 	// simulation. Measure stays uncached — it is calibration-free and
 	// cheap.
 	store *resultstore.Store
+	// subs holds accepted kernel submissions; subsErr defers a
+	// submission-store open failure (an unwritable SubmissionDir) to
+	// the first SubmitKernel instead of failing fleet construction.
+	subs    *ingestStore
+	subsErr error
 
 	mu       sync.Mutex
 	sessions map[string]*Analyzer
@@ -89,10 +102,13 @@ func NewFleet(opt FleetOptions) *Fleet {
 	if catalog == nil {
 		catalog = DefaultCatalog()
 	}
+	// Clone the registry so submission entries registered at runtime
+	// never leak into the configured (possibly process-global) one.
 	reg := opt.Registry
 	if reg == nil {
 		reg = DefaultRegistry()
 	}
+	reg = reg.Clone()
 	def := opt.DefaultDevice
 	if def == "" {
 		def = DefaultCatalogDevice
@@ -111,7 +127,7 @@ func NewFleet(opt FleetOptions) *Fleet {
 		}
 		store = resultstore.New(resultstore.Config{MemoryBytes: budget, Dir: opt.CacheDir})
 	}
-	return &Fleet{
+	f := &Fleet{
 		opt:      opt,
 		catalog:  catalog,
 		reg:      reg,
@@ -120,6 +136,8 @@ func NewFleet(opt FleetOptions) *Fleet {
 		store:    store,
 		sessions: map[string]*Analyzer{},
 	}
+	f.openSubmissions()
+	return f
 }
 
 // Catalog returns the fleet's device catalog.
@@ -198,12 +216,18 @@ func (f *Fleet) route(req *Request) (*Analyzer, error) {
 // normalize pins the registry's concrete size and seed into the
 // request (the cheap prepare half, no build), so cache keys treat
 // "size 0" and the kernel's explicit default as the same request.
+// Unverified (submitted) kernels also get SkipVerify pinned true, so
+// a caller toggling the flag cannot split one submission's results
+// across two cache slots.
 func (f *Fleet) normalize(req *Request) error {
-	_, p, err := f.reg.prepare(req.Kernel, Params{Size: req.Size, Seed: req.Seed})
+	spec, p, err := f.reg.prepare(req.Kernel, Params{Size: req.Size, Seed: req.Seed})
 	if err != nil {
 		return err
 	}
 	req.Size, req.Seed = p.Size, p.Seed
+	if spec.Unverified {
+		req.SkipVerify = true
+	}
 	return nil
 }
 

@@ -22,7 +22,15 @@ import (
 //	GET  /v1/kernels   JSON list of the registry's kernel specs
 //	                   (name, description, size bounds, variant
 //	                   family and the advisor scenario each variant
-//	                   realizes)
+//	                   realizes), resident submissions included
+//	POST /v1/kernels   body: a KernelSubmission (assembly source or a
+//	                   container, launch geometry, declared buffers);
+//	                   response: a SubmissionReceipt whose id is the
+//	                   kernel name to analyze. Rejections are 400 and
+//	                   name the violated ceiling (or the unprovable
+//	                   memory access)
+//	DELETE /v1/kernels/{id}
+//	                   evict a submission (204; 404 for unknown ids)
 //	GET  /v1/devices   JSON list of the catalog's device profiles
 //	                   (name, hardware fingerprint, knobs, peaks)
 //	GET  /v1/stats     result-cache counters (a CacheStats body:
@@ -65,7 +73,31 @@ func NewHandler(f *Fleet) http.Handler {
 		writeJSON(w, http.StatusOK, f.CacheStats())
 	})
 	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
-		writeCachedJSON(w, r, f.Kernels(), CacheBypass, staticCacheControl)
+		// No Cache-Control here: submissions make the listing dynamic.
+		// The ETag still gives revalidation for free.
+		writeCachedJSON(w, r, f.Kernels(), CacheBypass, "")
+	})
+	mux.HandleFunc("POST /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
+		// Submissions carry whole programs, so they get a roomier body
+		// cap than the scalar request types — still finite, and tiny
+		// next to the admission pipeline's own ceilings.
+		req, ok := decodeBodyLimit[KernelSubmission](w, r, maxSubmissionBody)
+		if !ok {
+			return
+		}
+		rec, err := f.SubmitKernel(req)
+		if err != nil {
+			writeAnalysisError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
+	mux.HandleFunc("DELETE /v1/kernels/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := f.DeleteKernel(r.PathValue("id")); err != nil {
+			writeAnalysisError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("GET /v1/devices", func(w http.ResponseWriter, r *http.Request) {
 		writeCachedJSON(w, r, f.Devices(), CacheBypass, staticCacheControl)
@@ -126,6 +158,11 @@ func NewHandler(f *Fleet) http.Handler {
 // reuse them for an hour (and revalidate for free via the ETag).
 const staticCacheControl = "public, max-age=3600"
 
+// maxSubmissionBody caps POST /v1/kernels bodies: room for a few
+// thousand instructions of assembly or container (base64-inflated)
+// plus the spec, far beyond any program the admission ceilings admit.
+const maxSubmissionBody = 1 << 20
+
 // decodeBody parses one JSON request body into T, writing the error
 // response itself when the body is malformed (ok=false).
 func decodeBody[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
@@ -133,7 +170,12 @@ func decodeBody[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
 	// device list); a body anywhere near the cap is garbage, and the
 	// cap keeps a hostile stream from growing the decode buffer
 	// without bound.
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	return decodeBodyLimit[T](w, r, 1<<16)
+}
+
+// decodeBodyLimit is decodeBody with a route-specific body cap.
+func decodeBodyLimit[T any](w http.ResponseWriter, r *http.Request, limit int64) (T, bool) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	var req T
 	if err := dec.Decode(&req); err != nil {

@@ -25,6 +25,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
+	"math"
 
 	"gpuperf/internal/isa"
 )
@@ -50,6 +52,15 @@ func (c *Container) Marshal() ([]byte, error) {
 		if err := k.Validate(); err != nil {
 			return nil, fmt.Errorf("cubin: %w", err)
 		}
+		if err := validName(k.Name); err != nil {
+			return nil, fmt.Errorf("cubin: %w", err)
+		}
+		// The resource fields are uint32 on the wire; a declaration
+		// beyond that would truncate silently and fail revalidation on
+		// the way back in.
+		if uint64(k.RegsPerThread) > math.MaxUint32 || uint64(k.SharedMemBytes) > math.MaxUint32 {
+			return nil, fmt.Errorf("cubin: %s: resource declaration overflows the container field", k.Name)
+		}
 		writeU32(&buf, uint32(len(k.Name)))
 		buf.WriteString(k.Name)
 		writeU32(&buf, uint32(k.RegsPerThread))
@@ -74,7 +85,7 @@ func Unmarshal(raw []byte) (*Container, error) {
 	}
 	r := bytes.NewReader(body)
 	var magic [4]byte
-	if _, err := r.Read(magic[:]); err != nil || string(magic[:]) != Magic {
+	if _, err := io.ReadFull(r, magic[:]); err != nil || string(magic[:]) != Magic {
 		return nil, fmt.Errorf("cubin: bad magic %q", magic)
 	}
 	ver, err := readU32(r)
@@ -111,7 +122,10 @@ func readKernel(r *bytes.Reader) (*isa.Program, error) {
 		return nil, fmt.Errorf("implausible name length %d", nameLen)
 	}
 	name := make([]byte, nameLen)
-	if _, err := r.Read(name); err != nil {
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("truncated name: %w", err)
+	}
+	if err := validName(string(name)); err != nil {
 		return nil, err
 	}
 	regs, err := readU32(r)
@@ -130,8 +144,8 @@ func readKernel(r *bytes.Reader) (*isa.Program, error) {
 		return nil, fmt.Errorf("code length %d exceeds remaining %d", codeLen, r.Len())
 	}
 	code := make([]byte, codeLen)
-	if _, err := r.Read(code); err != nil {
-		return nil, err
+	if _, err := io.ReadFull(r, code); err != nil {
+		return nil, fmt.Errorf("truncated code: %w", err)
 	}
 	ins, err := isa.DecodeProgram(code)
 	if err != nil {
@@ -175,15 +189,37 @@ func (c *Container) Rewrite(name string, replacement *isa.Program) error {
 	return fmt.Errorf("cubin: kernel %q not found", name)
 }
 
+// validName constrains kernel names to what survives the assembler's
+// text roundtrip: non-empty printable ASCII with no whitespace and no
+// comment starters. Untrusted containers would otherwise smuggle
+// names the disassembly cannot represent.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty kernel name")
+	}
+	if len(name) > 1<<16 {
+		return fmt.Errorf("implausible name length %d", len(name))
+	}
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; c <= ' ' || c > '~' || c == ';' || c == '#' {
+			return fmt.Errorf("kernel name %q: byte %d is not assembler-safe", name, i)
+		}
+	}
+	return nil
+}
+
 func writeU32(b *bytes.Buffer, v uint32) {
 	var tmp [4]byte
 	binary.LittleEndian.PutUint32(tmp[:], v)
 	b.Write(tmp[:])
 }
 
+// readU32 reads exactly four bytes: a bare Read on a bytes.Reader
+// can short-read at the tail without an error, silently zero-padding
+// a truncated field, so ReadFull is load-bearing here.
 func readU32(r *bytes.Reader) (uint32, error) {
 	var tmp [4]byte
-	if _, err := r.Read(tmp[:]); err != nil {
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
 		return 0, fmt.Errorf("cubin: truncated: %w", err)
 	}
 	return binary.LittleEndian.Uint32(tmp[:]), nil

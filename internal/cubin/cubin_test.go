@@ -1,6 +1,9 @@
 package cubin
 
 import (
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
 	"testing"
 
 	"gpuperf/internal/asm"
@@ -127,5 +130,50 @@ func TestMarshalRejectsInvalidKernel(t *testing.T) {
 	c := &Container{Kernels: []*isa.Program{{Name: "broken"}}}
 	if _, err := c.Marshal(); err == nil {
 		t.Error("invalid kernel marshaled")
+	}
+}
+
+func TestMarshalRejectsUnsafeNames(t *testing.T) {
+	for _, name := range []string{"", "two words", "tab\tbed", "new\nline", "semi;colon", "hash#mark", "ctl\x01", "ü"} {
+		p := mustAssemble(t, ".kernel k\n.regs 2\nmov r1, 1\nexit")
+		p.Name = name
+		c := &Container{Kernels: []*isa.Program{p}}
+		if _, err := c.Marshal(); err == nil {
+			t.Errorf("kernel name %q marshaled; it cannot survive the text roundtrip", name)
+		}
+	}
+}
+
+func TestMarshalRejectsOverflowingResources(t *testing.T) {
+	p := mustAssemble(t, ".kernel k\n.regs 2\nmov r1, 1\nexit")
+	p.RegsPerThread = 1 << 33
+	if _, err := (&Container{Kernels: []*isa.Program{p}}).Marshal(); err == nil {
+		t.Error("register declaration beyond uint32 marshaled; it would truncate on the wire")
+	}
+}
+
+// TestUnmarshalRejectsTruncatedFields hand-builds container bytes
+// whose checksum is valid but whose interior is cut mid-field. The
+// parser's reads must fail loudly: a bare bytes.Reader.Read would
+// short-read at the tail without an error and zero-fill the rest of
+// the field. (Regression test for exactly that bug.)
+func TestUnmarshalRejectsTruncatedFields(t *testing.T) {
+	// magic + version + nkern=1 + nameLen=2 + "ab" + 2 of regs' 4 bytes.
+	body := []byte(Magic)
+	for _, v := range []uint32{Version, 1, 2} {
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], v)
+		body = append(body, tmp[:]...)
+	}
+	body = append(body, 'a', 'b', 0x07, 0x00)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(body))
+	raw := append(body, sum[:]...)
+	_, err := Unmarshal(raw)
+	if err == nil {
+		t.Fatal("container truncated mid-field accepted")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want a truncation report", err)
 	}
 }

@@ -1,0 +1,338 @@
+package ingest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// reduceSource is the canonical submission used across the tests (and
+// mirrored in the service smoke test): a shared-memory tree reduction
+// over 64-thread blocks. Guarded halving steps make it a real workout
+// for the bounds verifier — the strided shared loads are only in
+// bounds because the isetp guard proves them so.
+func reduceSource(grid int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".kernel reduce64\n.regs 13\n.smem 256\n")
+	b.WriteString(`
+s2r r0, %tid
+s2r r1, %ctaid
+s2r r2, %ntid
+imad r3, r1, r2, r0
+shl r4, r3, 2
+gld r5, r4
+shl r6, r0, 2
+sst r6, r5
+bar.sync
+`)
+	for s := 32; s >= 1; s /= 2 {
+		fmt.Fprintf(&b, "isetp.lt p0, r0, %d\n", s)
+		fmt.Fprintf(&b, "@p0 iadd r7, r0, %d\n", s)
+		b.WriteString(`@p0 shl r7, r7, 2
+@p0 sld r8, r7
+@p0 sld r9, r6
+@p0 fadd r9, r9, r8
+@p0 sst r6, r9
+bar.sync
+`)
+	}
+	// Lane 0 publishes shared[0] to out[ctaid], which lives after the
+	// input buffer in the contiguous global layout.
+	fmt.Fprintf(&b, `isetp.eq p1, r0, 0
+mov r10, 0
+@p1 sld r11, r10
+@p1 shl r12, r1, 2
+@p1 iadd r12, r12, %d
+@p1 gst r12, r11
+exit
+`, 4*grid*64)
+	return b.String()
+}
+
+func reduceRequest(grid int) Request {
+	return Request{
+		Source: reduceSource(grid),
+		Grid:   grid,
+		Block:  64,
+		Buffers: []BufferSpec{
+			{Name: "in", Elem: ElemF32, Count: grid * 64, Fill: FillRandom},
+			{Name: "out", Elem: ElemF32, Count: grid, Fill: FillZeros},
+		},
+	}
+}
+
+func TestCompileReduction(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	sub, err := Compile(reduceRequest(4), Limits{}, now)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !strings.HasPrefix(sub.ID, IDPrefix) || len(sub.ID) != len(IDPrefix)+16 {
+		t.Fatalf("bad id %q", sub.ID)
+	}
+	if sub.Kernel != "reduce64" || sub.Grid != 4 || sub.Block != 64 {
+		t.Fatalf("bad submission: %+v", sub)
+	}
+	if sub.FootprintBytes != int64(4*(4*64+4)) {
+		t.Fatalf("footprint = %d", sub.FootprintBytes)
+	}
+	if sub.Instructions == 0 || sub.Registers != 13 || sub.SharedMemBytes != 256 {
+		t.Fatalf("static summary: %+v", sub)
+	}
+
+	// Content addressing: same program+spec → same id; label is not
+	// part of the identity, the spec is.
+	req2 := reduceRequest(4)
+	req2.Label = "renamed"
+	sub2, err := Compile(req2, Limits{}, now.Add(time.Minute))
+	if err != nil {
+		t.Fatalf("Compile again: %v", err)
+	}
+	if sub2.ID != sub.ID {
+		t.Fatalf("relabel changed id: %s vs %s", sub2.ID, sub.ID)
+	}
+	req3 := reduceRequest(4)
+	req3.Buffers[0].Fill = FillAffine
+	sub3, err := Compile(req3, Limits{}, now)
+	if err != nil {
+		t.Fatalf("Compile variant: %v", err)
+	}
+	if sub3.ID == sub.ID {
+		t.Fatalf("different buffer spec, same id %s", sub.ID)
+	}
+
+	// Router-side permissive hashing agrees with the worker's.
+	id, err := ID(reduceRequest(4))
+	if err != nil || id != sub.ID {
+		t.Fatalf("ID() = %s, %v; want %s", id, err, sub.ID)
+	}
+}
+
+func TestCompileRejectsOutOfBounds(t *testing.T) {
+	// The input indexing runs one block past the declared buffer.
+	req := reduceRequest(4)
+	req.Buffers[0].Count = 3 * 64 // program addresses grid*64 = 256 elements
+	if _, err := Compile(req, Limits{}, time.Unix(0, 0)); err == nil {
+		t.Fatal("out-of-bounds program admitted")
+	} else if !strings.Contains(err.Error(), "envelope") {
+		t.Fatalf("rejection does not name the envelope: %v", err)
+	}
+}
+
+func TestCompileRejectsDataDependentAddress(t *testing.T) {
+	req := Request{
+		Source: `.kernel wild
+.regs 4
+.smem 0
+mov r0, 0
+gld r1, r0
+gld r2, r1
+exit
+`,
+		Grid: 1, Block: 32,
+		Buffers: []BufferSpec{{Name: "b", Elem: ElemU32, Count: 64, Fill: FillZeros}},
+	}
+	_, err := Compile(req, Limits{}, time.Unix(0, 0))
+	if err == nil {
+		t.Fatal("data-dependent address admitted")
+	}
+	if !strings.Contains(err.Error(), "not statically bounded") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+}
+
+func TestCompileRejectsUninitializedAddressRegister(t *testing.T) {
+	req := Request{
+		Source: ".kernel u\n.regs 4\ngld r1, r3\nexit\n",
+		Grid:   1, Block: 32,
+		Buffers: []BufferSpec{{Name: "b", Elem: ElemU32, Count: 64, Fill: FillZeros}},
+	}
+	if _, err := Compile(req, Limits{}, time.Unix(0, 0)); err == nil {
+		t.Fatal("uninitialized address register admitted")
+	}
+}
+
+func TestCompileRejectsSharedOverflow(t *testing.T) {
+	req := Request{
+		Source: `.kernel sh
+.regs 4
+.smem 64
+s2r r0, %tid
+shl r1, r0, 2
+sst r1, r0
+exit
+`,
+		Grid: 1, Block: 64, // 4*63 = 252 > 60
+		Buffers: []BufferSpec{{Name: "b", Elem: ElemU32, Count: 64, Fill: FillZeros}},
+	}
+	_, err := Compile(req, Limits{}, time.Unix(0, 0))
+	if err == nil {
+		t.Fatal("shared overflow admitted")
+	}
+	if !strings.Contains(err.Error(), "shared-memory") {
+		t.Fatalf("rejection does not name shared memory: %v", err)
+	}
+}
+
+func TestCompileGuardRefinementRequired(t *testing.T) {
+	// Without the guard, the strided access is genuinely out of
+	// bounds; the verifier must accept the guarded form and reject
+	// the unguarded one.
+	guarded := `.kernel g
+.regs 6
+.smem 128
+s2r r0, %tid
+isetp.lt p0, r0, 16
+@p0 iadd r1, r0, 16
+@p0 shl r1, r1, 2
+@p0 sld r2, r1
+exit
+`
+	unguarded := strings.ReplaceAll(guarded, "@p0 ", "")
+	base := Request{
+		Grid: 1, Block: 32,
+		Buffers: []BufferSpec{{Name: "b", Elem: ElemF32, Count: 32, Fill: FillZeros}},
+	}
+	req := base
+	req.Source = guarded
+	if _, err := Compile(req, Limits{}, time.Unix(0, 0)); err != nil {
+		t.Fatalf("guarded strided access rejected: %v", err)
+	}
+	req = base
+	req.Source = unguarded
+	if _, err := Compile(req, Limits{}, time.Unix(0, 0)); err == nil {
+		t.Fatal("unguarded strided access admitted")
+	}
+}
+
+func TestCompileLoopWithGuard(t *testing.T) {
+	// A counted loop whose body accesses a[i]: the backward branch
+	// forces joins and widening, and the bound proof must survive via
+	// the isetp fact, not the (widened) loop counter interval.
+	req := Request{
+		Source: `.kernel loop
+.regs 6
+.smem 0
+mov r0, 0
+mov r3, 0
+isetp.ge p0, r0, 64
+@p0 bra @9
+shl r1, r0, 2
+gld r2, r1
+iadd r3, r3, r2
+iadd r0, r0, 1
+bra @2
+mov r4, 0
+gst r4, r3
+exit
+`,
+		Grid: 1, Block: 32,
+		Buffers: []BufferSpec{{Name: "a", Elem: ElemU32, Count: 64, Fill: FillAffine, Start: 1, Step: 1}},
+	}
+	if _, err := Compile(req, Limits{}, time.Unix(0, 0)); err != nil {
+		t.Fatalf("counted loop rejected: %v", err)
+	}
+}
+
+func TestCompileCeilings(t *testing.T) {
+	now := time.Unix(0, 0)
+	cases := []struct {
+		name string
+		mut  func(*Request)
+		lim  Limits
+		want string
+	}{
+		{"instructions", nil, Limits{MaxInstructions: 4}, "instruction ceiling"},
+		{"registers", nil, Limits{MaxRegisters: 8}, "register ceiling"},
+		{"shared", nil, Limits{MaxSharedBytes: 128}, "byte ceiling"},
+		{"footprint", nil, Limits{MaxFootprintBytes: 512}, "footprint ceiling"},
+		{"threads", func(r *Request) { r.Grid = 1 << 16 }, Limits{MaxThreads: 1 << 10}, "thread ceiling"},
+		{"block", func(r *Request) { r.Block = 1024 }, Limits{}, "block ceiling"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := reduceRequest(4)
+			if tc.mut != nil {
+				tc.mut(&req)
+			}
+			_, err := Compile(req, tc.lim, now)
+			if err == nil {
+				t.Fatal("over-budget submission admitted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("rejection %q does not name %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompileSpecErrors(t *testing.T) {
+	now := time.Unix(0, 0)
+	base := reduceRequest(2)
+	for _, tc := range []struct {
+		name string
+		mut  func(*Request)
+	}{
+		{"no-buffers", func(r *Request) { r.Buffers = nil }},
+		{"bad-elem", func(r *Request) { r.Buffers[0].Elem = "f64" }},
+		{"bad-fill", func(r *Request) { r.Buffers[0].Fill = "ones" }},
+		{"dup-name", func(r *Request) { r.Buffers[1].Name = r.Buffers[0].Name }},
+		{"zero-count", func(r *Request) { r.Buffers[0].Count = 0 }},
+		{"no-program", func(r *Request) { r.Source = "" }},
+		{"both-forms", func(r *Request) { r.Container = []byte{1} }},
+		{"bad-grid", func(r *Request) { r.Grid = 0 }},
+		{"wrong-kernel", func(r *Request) { r.Kernel = "nope" }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req := base
+			req.Buffers = append([]BufferSpec(nil), base.Buffers...)
+			tc.mut(&req)
+			if _, err := Compile(req, Limits{}, now); err == nil {
+				t.Fatal("invalid submission admitted")
+			}
+		})
+	}
+}
+
+func TestSubmissionMemoryDeterministic(t *testing.T) {
+	sub, err := Compile(reduceRequest(2), Limits{}, time.Unix(0, 0))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m1, regs, err := sub.NewMemory(7)
+	if err != nil {
+		t.Fatalf("NewMemory: %v", err)
+	}
+	m2, _, err := sub.NewMemory(7)
+	if err != nil {
+		t.Fatalf("NewMemory: %v", err)
+	}
+	if len(regs) != 2 || regs[0].Name != "in" || regs[1].Name != "out" {
+		t.Fatalf("regions: %+v", regs)
+	}
+	if regs[0].Lo != 0 || regs[0].Hi != uint32(4*2*64) || regs[1].Lo != regs[0].Hi {
+		t.Fatalf("region layout: %+v", regs)
+	}
+	w1, err := m1.ReadWords(0, 2*64+2)
+	if err != nil {
+		t.Fatalf("ReadWords: %v", err)
+	}
+	w2, _ := m2.ReadWords(0, 2*64+2)
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("memory not deterministic at word %d", i)
+		}
+	}
+	m3, _, _ := sub.NewMemory(8)
+	w3, _ := m3.ReadWords(0, 4)
+	same := true
+	for i := range w3 {
+		if w1[i] != w3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical random fill")
+	}
+}

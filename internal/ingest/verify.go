@@ -1,0 +1,677 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpuperf/internal/isa"
+)
+
+// The bounds verifier proves — or rejects — that every memory operand
+// of a submitted program stays inside the declared buffer envelope,
+// by interval abstract interpretation over the decoded instructions.
+//
+// Each register is tracked as an unsigned interval [lo,hi] ⊆
+// [0, 2³²−1]; special registers seed known launch-geometry ranges
+// (tid ∈ [0,block−1], ctaid ∈ [0,grid−1], …). Three refinement
+// mechanisms recover the precision guarded kernels need:
+//
+//   - ISETP records a predicate fact (register, comparison, a
+//     snapshot of the bound's interval). Facts are recorded and later
+//     applied only while both sides provably fit int32 — the engine
+//     compares signed, the verifier tracks unsigned, and the two
+//     orders agree exactly on [0, 2³¹−1].
+//   - A guarded branch's taken/fall-through edges refine the fact's
+//     register by the comparison (lt true-edge: hi′ = bound.hi−1 …).
+//     An empty refined interval marks the edge unreachable.
+//   - Writes guarded by a predicate keep, per predicate polarity, a
+//     side map of "value under this guard" — so @p0 shl r2, r0, 2
+//     after isetp.lt p0, r0, s gives the @p0-guarded load through r2
+//     the refined range even though the unconditional r2 must stay a
+//     weak join. Per-lane this is sound: the guarded load only runs
+//     in lanes where the guarded write ran.
+//
+// Loops terminate the analysis through per-pc widening (after a join
+// budget, moving bounds jump straight to 0 / 2³²−1) plus a global
+// step budget; programs the verifier cannot finish or cannot prove
+// are rejected — admission is prove-or-reject, never trust.
+
+const (
+	maxU32 = int64(math.MaxUint32)
+	maxS32 = int64(math.MaxInt32)
+
+	// widenThreshold is the per-pc join budget before widening; a
+	// dozen joins separates real fixpoints from loop-carried growth.
+	widenThreshold = 12
+	// stepBudgetPerPC bounds total worklist steps at len(code) × this.
+	stepBudgetPerPC = 200
+)
+
+// interval is an unsigned 32-bit value range; lo > hi means empty
+// (an unreachable path).
+type interval struct{ lo, hi int64 }
+
+func top() interval           { return interval{0, maxU32} }
+func point(v uint32) interval { return interval{int64(v), int64(v)} }
+
+func (iv interval) isTop() bool      { return iv.lo == 0 && iv.hi == maxU32 }
+func (iv interval) empty() bool      { return iv.lo > iv.hi }
+func (iv interval) signedSafe() bool { return iv.lo >= 0 && iv.hi <= maxS32 }
+
+func joinIv(a, b interval) interval {
+	if a.empty() {
+		return b
+	}
+	if b.empty() {
+		return a
+	}
+	return interval{min64(a.lo, b.lo), max64(a.hi, b.hi)}
+}
+
+func meetIv(a, b interval) interval {
+	return interval{max64(a.lo, b.lo), min64(a.hi, b.hi)}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Transfer functions. All model the engine's uint32 semantics; any
+// result that could leave [0, 2³²−1] (wraparound) collapses to top.
+
+func addIv(a, b interval) interval {
+	lo, hi := a.lo+b.lo, a.hi+b.hi
+	if lo < 0 || hi > maxU32 {
+		return top()
+	}
+	return interval{lo, hi}
+}
+
+func subIv(a, b interval) interval {
+	lo, hi := a.lo-b.hi, a.hi-b.lo
+	if lo < 0 {
+		return top()
+	}
+	return interval{lo, hi}
+}
+
+func mulIv(a, b interval) interval {
+	if a.hi != 0 && b.hi > math.MaxInt64/a.hi {
+		return top()
+	}
+	hi := a.hi * b.hi
+	if hi > maxU32 {
+		return top()
+	}
+	return interval{a.lo * b.lo, hi}
+}
+
+func shlIv(a, s interval) interval {
+	if s.hi > 31 {
+		// The engine masks the count with &31; an unbounded count can
+		// hit any shift, so nothing is known.
+		return top()
+	}
+	hi := a.hi << uint(s.hi)
+	if hi > maxU32 {
+		return top()
+	}
+	return interval{a.lo << uint(s.lo), hi}
+}
+
+func shrIv(a, s interval) interval {
+	if s.hi > 31 {
+		return interval{0, a.hi}
+	}
+	return interval{a.lo >> uint(s.hi), a.hi >> uint(s.lo)}
+}
+
+func andIv(a, b interval) interval { return interval{0, min64(a.hi, b.hi)} }
+
+func orIv(a, b interval) interval {
+	// OR/XOR cannot set a bit above the highest bit of either side.
+	m := max64(a.hi, b.hi)
+	hi := int64(1)
+	for hi-1 < m {
+		hi <<= 1
+	}
+	return interval{0, hi - 1}
+}
+
+func iminIv(a, b interval) interval {
+	if !a.signedSafe() || !b.signedSafe() {
+		return top() // signed compare diverges from unsigned order
+	}
+	return interval{min64(a.lo, b.lo), min64(a.hi, b.hi)}
+}
+
+func imaxIv(a, b interval) interval {
+	if !a.signedSafe() || !b.signedSafe() {
+		return top()
+	}
+	return interval{max64(a.lo, b.lo), max64(a.hi, b.hi)}
+}
+
+// boundsFact is an ISETP snapshot: predicate true ⇔ "reg cmp value"
+// held, with value ∈ bound at compare time. The snapshot stays sound
+// after the bound's source register changes (it over-approximated
+// the compared value); it dies when reg itself is rewritten.
+type boundsFact struct {
+	valid bool
+	reg   isa.Reg
+	cmp   isa.CmpOp
+	bound interval
+}
+
+// refineByFact narrows iv given that "iv's register cmp bound" is
+// condTrue. Only sound while the register's current range is still
+// int32-safe (the engine compares signed).
+func refineByFact(iv interval, cmp isa.CmpOp, bound interval, condTrue bool) interval {
+	if !iv.signedSafe() {
+		return iv
+	}
+	if condTrue {
+		switch cmp {
+		case isa.CmpLT:
+			iv.hi = min64(iv.hi, bound.hi-1)
+		case isa.CmpLE:
+			iv.hi = min64(iv.hi, bound.hi)
+		case isa.CmpGT:
+			iv.lo = max64(iv.lo, bound.lo+1)
+		case isa.CmpGE:
+			iv.lo = max64(iv.lo, bound.lo)
+		case isa.CmpEQ:
+			iv = meetIv(iv, bound)
+		}
+		return iv
+	}
+	switch cmp {
+	case isa.CmpLT:
+		iv.lo = max64(iv.lo, bound.lo)
+	case isa.CmpLE:
+		iv.lo = max64(iv.lo, bound.lo+1)
+	case isa.CmpGT:
+		iv.hi = min64(iv.hi, bound.hi)
+	case isa.CmpGE:
+		iv.hi = min64(iv.hi, bound.hi-1)
+	case isa.CmpNE:
+		iv = meetIv(iv, bound)
+	}
+	return iv
+}
+
+// condIdx indexes the per-polarity guard refinement maps: neg=false
+// holds values valid where the predicate is true, neg=true where it
+// is false.
+func condIdx(p isa.Pred, neg bool) int {
+	i := int(p) * 2
+	if neg {
+		i++
+	}
+	return i
+}
+
+// vstate is the abstract state at one program point.
+type vstate struct {
+	regs  [isa.NumRegs]interval
+	facts [isa.NumPreds]boundsFact
+	cond  [2 * isa.NumPreds]map[isa.Reg]interval
+}
+
+func (st *vstate) clone() *vstate {
+	out := &vstate{regs: st.regs, facts: st.facts}
+	for i, m := range st.cond {
+		if len(m) == 0 {
+			continue
+		}
+		c := make(map[isa.Reg]interval, len(m))
+		for r, iv := range m {
+			c[r] = iv
+		}
+		out.cond[i] = c
+	}
+	return out
+}
+
+// joinWith merges incoming state s into st, reporting change. With a
+// non-nil threshold set, any bound that moved jumps to the next
+// program landmark (threshold widening) so loop-carried growth
+// converges without destroying counted-loop bounds: a counter that
+// keeps approaching its isetp limit widens to the limit, not to 2³²,
+// keeping it int32-safe for fact refinement.
+func (st *vstate) joinWith(s *vstate, thresholds []int64) bool {
+	changed := false
+	widenIv := func(old, j interval) interval {
+		if thresholds == nil {
+			return j
+		}
+		if j.lo < old.lo {
+			j.lo = 0
+		}
+		if j.hi > old.hi {
+			// Smallest landmark ≥ j.hi; the list always ends in maxU32.
+			i := sort.Search(len(thresholds), func(i int) bool { return thresholds[i] >= j.hi })
+			j.hi = thresholds[i]
+		}
+		return j
+	}
+	for r := range st.regs {
+		j := widenIv(st.regs[r], joinIv(st.regs[r], s.regs[r]))
+		if j != st.regs[r] {
+			st.regs[r] = j
+			changed = true
+		}
+	}
+	for p := range st.facts {
+		a, b := st.facts[p], s.facts[p]
+		if !a.valid {
+			continue
+		}
+		if !b.valid || a.reg != b.reg || a.cmp != b.cmp {
+			st.facts[p].valid = false
+			changed = true
+			continue
+		}
+		j := widenIv(a.bound, joinIv(a.bound, b.bound))
+		if j != a.bound {
+			st.facts[p].bound = j
+			changed = true
+		}
+	}
+	for ci := range st.cond {
+		for r, a := range st.cond[ci] {
+			b, ok := s.cond[ci][r]
+			if !ok {
+				delete(st.cond[ci], r)
+				changed = true
+				continue
+			}
+			j := widenIv(a, joinIv(a, b))
+			if j != a {
+				st.cond[ci][r] = j
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// verifier runs the worklist analysis over one program and launch.
+type verifier struct {
+	prog       *isa.Program
+	grid       int
+	block      int
+	globalEnv  int64 // declared buffer bytes
+	sharedEnv  int64 // static shared-memory bytes
+	thresholds []int64
+	states     []*vstate
+	joins      []int
+	inWork     []bool
+	work       []int
+}
+
+// widenThresholds collects the program's landmarks: every immediate
+// (±1 for strict/inclusive comparison bounds), the launch geometry,
+// the buffer envelopes, and the int32/uint32 extremes — each also at
+// ×2/×4/×8, since addresses are indices scaled by element size and
+// would otherwise widen straight past every index-derived landmark.
+// Sorted for binary search.
+func widenThresholds(prog *isa.Program, grid, block int, globalEnv, sharedEnv int64) []int64 {
+	set := map[int64]bool{0: true, maxS32: true, maxU32: true}
+	add := func(v int64) {
+		for _, d1 := range [...]int64{-1, 0, 1} {
+			for _, s := range [...]int64{1, 2, 4, 8} {
+				for _, d2 := range [...]int64{-1, 0, 1} {
+					if sv := (v+d1)*s + d2; sv >= 0 && sv <= maxU32 {
+						set[sv] = true
+					}
+				}
+			}
+		}
+	}
+	for i := range prog.Code {
+		in := &prog.Code[i]
+		for _, o := range [...]isa.Operand{in.SrcA, in.SrcB, in.SrcC} {
+			if o.Kind == isa.KindImm {
+				add(int64(in.Imm))
+			}
+		}
+	}
+	add(int64(block))
+	add(int64(grid))
+	add(int64(grid) * int64(block))
+	add(globalEnv)
+	add(sharedEnv)
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// verifyBounds is the package's admission gate: nil means every
+// memory access of every reachable instruction is proven inside its
+// envelope for this launch; any error is a rejection.
+func verifyBounds(prog *isa.Program, grid, block int, footprint int64) error {
+	v := &verifier{
+		prog:       prog,
+		grid:       grid,
+		block:      block,
+		globalEnv:  footprint,
+		sharedEnv:  int64(prog.SharedMemBytes),
+		thresholds: widenThresholds(prog, grid, block, footprint, int64(prog.SharedMemBytes)),
+		states:     make([]*vstate, len(prog.Code)),
+		joins:      make([]int, len(prog.Code)),
+		inWork:     make([]bool, len(prog.Code)),
+	}
+	init := &vstate{}
+	for r := range init.regs {
+		// Registers carry no defined initial value; a program must
+		// derive addresses from special registers and immediates.
+		init.regs[r] = top()
+	}
+	v.states[0] = init
+	v.push(0)
+
+	budget := len(prog.Code) * stepBudgetPerPC
+	for len(v.work) > 0 {
+		if budget--; budget < 0 {
+			return fmt.Errorf("program %q: bounds verification exceeded its analysis budget; simplify the program's control flow", prog.Name)
+		}
+		pc := v.work[len(v.work)-1]
+		v.work = v.work[:len(v.work)-1]
+		v.inWork[pc] = false
+		if err := v.step(pc, v.states[pc]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *verifier) push(pc int) {
+	if !v.inWork[pc] {
+		v.inWork[pc] = true
+		v.work = append(v.work, pc)
+	}
+}
+
+// joinInto merges a successor state and reschedules the pc if it
+// learned anything new.
+func (v *verifier) joinInto(pc int, s *vstate) {
+	if v.states[pc] == nil {
+		v.states[pc] = s
+		v.push(pc)
+		return
+	}
+	var thr []int64
+	v.joins[pc]++
+	if v.joins[pc] > widenThreshold {
+		thr = v.thresholds
+	}
+	if v.states[pc].joinWith(s, thr) {
+		v.push(pc)
+	}
+}
+
+// sregIv is the launch-geometry range of a special register.
+func (v *verifier) sregIv(s isa.SReg) interval {
+	switch s {
+	case isa.SRTid:
+		return interval{0, int64(v.block) - 1}
+	case isa.SRCtaid:
+		return interval{0, int64(v.grid) - 1}
+	case isa.SRNtid:
+		return point(uint32(v.block))
+	case isa.SRNctaid:
+		return point(uint32(v.grid))
+	case isa.SRLane:
+		return interval{0, 31}
+	case isa.SRWarp:
+		return interval{0, int64((v.block + 31) / 32 - 1)}
+	}
+	return top()
+}
+
+// regUnderGuard reads a register as the instruction at hand sees it:
+// the unconditional interval, narrowed by any guarded-write
+// refinement and predicate fact when the instruction is guarded.
+func (v *verifier) regUnderGuard(st *vstate, in *isa.Instruction, r isa.Reg) interval {
+	iv := st.regs[r]
+	if in.Guard == isa.PT {
+		return iv
+	}
+	if ref, ok := st.cond[condIdx(in.Guard, in.GuardNeg)][r]; ok {
+		iv = meetIv(iv, ref)
+	}
+	if f := st.facts[in.Guard]; f.valid && f.reg == r {
+		iv = refineByFact(iv, f.cmp, f.bound, !in.GuardNeg)
+	}
+	return iv
+}
+
+// evalSrc resolves one source operand to an interval.
+func (v *verifier) evalSrc(st *vstate, in *isa.Instruction, o isa.Operand) interval {
+	switch o.Kind {
+	case isa.KindReg:
+		return v.regUnderGuard(st, in, o.Reg)
+	case isa.KindImm:
+		return point(in.Imm)
+	case isa.KindSReg:
+		return v.sregIv(o.SReg)
+	case isa.KindSmem:
+		return top() // a value loaded from shared memory
+	}
+	return point(0)
+}
+
+// write models a destination write: facts about the old value die;
+// unguarded writes are strong, guarded writes weak-join the
+// unconditional range and record the precise value under the guard's
+// polarity.
+func (v *verifier) write(st *vstate, in *isa.Instruction, dst isa.Reg, val interval) {
+	if val.empty() {
+		return // no lane can execute this write
+	}
+	for p := range st.facts {
+		if st.facts[p].valid && st.facts[p].reg == dst {
+			st.facts[p].valid = false
+		}
+	}
+	if in.Guard == isa.PT {
+		st.regs[dst] = val
+		for ci := range st.cond {
+			delete(st.cond[ci], dst)
+		}
+		return
+	}
+	ci := condIdx(in.Guard, in.GuardNeg)
+	for i := range st.cond {
+		if i != ci {
+			delete(st.cond[i], dst)
+		}
+	}
+	if st.cond[ci] == nil {
+		st.cond[ci] = make(map[isa.Reg]interval)
+	}
+	st.cond[ci][dst] = val
+	st.regs[dst] = joinIv(st.regs[dst], val)
+}
+
+// envelope describes the space a memory op must stay inside.
+func (v *verifier) envelope(op isa.Opcode) (int64, string) {
+	if isa.IsGlobal(op) {
+		return v.globalEnv, fmt.Sprintf("the %d-byte declared global buffer envelope", v.globalEnv)
+	}
+	return v.sharedEnv, fmt.Sprintf("the %d-byte shared-memory allocation", v.sharedEnv)
+}
+
+// checkMem proves a memory instruction's address range inside its
+// envelope or rejects the program.
+func (v *verifier) checkMem(st *vstate, in *isa.Instruction, pc int) error {
+	a := v.regUnderGuard(st, in, in.SrcA.Reg)
+	if a.empty() {
+		return nil // guard refinement proves no lane reaches this
+	}
+	addr := addIv(a, point(in.Imm))
+	env, what := v.envelope(in.Op)
+	if addr.isTop() && a.isTop() {
+		return fmt.Errorf("program %q pc=%d %s: address is not statically bounded (data-dependent or uninitialized address register); cannot prove it within %s",
+			v.prog.Name, pc, in.Op, what)
+	}
+	if addr.lo < 0 || addr.hi > env-4 {
+		return fmt.Errorf("program %q pc=%d %s: address range [%d,%d] is not provably within %s",
+			v.prog.Name, pc, in.Op, addr.lo, addr.hi, what)
+	}
+	return nil
+}
+
+// checkSmemOperand bounds a static s[imm] ALU operand.
+func (v *verifier) checkSmemOperand(in *isa.Instruction, pc int) error {
+	for _, o := range [...]isa.Operand{in.SrcA, in.SrcB, in.SrcC} {
+		if o.Kind != isa.KindSmem {
+			continue
+		}
+		if int64(in.Imm) > v.sharedEnv-4 {
+			return fmt.Errorf("program %q pc=%d %s: shared operand s[%d] is outside the %d-byte shared-memory allocation",
+				v.prog.Name, pc, in.Op, in.Imm, v.sharedEnv)
+		}
+	}
+	return nil
+}
+
+// edgeState builds the state flowing along one edge of a guarded
+// control instruction, given whether the guard condition holds
+// there. nil means the edge is provably unreachable.
+func (v *verifier) edgeState(st *vstate, in *isa.Instruction, condTrue bool) *vstate {
+	out := st.clone()
+	if in.Guard == isa.PT {
+		return out
+	}
+	// Polarity of the predicate itself on this edge.
+	pTrue := condTrue != in.GuardNeg
+	// Guarded-write refinements for that polarity become
+	// unconditional: every lane on this edge satisfied the guard.
+	for r, ref := range out.cond[condIdx(in.Guard, !pTrue)] {
+		m := meetIv(out.regs[r], ref)
+		if m.empty() {
+			return nil
+		}
+		out.regs[r] = m
+	}
+	if f := out.facts[in.Guard]; f.valid {
+		iv := refineByFact(out.regs[f.reg], f.cmp, f.bound, pTrue)
+		if iv.empty() {
+			return nil
+		}
+		out.regs[f.reg] = iv
+	}
+	return out
+}
+
+// fallThrough joins a state into pc+1, rejecting programs whose
+// execution can run off the end of the code.
+func (v *verifier) fallThrough(pc int, s *vstate) error {
+	if pc+1 >= len(v.prog.Code) {
+		return fmt.Errorf("program %q pc=%d %s: execution can fall off the end of the program", v.prog.Name, pc, v.prog.Code[pc].Op)
+	}
+	v.joinInto(pc+1, s)
+	return nil
+}
+
+// step interprets one instruction over the current abstract state and
+// propagates to its successors.
+func (v *verifier) step(pc int, st *vstate) error {
+	in := &v.prog.Code[pc]
+	if err := v.checkSmemOperand(in, pc); err != nil {
+		return err
+	}
+	if isa.IsMemory(in.Op) {
+		if err := v.checkMem(st, in, pc); err != nil {
+			return err
+		}
+	}
+
+	// Control flow first: branches and exits fork refined states.
+	switch in.Op {
+	case isa.OpEXIT:
+		if in.Guard != isa.PT {
+			if out := v.edgeState(st, in, false); out != nil {
+				return v.fallThrough(pc, out)
+			}
+		}
+		return nil
+	case isa.OpBRA:
+		if out := v.edgeState(st, in, true); out != nil {
+			v.joinInto(int(in.Target), out)
+		}
+		if in.Guard != isa.PT {
+			if out := v.edgeState(st, in, false); out != nil {
+				return v.fallThrough(pc, out)
+			}
+		}
+		return nil
+	}
+
+	out := st.clone()
+	switch in.Op {
+	case isa.OpNOP, isa.OpBAR, isa.OpGST, isa.OpSST:
+		// No register effects.
+	case isa.OpISETP, isa.OpFSETP:
+		out.facts[in.PDst] = boundsFact{}
+		out.cond[condIdx(in.PDst, false)] = nil
+		out.cond[condIdx(in.PDst, true)] = nil
+		if in.Op == isa.OpISETP && in.Guard == isa.PT && in.SrcA.Kind == isa.KindReg {
+			a := st.regs[in.SrcA.Reg]
+			b := v.evalSrc(st, in, in.SrcB)
+			if a.signedSafe() && b.signedSafe() {
+				out.facts[in.PDst] = boundsFact{valid: true, reg: in.SrcA.Reg, cmp: in.Cmp, bound: b}
+			}
+		}
+	case isa.OpMOV, isa.OpS2R:
+		v.write(out, in, in.Dst, v.evalSrc(st, in, in.SrcA))
+	case isa.OpIADD:
+		v.write(out, in, in.Dst, addIv(v.evalSrc(st, in, in.SrcA), v.evalSrc(st, in, in.SrcB)))
+	case isa.OpISUB:
+		v.write(out, in, in.Dst, subIv(v.evalSrc(st, in, in.SrcA), v.evalSrc(st, in, in.SrcB)))
+	case isa.OpIMUL:
+		v.write(out, in, in.Dst, mulIv(v.evalSrc(st, in, in.SrcA), v.evalSrc(st, in, in.SrcB)))
+	case isa.OpIMAD:
+		v.write(out, in, in.Dst, addIv(
+			mulIv(v.evalSrc(st, in, in.SrcA), v.evalSrc(st, in, in.SrcB)),
+			v.evalSrc(st, in, in.SrcC)))
+	case isa.OpIMIN:
+		v.write(out, in, in.Dst, iminIv(v.evalSrc(st, in, in.SrcA), v.evalSrc(st, in, in.SrcB)))
+	case isa.OpIMAX:
+		v.write(out, in, in.Dst, imaxIv(v.evalSrc(st, in, in.SrcA), v.evalSrc(st, in, in.SrcB)))
+	case isa.OpSHL:
+		v.write(out, in, in.Dst, shlIv(v.evalSrc(st, in, in.SrcA), v.evalSrc(st, in, in.SrcB)))
+	case isa.OpSHR:
+		v.write(out, in, in.Dst, shrIv(v.evalSrc(st, in, in.SrcA), v.evalSrc(st, in, in.SrcB)))
+	case isa.OpAND:
+		v.write(out, in, in.Dst, andIv(v.evalSrc(st, in, in.SrcA), v.evalSrc(st, in, in.SrcB)))
+	case isa.OpOR, isa.OpXOR:
+		v.write(out, in, in.Dst, orIv(v.evalSrc(st, in, in.SrcA), v.evalSrc(st, in, in.SrcB)))
+	default:
+		// Loads, floating point, transcendentals, doubles: the value
+		// is outside the integer domain we track.
+		if isa.HasDst(in.Op) {
+			v.write(out, in, in.Dst, top())
+			if isa.IsDouble(in.Op) {
+				v.write(out, in, in.Dst+1, top())
+			}
+		}
+	}
+	return v.fallThrough(pc, out)
+}

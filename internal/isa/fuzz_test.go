@@ -1,0 +1,45 @@
+package isa_test
+
+import (
+	"reflect"
+	"testing"
+
+	"gpuperf/internal/isa"
+	"gpuperf/internal/kernels"
+)
+
+// FuzzDecodeProgram hammers the binary instruction decoder with
+// arbitrary streams — exactly what an untrusted container delivers
+// after the envelope checks pass. Accepted streams must survive a
+// re-encode/re-decode round unchanged: Decode is the only gate
+// between network bytes and the simulator, so "decodes without
+// validating" bugs would surface here as fixed-point violations.
+func FuzzDecodeProgram(f *testing.F) {
+	m, err := kernels.NewMatmul(64, 16)
+	if err != nil {
+		f.Fatalf("seed matmul: %v", err)
+	}
+	f.Add(isa.EncodeProgram(m.Program()))
+	naive, err := kernels.NewMatmulNaive(64)
+	if err != nil {
+		f.Fatalf("seed matmul-naive: %v", err)
+	}
+	f.Add(isa.EncodeProgram(naive.Program()))
+	f.Add(make([]byte, isa.WordSize))
+	f.Add(make([]byte, isa.WordSize-1))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		code, err := isa.DecodeProgram(raw)
+		if err != nil {
+			return
+		}
+		p := &isa.Program{Name: "fuzz", Code: code, RegsPerThread: 1 << 20}
+		enc := isa.EncodeProgram(p)
+		code2, err := isa.DecodeProgram(enc)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded accepted stream: %v", err)
+		}
+		if !reflect.DeepEqual(code, code2) {
+			t.Fatalf("decode/encode/decode is not a fixed point:\n%v\nvs\n%v", code, code2)
+		}
+	})
+}

@@ -59,6 +59,10 @@ type Workload struct {
 	// Long-running references (matmul is O(n³) on one host thread)
 	// observe ctx so an abandoned request stops burning CPU.
 	Verify func(ctx context.Context, mem *barra.Memory) (float64, error)
+	// MaxWarpInstructions, when > 0, caps the functional run's dynamic
+	// instruction budget below the engine default — the per-submission
+	// ceiling user-submitted kernels carry from admission.
+	MaxWarpInstructions int64
 }
 
 // BuildFunc constructs a Workload for one problem instance. p
@@ -87,6 +91,10 @@ type KernelSpec struct {
 	// "conflict-free-shared" over cr); empty for the baseline itself
 	// and for variants whose change no cataloged scenario models.
 	Optimization string `json:"optimization,omitempty"`
+	// Unverified marks a user-submitted kernel: it has no CPU
+	// reference, so analysis always skips verification and results
+	// carry Result.VerifyError saying so.
+	Unverified bool `json:"unverified,omitempty"`
 	// Build constructs the instance. Never nil in a registered spec.
 	Build BuildFunc `json:"-"`
 }
@@ -149,6 +157,31 @@ func (r *Registry) Register(s KernelSpec) error {
 	defer r.mu.Unlock()
 	r.specs[s.Name] = s
 	return nil
+}
+
+// Deregister removes the spec registered under name, reporting
+// whether it was present — how the fleet retires an evicted
+// submission's ephemeral kernel.
+func (r *Registry) Deregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.specs[name]
+	delete(r.specs, name)
+	return ok
+}
+
+// Clone returns an independent registry holding the same specs.
+// A fleet clones its configured registry before accepting
+// submissions, so ephemeral entries never leak into the (possibly
+// process-global) original.
+func (r *Registry) Clone() *Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := NewRegistry()
+	for name, s := range r.specs {
+		c.specs[name] = s
+	}
+	return c
 }
 
 // Lookup returns the spec registered under name.

@@ -56,6 +56,11 @@ type Result struct {
 	// against the CPU reference; nil when the kernel has no checkable
 	// output.
 	MaxAbsError *float64 `json:"max_abs_error,omitempty"`
+	// VerifyError explains why the functional output was not checked
+	// when verification was impossible rather than skipped by choice —
+	// user-submitted kernels have no CPU reference, so their results
+	// always carry "unverified: user-submitted".
+	VerifyError string `json:"verify_error,omitempty"`
 	// MeasuredSeconds is the device simulator's time (present only
 	// when the request set Measure); PredictionError is
 	// |predicted−measured|/measured, the paper's accuracy metric.

@@ -319,6 +319,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
 		rt.proxyStatic(w, r, "/v1/kernels")
 	})
+	mux.HandleFunc("POST /v1/kernels", rt.handleSubmit)
+	mux.HandleFunc("DELETE /v1/kernels/{id}", rt.handleDeleteKernel)
 	mux.HandleFunc("GET /v1/devices", func(w http.ResponseWriter, r *http.Request) {
 		rt.proxyStatic(w, r, "/v1/devices")
 	})
@@ -357,6 +359,8 @@ func (rt *Router) aggregateStats(ctx context.Context) CacheStats {
 		agg.Entries += st.Entries
 		agg.Bytes += st.Bytes
 		agg.MemoryBudgetBytes += st.MemoryBudgetBytes
+		agg.Submissions += st.Submissions
+		agg.SubmissionBytes += st.SubmissionBytes
 	}
 	return agg
 }
@@ -440,6 +444,7 @@ func (rt *Router) proxyByDevice(w http.ResponseWriter, r *http.Request, path str
 	}
 	var peek struct {
 		Device string `json:"device"`
+		Kernel string `json:"kernel"`
 	}
 	// Lenient on purpose: a body the peek cannot parse still proxies
 	// (to the default shard) and fails the worker's strict decode.
@@ -474,7 +479,110 @@ func (rt *Router) proxyByDevice(w http.ResponseWriter, r *http.Request, path str
 		writeError(w, http.StatusBadGateway, fmt.Errorf("gpuperf: shard %s: %w", wk, err))
 		return
 	}
+	// Submitted kernels live on the shard owning their PROGRAM hash,
+	// which is generally not the device shard this request landed on.
+	// A 404 for a submission id from a foreign shard retries once on
+	// the submission's owner — the one worker that can hold it.
+	if resp.StatusCode == http.StatusNotFound && IsSubmissionID(peek.Kernel) {
+		if owner := rt.shardFor(peek.Kernel); owner != wk && rt.isUp(owner) {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			req2, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+path, bytes.NewReader(body))
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			req2.Header.Set("Content-Type", "application/json")
+			resp2, err := rt.client.Do(req2)
+			if err != nil {
+				rt.markDown(owner)
+				writeError(w, http.StatusBadGateway, fmt.Errorf("gpuperf: shard %s: %w", owner, err))
+				return
+			}
+			relay(w, resp2)
+			return
+		}
+	}
 	relay(w, resp)
+}
+
+// handleSubmit routes POST /v1/kernels to the worker owning the
+// submission's content-addressed id (rendezvous-hashed like device
+// fingerprints), so exactly one shard ever holds a given program and
+// its analyze results stay on the shard that can serve them. A body
+// whose id cannot be computed (unparsable program or spec) goes to
+// any up worker, whose strict admission pipeline is the authority on
+// the rejection.
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSubmissionBody))
+	if err != nil {
+		if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	var wk string
+	var sub KernelSubmission
+	if json.Unmarshal(body, &sub) == nil {
+		if id, err := SubmissionID(sub); err == nil {
+			wk = rt.shardFor(id)
+		}
+	}
+	if wk == "" {
+		wk = rt.firstUp()
+	}
+	if wk == "" || !rt.isUp(wk) {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("gpuperf: submission shard is down"))
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, wk+"/v1/kernels", bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.markDown(wk)
+		writeError(w, http.StatusBadGateway, fmt.Errorf("gpuperf: shard %s: %w", wk, err))
+		return
+	}
+	relay(w, resp)
+}
+
+// handleDeleteKernel routes DELETE /v1/kernels/{id} to the shard
+// owning the submission id.
+func (rt *Router) handleDeleteKernel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wk := rt.shardFor(id)
+	if !rt.isUp(wk) {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("gpuperf: shard %s (submission %q) is down", wk, id))
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete, wk+"/v1/kernels/"+id, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.markDown(wk)
+		writeError(w, http.StatusBadGateway, fmt.Errorf("gpuperf: shard %s: %w", wk, err))
+		return
+	}
+	relay(w, resp)
+}
+
+// firstUp returns the first up worker, or "" with none.
+func (rt *Router) firstUp() string {
+	for _, wk := range rt.workers {
+		if rt.isUp(wk) {
+			return wk
+		}
+	}
+	return ""
 }
 
 // remoteAnalyze is the compare scatter-gather's per-device unit: one

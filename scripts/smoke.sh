@@ -8,14 +8,23 @@
 # kernel/device listings with caching headers and a working
 # If-None-Match 304, analyze/advise/compare each served MISS then HIT
 # with byte-identical bodies, the cache-hit timing win, /v1/stats
-# counters, and the on-disk calibration and result slots.
+# counters, and the on-disk calibration and result slots. Plus the
+# bring-your-own-kernel loop: POST /v1/kernels with a hand-written
+# tree reduction (accepted, listed, persisted to -subs-dir, analyzed
+# MISS then HIT under the measure-only policy), 400 rejections naming
+# the violated ceiling for an out-of-envelope and an over-budget
+# program, and DELETE eviction dropping the id from the registry and
+# the disk slot.
 #
 # Leg 2 — a 2-worker router: two lazy workers plus a gpuperfd -route
 # front door that consistent-hashes devices by hardware fingerprint.
 # Analyze/advise/compare twice each through the router (MISS then
 # HIT), nonzero aggregated hit counters, and shard purity: each
 # worker's calibration dir holds only fingerprints of devices the
-# router's shard table assigns to it.
+# router's shard table assigns to it. Submissions ride the same
+# router: POST /v1/kernels lands on the shard owning the submission
+# id, analyze reaches it wherever the device shard points, and DELETE
+# evicts it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,8 +58,11 @@ ADDR=127.0.0.1:8097
 CALDIR="$BINDIR/cal"
 CACHEDIR="$BINDIR/cache"
 
+SUBSDIR="$BINDIR/subs"
+
 "$BINDIR/gpuperfd" -addr "$ADDR" -devices gtx285-6sm,gtx285 \
-    -cal-dir "$CALDIR" -cache-dir "$CACHEDIR" &
+    -cal-dir "$CALDIR" -cache-dir "$CACHEDIR" \
+    -subs-dir "$SUBSDIR" -subs-max 8 -subs-ttl 1h &
 PIDS+=($!)
 wait_http "http://$ADDR/healthz"
 
@@ -75,12 +87,14 @@ for field in '"description"' '"max_size"' '"family": "matmul"' '"optimization": 
         exit 1
     }
 done
-# Static listings carry caching headers, and their ETag revalidates.
-grep -qi '^cache-control: .*max-age' "$BINDIR/kh" || {
-    echo "smoke: kernel list missing Cache-Control:" >&2
+# The kernel listing is dynamic now (submissions come and go), so it
+# must NOT claim Cache-Control freshness — but its ETag still
+# revalidates.
+if grep -qi '^cache-control:' "$BINDIR/kh"; then
+    echo "smoke: dynamic kernel list must not set Cache-Control:" >&2
     cat "$BINDIR/kh" >&2
     exit 1
-}
+fi
 ETAG=$(awk -F': ' 'tolower($1)=="etag"{gsub(/\r/,"",$2); print $2}' "$BINDIR/kh")
 [ -n "$ETAG" ] || { echo "smoke: kernel list has no ETag" >&2; exit 1; }
 CODE304=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $ETAG" "http://$ADDR/v1/kernels")
@@ -91,7 +105,13 @@ fi
 
 # The device list carries both served catalog entries, each with a
 # hardware fingerprint, and the fingerprints differ.
-DEVICES=$(curl -fsS "http://$ADDR/v1/devices")
+DEVICES=$(curl -fsS -D "$BINDIR/dh" "http://$ADDR/v1/devices")
+# The device listing stays fully static, so it keeps Cache-Control.
+grep -qi '^cache-control: .*max-age' "$BINDIR/dh" || {
+    echo "smoke: device list missing Cache-Control:" >&2
+    cat "$BINDIR/dh" >&2
+    exit 1
+}
 for field in '"gtx285"' '"gtx285-6sm"' '"fingerprint"' '"peak_gflops"'; do
     grep -q "$field" <<<"$DEVICES" || {
         echo "smoke: device list missing $field: $DEVICES" >&2
@@ -156,6 +176,83 @@ grep -q '"seconds"' <<<"$MEAS" || {
     exit 1
 }
 
+# Bring-your-own-kernel: a hand-written 64-thread tree reduction (4
+# CTAs, each summing 64 floats into out[ctaid]) goes through the
+# ingest pipeline and comes back as an analyzable submission id.
+REDSRC='.kernel reduce64\n.regs 13\n.smem 256\n'
+REDSRC+='s2r r0, %tid\ns2r r1, %ctaid\ns2r r2, %ntid\nimad r3, r1, r2, r0\n'
+REDSRC+='shl r4, r3, 2\ngld r5, r4\nshl r6, r0, 2\nsst r6, r5\nbar.sync\n'
+for S in 32 16 8 4 2 1; do
+    REDSRC+="isetp.lt p0, r0, $S\n@p0 iadd r7, r0, $S\n@p0 shl r7, r7, 2\n"
+    REDSRC+='@p0 sld r8, r7\n@p0 sld r9, r6\n@p0 fadd r9, r9, r8\n@p0 sst r6, r9\nbar.sync\n'
+done
+REDSRC+='isetp.eq p1, r0, 0\nmov r10, 0\n@p1 sld r11, r10\n'
+REDSRC+='@p1 shl r12, r1, 2\n@p1 iadd r12, r12, 1024\n@p1 gst r12, r11\nexit\n'
+REDBUFS='[{"name":"in","elem":"f32","count":256,"fill":"random"},{"name":"out","elem":"f32","count":4,"fill":"zeros"}]'
+SUBBODY="{\"label\":\"tree-reduction\",\"source\":\"$REDSRC\",\"grid\":4,\"block\":64,\"buffers\":$REDBUFS}"
+
+RECEIPT=$(post "http://$ADDR/v1/kernels" "$SUBBODY" "$BINDIR/s1")
+SID=$(grep -o '"id": "subm-[0-9a-f]*"' <<<"$RECEIPT" | head -1 | awk -F'"' '{print $4}')
+if [ -z "$SID" ]; then
+    echo "smoke: submission receipt has no subm- id: $RECEIPT" >&2
+    exit 1
+fi
+grep -q '"kernel": "reduce64"' <<<"$RECEIPT" || {
+    echo "smoke: receipt does not name the submitted kernel: $RECEIPT" >&2
+    exit 1
+}
+# The listing now carries the submission alongside the built-ins.
+curl -fsS "http://$ADDR/v1/kernels" | grep -q "\"$SID\"" || {
+    echo "smoke: kernel listing does not include submission $SID" >&2
+    exit 1
+}
+# ... and the submission store persisted its slot.
+NSUB=$(ls "$SUBSDIR"/subm-*.json 2>/dev/null | wc -l)
+if [ "$NSUB" -ne 1 ]; then
+    echo "smoke: -subs-dir should hold 1 slot, has $NSUB" >&2
+    exit 1
+fi
+
+# Analyze the submission: a cold MISS with a bottleneck verdict and
+# the measure-only policy's marker, then a HIT with identical bytes.
+SBODY="{\"kernel\":\"$SID\",\"device\":\"gtx285-6sm\"}"
+SOUT=$(post "http://$ADDR/v1/analyze" "$SBODY" "$BINDIR/sa1")
+for field in '"bottleneck"' '"verify_error": "unverified: user-submitted"'; do
+    grep -q "$field" <<<"$SOUT" || {
+        echo "smoke: submission analysis missing $field: $SOUT" >&2
+        exit 1
+    }
+done
+SOUT2=$(post "http://$ADDR/v1/analyze" "$SBODY" "$BINDIR/sa2")
+if [ "$(xcache "$BINDIR/sa1")" != "MISS" ] || [ "$(xcache "$BINDIR/sa2")" != "HIT" ]; then
+    echo "smoke: submission analyze X-Cache $(xcache "$BINDIR/sa1") then $(xcache "$BINDIR/sa2"), want MISS then HIT" >&2
+    exit 1
+fi
+[ "$SOUT" = "$SOUT2" ] || { echo "smoke: cached submission analysis differs" >&2; exit 1; }
+
+# Resubmitting the identical program+spec dedupes to the same id.
+post "http://$ADDR/v1/kernels" "$SUBBODY" "$BINDIR/s2" | grep -q '"existing": true' || {
+    echo "smoke: resubmission not reported as existing" >&2
+    exit 1
+}
+
+# Rejections are 400s that say WHY. Out of envelope: same program,
+# but the declared output buffer is too small for out[3].
+BADBUFS='[{"name":"in","elem":"f32","count":256,"fill":"random"},{"name":"out","elem":"f32","count":1,"fill":"zeros"}]'
+RCODE=$(curl -s -o "$BINDIR/rej1" -w '%{http_code}' -X POST "http://$ADDR/v1/kernels" \
+    -d "{\"source\":\"$REDSRC\",\"grid\":4,\"block\":64,\"buffers\":$BADBUFS}")
+if [ "$RCODE" != "400" ] || ! grep -q 'envelope' "$BINDIR/rej1"; then
+    echo "smoke: out-of-envelope submission answered $RCODE: $(cat "$BINDIR/rej1")" >&2
+    exit 1
+fi
+# Over budget: a 1024-thread block exceeds the block-size ceiling.
+RCODE=$(curl -s -o "$BINDIR/rej2" -w '%{http_code}' -X POST "http://$ADDR/v1/kernels" \
+    -d "{\"source\":\"$REDSRC\",\"grid\":4,\"block\":1024,\"buffers\":$REDBUFS}")
+if [ "$RCODE" != "400" ] || ! grep -q 'ceiling' "$BINDIR/rej2"; then
+    echo "smoke: over-budget submission answered $RCODE: $(cat "$BINDIR/rej2")" >&2
+    exit 1
+fi
+
 # Cross-device comparison on a bandwidth-bound kernel: the full chip
 # must rank above the 6-SM slice (more SMs keep the memory system
 # busier), i.e. best = gtx285 and its speedup vs the slice > 1. The
@@ -203,6 +300,28 @@ if [ "${HITS:-0}" -lt 3 ] || [ "${MISSES:-0}" -lt 1 ]; then
     echo "smoke: stats hits=$HITS misses=$MISSES, want >=3/>=1: $STATS" >&2
     exit 1
 fi
+grep -q '"submissions": 1' <<<"$STATS" || {
+    echo "smoke: stats should gauge 1 resident submission: $STATS" >&2
+    exit 1
+}
+
+# DELETE evicts the submission everywhere: the id 404s, the listing
+# and the disk slot drop it, and a repeat delete 404s too.
+DCODE=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://$ADDR/v1/kernels/$SID")
+[ "$DCODE" = "204" ] || { echo "smoke: DELETE answered $DCODE, want 204" >&2; exit 1; }
+DCODE=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://$ADDR/v1/kernels/$SID")
+[ "$DCODE" = "404" ] || { echo "smoke: repeat DELETE answered $DCODE, want 404" >&2; exit 1; }
+ACODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/analyze" -d "$SBODY")
+[ "$ACODE" = "404" ] || { echo "smoke: analyze of evicted submission answered $ACODE, want 404" >&2; exit 1; }
+if curl -fsS "http://$ADDR/v1/kernels" | grep -q "\"$SID\""; then
+    echo "smoke: kernel listing still includes evicted submission $SID" >&2
+    exit 1
+fi
+NSUB=$(ls "$SUBSDIR"/subm-*.json 2>/dev/null | wc -l || true)
+if [ "$NSUB" -ne 0 ]; then
+    echo "smoke: -subs-dir should be empty after eviction, has $NSUB slots" >&2
+    exit 1
+fi
 
 # Both calibrations cached under distinct fingerprint keys, and the
 # result cache holds content-addressed slots.
@@ -222,8 +341,9 @@ kill "${PIDS[0]}" 2>/dev/null || true
 wait "${PIDS[0]}" 2>/dev/null || true
 
 BOTTLENECK=$(awk -F'"bottleneck": ' 'NF>1{split($2,a,","); print a[1]; exit}' <<<"$OUT")
+SBOTTLENECK=$(awk -F'"bottleneck": ' 'NF>1{split($2,a,","); print a[1]; exit}' <<<"$SOUT")
 TOP=$(grep -o '"top": "[^"]*"' <<<"$ADVICE")
-echo "smoke: leg 1 ok (bottleneck $BOTTLENECK; advise $TOP; compare best gtx285 at ${BESTSPEED}x; cold compare ${COLD_MS}ms vs hit ${WARM_MS}ms; $NCAL calibrations, $NRES result slots)"
+echo "smoke: leg 1 ok (bottleneck $BOTTLENECK; advise $TOP; compare best gtx285 at ${BESTSPEED}x; cold compare ${COLD_MS}ms vs hit ${WARM_MS}ms; $NCAL calibrations, $NRES result slots; submission $SID bottleneck $SBOTTLENECK, admitted/analyzed/evicted)"
 
 ### Leg 2: 2-worker router ###################################################
 
@@ -284,6 +404,29 @@ fi
 RCOLD_MS=$(( (T1 - T0) / 1000000 ))
 RWARM_MS=$(( (T2 - T1) / 1000000 ))
 
+# Submissions through the router: the POST lands on the shard the id
+# hashes to, analyze reaches it from whichever shard owns the device
+# (retrying on the id's owner when they differ), DELETE evicts it.
+RREC=$(post "http://$RT/v1/kernels" "$SUBBODY" "$BINDIR/rs1")
+RSID=$(grep -o '"id": "subm-[0-9a-f]*"' <<<"$RREC" | head -1 | awk -F'"' '{print $4}')
+[ -n "$RSID" ] || { echo "smoke: router submission receipt has no id: $RREC" >&2; exit 1; }
+RSBODY="{\"kernel\":\"$RSID\",\"device\":\"gtx285\"}"
+RS1=$(post "http://$RT/v1/analyze" "$RSBODY" "$BINDIR/rsa1")
+grep -q '"verify_error": "unverified: user-submitted"' <<<"$RS1" || {
+    echo "smoke: router submission analysis missing the measure-only marker: $RS1" >&2
+    exit 1
+}
+RS2=$(post "http://$RT/v1/analyze" "$RSBODY" "$BINDIR/rsa2")
+if [ "$(xcache "$BINDIR/rsa1")" != "MISS" ] || [ "$(xcache "$BINDIR/rsa2")" != "HIT" ]; then
+    echo "smoke: router submission analyze X-Cache $(xcache "$BINDIR/rsa1") then $(xcache "$BINDIR/rsa2"), want MISS then HIT" >&2
+    exit 1
+fi
+[ "$RS1" = "$RS2" ] || { echo "smoke: router submission repeat body differs" >&2; exit 1; }
+RDCODE=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://$RT/v1/kernels/$RSID")
+[ "$RDCODE" = "204" ] || { echo "smoke: router DELETE answered $RDCODE, want 204" >&2; exit 1; }
+RACODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$RT/v1/analyze" -d "$RSBODY")
+[ "$RACODE" = "404" ] || { echo "smoke: router analyze of evicted submission answered $RACODE, want 404" >&2; exit 1; }
+
 # Aggregated stats across the worker set: a nonzero hit rate.
 RSTATS=$(curl -fsS "http://$RT/v1/stats")
 RHITS=$(grep -o '"hits": [0-9]*' <<<"$RSTATS" | head -1 | awk '{print $2}')
@@ -334,5 +477,5 @@ if [ $((NCAL1 + NCAL2)) -ne 2 ]; then
     exit 1
 fi
 
-echo "smoke: leg 2 ok (router over $W1/$W2; cold compare ${RCOLD_MS}ms vs hit ${RWARM_MS}ms; fleet hits=$RHITS misses=$RMISSES; shard calibrations $NCAL1+$NCAL2)"
+echo "smoke: leg 2 ok (router over $W1/$W2; cold compare ${RCOLD_MS}ms vs hit ${RWARM_MS}ms; fleet hits=$RHITS misses=$RMISSES; shard calibrations $NCAL1+$NCAL2; submission $RSID routed/analyzed/evicted)"
 echo "smoke: ok"

@@ -1,0 +1,90 @@
+package gpuperf
+
+import (
+	"strings"
+	"testing"
+)
+
+const rewriteHost = `.kernel host
+.regs 3
+mov r1, 1
+iadd r2, r1, r1
+exit
+`
+
+const rewriteRepl = `.kernel repl
+.regs 2
+mov r1, 0x2a
+exit
+`
+
+// TestRewriteKernel covers the binary-modification loop's failure
+// modes — until now only the happy path was exercised, and the
+// submission endpoint makes these real error surfaces.
+func TestRewriteKernel(t *testing.T) {
+	raw, err := AssembleText(rewriteHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Happy path: the replacement lands under the host kernel's name
+	// with its own resource declarations.
+	out, err := RewriteKernel(raw, "host", rewriteRepl)
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	text, err := DisassembleContainer(out)
+	if err != nil {
+		t.Fatalf("disassembling rewritten container: %v", err)
+	}
+	if !strings.Contains(text, ".kernel host") || !strings.Contains(text, "0x2a") {
+		t.Fatalf("rewritten container lost the host name or the replacement body:\n%s", text)
+	}
+
+	t.Run("unknown kernel name", func(t *testing.T) {
+		_, err := RewriteKernel(raw, "no-such-kernel", rewriteRepl)
+		if err == nil || !strings.Contains(err.Error(), "not found") {
+			t.Fatalf("err = %v, want a not-found rejection", err)
+		}
+	})
+	t.Run("malformed replacement source", func(t *testing.T) {
+		_, err := RewriteKernel(raw, "host", ".kernel r\n.regs 2\nbogus r1, r2\nexit\n")
+		if err == nil {
+			t.Fatal("malformed replacement accepted")
+		}
+	})
+	t.Run("replacement with no exit", func(t *testing.T) {
+		_, err := RewriteKernel(raw, "host", ".kernel r\n.regs 2\nmov r1, 1\n")
+		if err == nil || !strings.Contains(err.Error(), "exit") {
+			t.Fatalf("err = %v, want a no-exit rejection", err)
+		}
+	})
+	t.Run("multi-kernel replacement source", func(t *testing.T) {
+		_, err := RewriteKernel(raw, "host", rewriteRepl+rewriteHost)
+		if err == nil || !strings.Contains(err.Error(), "expected 1 kernel") {
+			t.Fatalf("err = %v, want a single-kernel rejection", err)
+		}
+	})
+	t.Run("empty container bytes", func(t *testing.T) {
+		_, err := RewriteKernel(nil, "host", rewriteRepl)
+		if err == nil || !strings.Contains(err.Error(), "short file") {
+			t.Fatalf("err = %v, want a short-file rejection", err)
+		}
+	})
+	t.Run("container with zero kernels", func(t *testing.T) {
+		empty, err := AssembleText("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = RewriteKernel(empty, "host", rewriteRepl)
+		if err == nil || !strings.Contains(err.Error(), "not found") {
+			t.Fatalf("err = %v, want a not-found rejection", err)
+		}
+	})
+	t.Run("garbage container bytes", func(t *testing.T) {
+		_, err := RewriteKernel([]byte(strings.Repeat("x", 64)), "host", rewriteRepl)
+		if err == nil {
+			t.Fatal("garbage container accepted")
+		}
+	})
+}
