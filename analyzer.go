@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"gpuperf/internal/barra"
 	"gpuperf/internal/device"
 	"gpuperf/internal/model"
+	"gpuperf/internal/obs"
 	"gpuperf/internal/timing"
 )
 
@@ -262,6 +264,39 @@ type simRun struct {
 	w     *Workload
 	stats *barra.Stats
 	cal   *timing.Calibration
+	// phases accumulates per-phase wall-clock seconds (calibration
+	// wait, admission wait, build, engine, model, verify, measure) for
+	// Result.Diagnostics. Only the request's own goroutine writes it.
+	phases map[string]float64
+}
+
+// phase opens a span named name — joining the request's trace when
+// the context carries one, detached otherwise, so phase timings work
+// for bare library calls too — and returns the span-carrying context
+// plus a done func that closes the span and adds its duration to the
+// run's phase map.
+func (r *simRun) phase(ctx context.Context, name string) (context.Context, func()) {
+	ctx, sp := obs.StartSpan(ctx, name)
+	return ctx, func() {
+		sp.End()
+		if r.phases == nil {
+			r.phases = make(map[string]float64)
+		}
+		r.phases[name] += sp.Duration().Seconds()
+	}
+}
+
+// roundPhases copies a phase map rounded to microseconds — stable,
+// readable JSON without 17-digit float tails.
+func roundPhases(m map[string]float64) map[string]float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = math.Round(v*1e6) / 1e6
+	}
+	return out
 }
 
 // prelude is the shared front half of every request — Analyze,
@@ -299,20 +334,29 @@ func (a *Analyzer) prelude(ctx context.Context, req *Request, needCal, dropVerif
 		// Wait for the shared calibration before taking a slot, so a
 		// cold burst doesn't pin MaxConcurrent requests for its whole
 		// duration; the wait itself respects ctx.
-		if r.cal, err = a.calibrationCtx(ctx); err != nil {
+		calCtx, calDone := r.phase(ctx, "calibration")
+		r.cal, err = a.calibrationCtx(calCtx)
+		calDone()
+		if err != nil {
 			return nil, nil, err
 		}
 	}
 	// Admission control: at most MaxConcurrent requests hold input
 	// memory and simulation resources at a time; the rest wait here
 	// holding nothing, abandoning the queue when their context dies.
+	_, admitDone := r.phase(ctx, "admission")
 	select {
 	case a.admit <- struct{}{}:
+		admitDone()
 	case <-ctx.Done():
+		admitDone()
 		return nil, nil, ctx.Err()
 	}
 	release := func() { <-a.admit }
-	if r.w, err = spec.build(a.dev, p); err != nil {
+	_, buildDone := r.phase(ctx, "build")
+	r.w, err = spec.build(a.dev, p)
+	buildDone()
+	if err != nil {
 		release()
 		return nil, nil, err
 	}
@@ -332,13 +376,15 @@ func (a *Analyzer) simulate(ctx context.Context, req *Request, dropVerify bool) 
 	if err != nil {
 		return nil, nil, err
 	}
-	r.stats, err = barra.RunContext(ctx, a.dev, r.w.Launch, r.w.Mem,
+	engCtx, engDone := r.phase(ctx, "engine")
+	r.stats, err = barra.RunContext(engCtx, a.dev, r.w.Launch, r.w.Mem,
 		&barra.Options{
 			Parallelism:         a.workers(*req),
 			Regions:             r.w.Regions,
 			DisableBlockReplay:  a.opt.DisableBlockReplay || req.NoReplay,
 			MaxWarpInstructions: r.w.MaxWarpInstructions,
 		})
+	engDone()
 	if err != nil {
 		release()
 		return nil, nil, err
@@ -399,7 +445,9 @@ func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 	defer release()
+	_, modelDone := r.phase(ctx, "model")
 	est, err := model.Analyze(r.cal, r.w.Launch, r.stats)
+	modelDone()
 	if err != nil {
 		return nil, err
 	}
@@ -409,7 +457,9 @@ func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
 	}
 
 	if r.w.Verify != nil {
-		worst, err := r.w.Verify(ctx, r.w.Mem)
+		verifyCtx, verifyDone := r.phase(ctx, "verify")
+		worst, err := r.w.Verify(verifyCtx, r.w.Mem)
+		verifyDone()
 		if err != nil {
 			return nil, err
 		}
@@ -420,15 +470,18 @@ func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		measCtx, measDone := r.phase(ctx, "measure")
 		// The functional run consumed the inputs; builders are
 		// deterministic per (size, seed), so rebuilding yields the
 		// identical problem instance on fresh memory (req holds the
 		// normalized size and seed).
 		w2, err := r.spec.build(a.dev, Params{Size: req.Size, Seed: req.Seed})
 		if err != nil {
+			measDone()
 			return nil, err
 		}
-		meas, err := device.RunContext(ctx, a.dev, w2.Launch, w2.Mem)
+		meas, err := device.RunContext(measCtx, a.dev, w2.Launch, w2.Mem)
+		measDone()
 		if err != nil {
 			return nil, err
 		}
@@ -436,6 +489,9 @@ func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
 		res.MeasuredDominant = meas.DominantComponent()
 		res.PredictionError = est.CompareError(meas.Seconds)
 	}
+	// The phase breakdown rides Diagnostics so every response answers
+	// "where did the time go" without a metrics endpoint.
+	res.Diagnostics.PhaseSeconds = roundPhases(r.phases)
 	return res, nil
 }
 
@@ -460,7 +516,9 @@ func (a *Analyzer) Advise(ctx context.Context, req Request) (*Advice, error) {
 		return nil, err
 	}
 	defer release()
+	_, modelDone := r.phase(ctx, "model")
 	rep, err := advise.Run(r.cal, r.w.Launch, r.stats, &advise.Options{Parallelism: a.workers(req)})
+	modelDone()
 	if err != nil {
 		return nil, err
 	}
@@ -492,7 +550,9 @@ func (a *Analyzer) Measure(ctx context.Context, req Request) (*Measurement, erro
 		return nil, err
 	}
 	defer release()
-	meas, err := device.RunContext(ctx, a.dev, r.w.Launch, r.w.Mem)
+	measCtx, measDone := r.phase(ctx, "measure")
+	meas, err := device.RunContext(measCtx, a.dev, r.w.Launch, r.w.Mem)
+	measDone()
 	if err != nil {
 		return nil, err
 	}

@@ -219,6 +219,15 @@ func TestAnalyzeMeasure(t *testing.T) {
 	}
 }
 
+// stripPhases clears Diagnostics.PhaseSeconds — wall-clock telemetry
+// deliberately outside the determinism contract — so byte-identity
+// tests compare only the simulation's output.
+func stripPhases(results ...*Result) {
+	for _, r := range results {
+		r.Diagnostics.PhaseSeconds = nil
+	}
+}
+
 // TestAnalyzeDeterministicAcrossParallelism: the Result is
 // bit-identical however the functional run is sharded (the PR-1
 // engine guarantee, surfaced through the facade).
@@ -230,6 +239,10 @@ func TestAnalyzeDeterministicAcrossParallelism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if len(res.Diagnostics.PhaseSeconds) == 0 {
+			t.Error("Analyze left Diagnostics.PhaseSeconds empty")
+		}
+		stripPhases(res)
 		blob, err := json.Marshal(res)
 		if err != nil {
 			t.Fatal(err)
@@ -306,6 +319,7 @@ func TestAnalyzeBatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		stripPhases(results[i], serial)
 		b1, _ := json.Marshal(results[i])
 		b2, _ := json.Marshal(serial)
 		if string(b1) != string(b2) {
@@ -342,6 +356,7 @@ func TestCalibrationDirReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	stripPhases(r1, r2)
 	b1, _ := json.Marshal(r1)
 	b2, _ := json.Marshal(r2)
 	if string(b1) != string(b2) {

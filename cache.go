@@ -6,8 +6,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
+	"time"
 
+	"gpuperf/internal/obs"
 	"gpuperf/internal/resultstore"
 )
 
@@ -69,22 +72,38 @@ type CacheStats struct {
 	Bytes             int64 `json:"bytes"`
 	MemoryBudgetBytes int64 `json:"memory_budget_bytes"`
 	// Submissions/SubmissionBytes gauge the resident user-submitted
-	// kernels (the POST /v1/kernels store). Populated even when the
-	// result cache is disabled.
-	Submissions     int   `json:"submissions"`
-	SubmissionBytes int64 `json:"submission_bytes"`
+	// kernels (the POST /v1/kernels store); SubmissionEvictions counts
+	// the ones removed for any reason (LRU pressure, TTL expiry,
+	// deletion). Populated even when the result cache is disabled.
+	Submissions         int   `json:"submissions"`
+	SubmissionBytes     int64 `json:"submission_bytes"`
+	SubmissionEvictions int64 `json:"submission_evictions"`
 	// Engine reports the fleet's cumulative simulation-engine
 	// effectiveness (blocks replayed vs simulated, batched stepping),
 	// summed across sessions. Populated even when the result cache is
 	// disabled.
 	Engine EngineCounters `json:"engine"`
+	// UptimeSeconds is the time since the fleet was built; on the
+	// router path it aggregates as the oldest worker's uptime.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts fleet front-door calls by operation (analyze,
+	// advise, compare, measure, submit, evict) — cache hits included,
+	// Compare's internal per-device analyses not. Routers sum the
+	// maps across workers.
+	Requests map[string]int64 `json:"requests,omitempty"`
 }
 
 // CacheStats returns a snapshot of the fleet's result-cache counters.
 func (f *Fleet) CacheStats() CacheStats {
-	cs := CacheStats{Engine: f.EngineCounters()}
+	cs := CacheStats{
+		Engine: f.EngineCounters(),
+		// Milliseconds are plenty; full float64 tails would churn the
+		// JSON diff on every scrape.
+		UptimeSeconds: math.Round(time.Since(f.start).Seconds()*1e3) / 1e3,
+		Requests:      f.requestCounts(),
+	}
 	if f.subs != nil {
-		cs.Submissions, cs.SubmissionBytes = f.subs.Stats()
+		cs.Submissions, cs.SubmissionBytes, cs.SubmissionEvictions = f.subs.Stats()
 	}
 	if f.store == nil {
 		return cs
@@ -208,6 +227,10 @@ func cachedFetch[T any](ctx context.Context, f *Fleet, key string, compute func(
 		v, err := compute(ctx)
 		return v, CacheBypass, err
 	}
+	// The cache span covers the whole store.Do call: on a hit it is
+	// the probe itself; on a miss the computation's spans nest inside
+	// it, so a slow-request tree shows probe-turned-compute honestly.
+	ctx, sp := obs.StartSpan(ctx, "cache")
 	body, st, err := f.store.Do(ctx, key, func() ([]byte, error) {
 		v, err := compute(ctx)
 		if err != nil {
@@ -215,6 +238,7 @@ func cachedFetch[T any](ctx context.Context, f *Fleet, key string, compute func(
 		}
 		return json.Marshal(v)
 	})
+	sp.End()
 	status := CacheMiss
 	switch st {
 	case resultstore.MemoryHit, resultstore.DiskHit:

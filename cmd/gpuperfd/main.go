@@ -8,6 +8,7 @@
 //	         [-cache-dir dir] [-cache-mem bytes] [-p workers]
 //	         [-precalibrate] [-subs-dir dir] [-subs-max n]
 //	         [-subs-mem bytes] [-subs-ttl 1h]
+//	         [-log-format text|json] [-slow-ms n] [-pprof 127.0.0.1:6060]
 //	gpuperfd -route http://w1:8098,http://w2:8099 [-addr :8080]
 //	         [-devices ...]
 //
@@ -15,6 +16,9 @@
 //
 //	GET  /healthz      readiness probe (JSON; 503 until the default
 //	                   device's calibration is loaded or built)
+//	GET  /metrics      Prometheus text exposition (on a router: its
+//	                   own series plus every up worker's, each worker
+//	                   sample labeled worker="<url>")
 //	GET  /v1/kernels   list the registry's kernels with their variant
 //	                   families and realized optimizations (resident
 //	                   user submissions included)
@@ -28,7 +32,8 @@
 //	GET  /v1/devices   list the served device profiles (name,
 //	                   hardware fingerprint, knobs, peaks)
 //	GET  /v1/stats     result-cache counters (hits, misses,
-//	                   coalesced, evictions, in-flight)
+//	                   coalesced, evictions, in-flight) plus uptime
+//	                   and per-operation request counts
 //	POST /v1/analyze   {"kernel":"matmul16","size":64,"device":"gtx285-6sm"} → Result
 //	POST /v1/advise    same body → Advice (ranked counterfactual
 //	                   what-if scenarios with predicted speedups)
@@ -51,6 +56,16 @@
 // -subs-mem and -subs-ttl bound the resident set (count, bytes,
 // lifetime — zeros keep the library defaults).
 //
+// Observability: every response carries X-Request-ID (the inbound
+// header's value if the client sent one, a fresh id otherwise) and
+// every request emits one structured access-log line keyed by that
+// id. -log-format picks the slog handler (text for humans, json for
+// shippers). Requests slower than -slow-ms additionally log their
+// span tree — calibration, admission, build, engine, model, verify —
+// at WARN, so "why was this one slow" is answerable from the log
+// alone. -pprof serves net/http/pprof on a SEPARATE listener
+// (loopback by default; never exposed on the service address).
+//
 // With -route the daemon is a ROUTER instead of a worker: it
 // consistent-hashes each request's device fingerprint across the
 // given worker URLs (each worker owns a stable shard, so
@@ -65,9 +80,9 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -92,7 +107,36 @@ func main() {
 	subsMem := flag.Int64("subs-mem", 0, "submission store byte budget (0 = library default)")
 	subsTTL := flag.Duration("subs-ttl", 0, "submission time-to-live, e.g. 30m (0 = library default)")
 	route := flag.String("route", "", "comma-separated worker base URLs: run as a router sharding requests by device fingerprint instead of serving analyses")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	slowMS := flag.Int("slow-ms", 10000, "log the span tree of requests slower than this many milliseconds (0 disables)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this SEPARATE address (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
+
+	var h slog.Handler
+	switch *logFormat {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		slog.Error("gpuperfd: -log-format must be text or json", "got", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(h)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	if *pprofAddr != "" {
+		go servePprof(logger, *pprofAddr)
+	}
+
+	tel := gpuperf.Telemetry{
+		Logger:      logger,
+		SlowRequest: time.Duration(*slowMS) * time.Millisecond,
+	}
 
 	// Serve exactly the named catalog entries: the fleet's catalog is
 	// a subset of the defaults, so GET /v1/devices advertises only
@@ -105,10 +149,10 @@ func main() {
 		names[i] = strings.TrimSpace(n)
 		dev, err := defaults.Resolve(names[i])
 		if err != nil {
-			log.Fatalf("gpuperfd: -devices: %v", err)
+			fatal("gpuperfd: -devices", "err", err)
 		}
 		if err := served.Register(names[i], dev); err != nil {
-			log.Fatalf("gpuperfd: -devices: %v", err)
+			fatal("gpuperfd: -devices", "err", err)
 		}
 	}
 
@@ -119,15 +163,16 @@ func main() {
 			Workers:       workers,
 			Catalog:       served,
 			DefaultDevice: names[0],
+			Telemetry:     tel,
 		})
 		if err != nil {
-			log.Fatalf("gpuperfd: -route: %v", err)
+			fatal("gpuperfd: -route", "err", err)
 		}
 		defer rt.Close()
 		handler = rt.Handler()
-		log.Printf("gpuperfd: routing devices %v (default %s) across workers %v", names, names[0], rt.Workers())
+		logger.Info("gpuperfd: routing", "devices", names, "default", names[0], "workers", rt.Workers())
 		for name, wk := range rt.Health().Shards {
-			log.Printf("gpuperfd: shard %s -> %s", name, wk)
+			logger.Info("gpuperfd: shard", "device", name, "worker", wk)
 		}
 	} else {
 		f := gpuperf.NewFleet(gpuperf.FleetOptions{
@@ -145,21 +190,21 @@ func main() {
 				TTL:      *subsTTL,
 			},
 		})
-		handler = gpuperf.NewHandler(f)
-		log.Printf("gpuperfd: devices %v (default %s), kernels %v", names, names[0], f.Registry().Names())
+		handler = gpuperf.NewObservedHandler(f, tel)
+		logger.Info("gpuperfd: serving", "devices", names, "default", names[0], "kernels", f.Registry().Names())
 		if *cacheDir != "" {
-			log.Printf("gpuperfd: result cache at %s", *cacheDir)
+			logger.Info("gpuperfd: result cache", "dir", *cacheDir)
 		}
 		if *subsDir != "" {
-			log.Printf("gpuperfd: submission store at %s (%d resident)", *subsDir, len(f.Submissions()))
+			logger.Info("gpuperfd: submission store", "dir", *subsDir, "resident", len(f.Submissions()))
 		}
 		if *precalibrate {
-			precalibrateAll(f, names, *calDir)
+			precalibrateAll(logger, fatal, f, names, *calDir)
 		}
 	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: logRequests(handler),
+		Handler: handler,
 		// Bound hostile/stalled connections. No WriteTimeout: a cold
 		// first analyze legitimately takes tens of seconds while the
 		// model calibrates.
@@ -169,64 +214,65 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("gpuperfd: listening on %s", *addr)
+	logger.Info("gpuperfd: listening", "addr", *addr)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatalf("gpuperfd: %v", err)
+		fatal("gpuperfd: serve", "err", err)
 	case <-stop:
-		log.Printf("gpuperfd: shutting down")
+		logger.Info("gpuperfd: shutting down")
 		// Give in-flight analyses time to finish: a cold request can
 		// legitimately run tens of seconds (calibration + simulation).
 		ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
-				log.Printf("gpuperfd: shutdown grace expired; aborting in-flight requests")
+				logger.Warn("gpuperfd: shutdown grace expired; aborting in-flight requests")
 			} else {
-				log.Printf("gpuperfd: shutdown: %v", err)
+				logger.Warn("gpuperfd: shutdown", "err", err)
 			}
 		}
 	}
 }
 
+// servePprof mounts net/http/pprof on its own mux and listener, so
+// profiling never rides the public service address and the service
+// mux never inherits pprof's DefaultServeMux registrations.
+func servePprof(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("gpuperfd: pprof listening", "addr", addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.ListenAndServe(); err != nil {
+		logger.Warn("gpuperfd: pprof listener", "err", err)
+	}
+}
+
 // precalibrateAll calibrates every served device before the listener
 // opens, so /healthz answers ready from the first probe.
-func precalibrateAll(f *gpuperf.Fleet, names []string, calDir string) {
+func precalibrateAll(logger *slog.Logger, fatal func(string, ...any), f *gpuperf.Fleet, names []string, calDir string) {
 	for _, n := range names {
 		a, err := f.Session(n)
 		if err != nil {
-			log.Fatalf("gpuperfd: %v", err)
+			fatal("gpuperfd: precalibrate", "err", err)
 		}
-		log.Printf("gpuperfd: calibrating %s...", n)
+		logger.Info("gpuperfd: calibrating", "device", n)
 		if err := a.Calibrate(); err != nil {
-			log.Fatalf("gpuperfd: calibration of %s: %v", n, err)
+			fatal("gpuperfd: calibration failed", "device", n, "err", err)
 		}
 		switch {
 		case a.CalibrationFromCache():
-			log.Printf("gpuperfd: %s calibration loaded from %s", n, calDir)
+			logger.Info("gpuperfd: calibration loaded", "device", n, "dir", calDir)
 		case a.CalibrationSaveError() != nil:
-			log.Printf("gpuperfd: %s calibration ready (cache not saved: %v)", n, a.CalibrationSaveError())
+			logger.Info("gpuperfd: calibration ready (cache not saved)", "device", n, "err", a.CalibrationSaveError())
 		default:
-			log.Printf("gpuperfd: %s calibration ready", n)
+			logger.Info("gpuperfd: calibration ready", "device", n)
 		}
 	}
-}
-
-// logRequests is a minimal access log: method, path, duration.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s (%s)", r.Method, r.URL.Path, fmtDuration(time.Since(start)))
-	})
-}
-
-func fmtDuration(d time.Duration) string {
-	if d < time.Second {
-		return d.Round(time.Millisecond).String()
-	}
-	return fmt.Sprintf("%.1fs", d.Seconds())
 }

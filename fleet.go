@@ -8,7 +8,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"gpuperf/internal/obs"
 	"gpuperf/internal/resultstore"
 )
 
@@ -91,6 +93,15 @@ type Fleet struct {
 	subs    *ingestStore
 	subsErr error
 
+	// start anchors uptime_seconds; metrics is the fleet's /metrics
+	// registry (always non-nil); reqOps counts front-door calls by
+	// operation and phaseHist distributes computed requests' phase
+	// timings.
+	start     time.Time
+	metrics   *obs.Registry
+	reqOps    *obs.CounterVec
+	phaseHist *obs.HistogramVec
+
 	mu       sync.Mutex
 	sessions map[string]*Analyzer
 }
@@ -134,11 +145,18 @@ func NewFleet(opt FleetOptions) *Fleet {
 		def:      def,
 		admit:    make(chan struct{}, limit),
 		store:    store,
+		start:    time.Now(),
 		sessions: map[string]*Analyzer{},
 	}
 	f.openSubmissions()
+	f.registerMetrics()
 	return f
 }
+
+// Metrics returns the fleet's metric registry — what GET /metrics
+// renders. Always non-nil; library embedders can register their own
+// instruments beside the fleet's.
+func (f *Fleet) Metrics() *Metrics { return f.metrics }
 
 // Catalog returns the fleet's device catalog.
 func (f *Fleet) Catalog() *DeviceCatalog { return f.catalog }
@@ -245,12 +263,20 @@ func (f *Fleet) Analyze(ctx context.Context, req Request) (*Result, error) {
 // output-affecting options and device hardware) is a hit; identical
 // requests in flight at once coalesce onto one simulation.
 func (f *Fleet) AnalyzeCached(ctx context.Context, req Request) (*Result, CacheStatus, error) {
+	f.countRequest("analyze")
+	return f.analyzeCached(ctx, req)
+}
+
+// analyzeCached is AnalyzeCached without the per-op request count —
+// the path internal fan-outs (Compare's per-device analyses) take so
+// they don't inflate the "analyze" counter.
+func (f *Fleet) analyzeCached(ctx context.Context, req Request) (*Result, CacheStatus, error) {
 	a, err := f.route(&req)
 	if err != nil {
 		return nil, CacheBypass, err
 	}
 	if f.store == nil {
-		res, err := a.Analyze(ctx, req)
+		res, err := f.analyze(ctx, a, req)
 		return res, CacheBypass, err
 	}
 	if err := f.normalize(&req); err != nil {
@@ -258,8 +284,22 @@ func (f *Fleet) AnalyzeCached(ctx context.Context, req Request) (*Result, CacheS
 	}
 	key := analyzeKey(req, DeviceFingerprint(a.Device()))
 	return cachedFetch(ctx, f, key, func(ctx context.Context) (*Result, error) {
-		return a.Analyze(ctx, req)
+		return f.analyze(ctx, a, req)
 	})
+}
+
+// analyze runs one session analysis and feeds its phase breakdown
+// into the fleet's phase histogram — computed requests only; cache
+// hits replay the original breakdown in Diagnostics but record no new
+// samples.
+func (f *Fleet) analyze(ctx context.Context, a *Analyzer, req Request) (*Result, error) {
+	res, err := a.Analyze(ctx, req)
+	if err == nil {
+		for name, sec := range res.Diagnostics.PhaseSeconds {
+			f.phaseHist.With(name).Observe(sec)
+		}
+	}
+	return res, err
 }
 
 // Advise routes the request to its device's session and runs the
@@ -274,6 +314,7 @@ func (f *Fleet) Advise(ctx context.Context, req Request) (*Advice, error) {
 // the request. Advice ignores Measure and SkipVerify, so requests
 // differing only there share one cached slot.
 func (f *Fleet) AdviseCached(ctx context.Context, req Request) (*Advice, CacheStatus, error) {
+	f.countRequest("advise")
 	a, err := f.route(&req)
 	if err != nil {
 		return nil, CacheBypass, err
@@ -295,6 +336,7 @@ func (f *Fleet) AdviseCached(ctx context.Context, req Request) (*Advice, CacheSt
 // the device simulator there — no calibration cost (see
 // Analyzer.Measure).
 func (f *Fleet) Measure(ctx context.Context, req Request) (*Measurement, error) {
+	f.countRequest("measure")
 	a, err := f.route(&req)
 	if err != nil {
 		return nil, err
@@ -487,12 +529,19 @@ func (f *Fleet) Compare(ctx context.Context, req CompareRequest) (*Comparison, e
 // hardware fingerprints) given the same effective baseline, so
 // reordering the devices field re-serves the cached ranking.
 func (f *Fleet) CompareCached(ctx context.Context, req CompareRequest) (*Comparison, CacheStatus, error) {
+	f.countRequest("compare")
 	baseline, fps, err := validateCompare(f.catalog, req)
 	if err != nil {
 		return nil, CacheBypass, err
 	}
 	compute := func(ctx context.Context) (*Comparison, error) {
-		return compareFanout(ctx, f.catalog, f.opt.BatchConcurrency, req, baseline, f.Analyze)
+		// Per-device fan-out analyses skip the request counter: the
+		// caller asked for one compare, not N analyzes.
+		return compareFanout(ctx, f.catalog, f.opt.BatchConcurrency, req, baseline,
+			func(ctx context.Context, r Request) (*Result, error) {
+				res, _, err := f.analyzeCached(ctx, r)
+				return res, err
+			})
 	}
 	if f.store == nil {
 		c, err := compute(ctx)

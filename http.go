@@ -8,7 +8,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"strings"
 )
@@ -59,18 +58,27 @@ import (
 // every deterministic body gets a strong ETag honoring If-None-Match
 // with 304 Not Modified. The fully static kernel and device listings
 // additionally set Cache-Control.
-func NewHandler(f *Fleet) http.Handler {
+func NewHandler(f *Fleet) http.Handler { return NewObservedHandler(f, Telemetry{}) }
+
+// NewObservedHandler is NewHandler with the observability layer
+// configured: every route runs behind the telemetry middleware
+// (X-Request-ID, structured access logs, latency histograms,
+// slow-request traces) and GET /metrics renders the fleet's registry
+// in Prometheus text format. NewHandler is this with the zero
+// Telemetry — the middleware always runs; Telemetry only tunes it.
+func NewObservedHandler(f *Fleet, tel Telemetry) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", metricsHandler(f.Metrics()))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := f.Health()
 		status := http.StatusOK
 		if h.Status != "ok" {
 			status = http.StatusServiceUnavailable
 		}
-		writeJSON(w, status, h)
+		writeJSON(w, r, status, h)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, f.CacheStats())
+		writeJSON(w, r, http.StatusOK, f.CacheStats())
 	})
 	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
 		// No Cache-Control here: submissions make the listing dynamic.
@@ -85,16 +93,18 @@ func NewHandler(f *Fleet) http.Handler {
 		if !ok {
 			return
 		}
+		annotate(r, "kernel", req.Label)
 		rec, err := f.SubmitKernel(req)
 		if err != nil {
-			writeAnalysisError(w, err)
+			writeAnalysisError(w, r, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, rec)
+		writeJSON(w, r, http.StatusOK, rec)
 	})
 	mux.HandleFunc("DELETE /v1/kernels/{id}", func(w http.ResponseWriter, r *http.Request) {
+		annotate(r, "kernel", r.PathValue("id"))
 		if err := f.DeleteKernel(r.PathValue("id")); err != nil {
-			writeAnalysisError(w, err)
+			writeAnalysisError(w, r, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
@@ -107,9 +117,11 @@ func NewHandler(f *Fleet) http.Handler {
 		if !ok {
 			return
 		}
+		annotate(r, "kernel", req.Kernel)
+		annotate(r, "device", req.Device)
 		res, st, err := f.AnalyzeCached(r.Context(), req)
 		if err != nil {
-			writeAnalysisError(w, err)
+			writeAnalysisError(w, r, err)
 			return
 		}
 		writeCachedJSON(w, r, res, st, "")
@@ -119,9 +131,11 @@ func NewHandler(f *Fleet) http.Handler {
 		if !ok {
 			return
 		}
+		annotate(r, "kernel", req.Kernel)
+		annotate(r, "device", req.Device)
 		adv, st, err := f.AdviseCached(r.Context(), req)
 		if err != nil {
-			writeAnalysisError(w, err)
+			writeAnalysisError(w, r, err)
 			return
 		}
 		writeCachedJSON(w, r, adv, st, "")
@@ -131,26 +145,30 @@ func NewHandler(f *Fleet) http.Handler {
 		if !ok {
 			return
 		}
+		annotate(r, "kernel", req.Kernel)
+		annotate(r, "device", req.Device)
 		m, err := f.Measure(r.Context(), req)
 		if err != nil {
-			writeAnalysisError(w, err)
+			writeAnalysisError(w, r, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, m)
+		writeJSON(w, r, http.StatusOK, m)
 	})
 	mux.HandleFunc("POST /v1/compare", func(w http.ResponseWriter, r *http.Request) {
 		req, ok := decodeBody[CompareRequest](w, r)
 		if !ok {
 			return
 		}
+		annotate(r, "kernel", req.Kernel)
+		annotate(r, "device", strings.Join(req.Devices, ","))
 		cmp, st, err := f.CompareCached(r.Context(), req)
 		if err != nil {
-			writeAnalysisError(w, err)
+			writeAnalysisError(w, r, err)
 			return
 		}
 		writeCachedJSON(w, r, cmp, st, "")
 	})
-	return mux
+	return telemetryMiddleware(mux, f.Metrics(), tel)
 }
 
 // staticCacheControl is the policy for the kernel and device
@@ -180,14 +198,14 @@ func decodeBodyLimit[T any](w http.ResponseWriter, r *http.Request, limit int64)
 	var req T
 	if err := dec.Decode(&req); err != nil {
 		if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
-			writeError(w, http.StatusRequestEntityTooLarge, err)
+			writeError(w, r, http.StatusRequestEntityTooLarge, err)
 		} else {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 		}
 		return req, false
 	}
 	if dec.More() {
-		writeError(w, http.StatusBadRequest, errors.New("gpuperf: trailing data after the request object"))
+		writeError(w, r, http.StatusBadRequest, errors.New("gpuperf: trailing data after the request object"))
 		return req, false
 	}
 	return req, true
@@ -195,16 +213,16 @@ func decodeBodyLimit[T any](w http.ResponseWriter, r *http.Request, limit int64)
 
 // writeAnalysisError maps an Analyze/Advise/Measure/Compare failure
 // to its status.
-func writeAnalysisError(w http.ResponseWriter, err error) {
+func writeAnalysisError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrUnknownKernel), errors.Is(err, ErrUnknownDevice):
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, r, http.StatusNotFound, err)
 	case errors.Is(err, ErrInvalidRequest):
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, r, http.StatusServiceUnavailable, err)
 	default:
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 	}
 }
 
@@ -251,7 +269,7 @@ func etagMatch(header, etag string) bool {
 func writeCachedJSON(w http.ResponseWriter, r *http.Request, v any, st CacheStatus, cacheControl string) {
 	body, err := encodeJSON(v)
 	if err != nil {
-		writeEncodeFailure(w, v, err)
+		writeEncodeFailure(w, r, v, err)
 		return
 	}
 	h := w.Header()
@@ -270,18 +288,19 @@ func writeCachedJSON(w http.ResponseWriter, r *http.Request, v any, st CacheStat
 	h.Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	if _, err := w.Write(body); err != nil {
-		log.Printf("gpuperf: writing %T response: %v", v, err)
+		requestLogger(r.Context()).Warn("writing response", "component", "http", "type", fmt.Sprintf("%T", v), "err", err)
 	}
 }
 
 // writeJSON encodes v before touching the ResponseWriter, so an
 // unencodable value (a NaN that crept into a float field, say)
 // becomes a logged 500 with a JSON error body instead of a silent
-// 200 with a truncated payload.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// 200 with a truncated payload. r supplies the request-scoped logger,
+// so the error paths carry the request id.
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	body, err := encodeJSON(v)
 	if err != nil {
-		writeEncodeFailure(w, v, err)
+		writeEncodeFailure(w, r, v, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -289,19 +308,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if _, err := w.Write(body); err != nil {
 		// The response line is already on the wire; all we can do for
 		// a dead client is note it.
-		log.Printf("gpuperf: writing %T response: %v", v, err)
+		requestLogger(r.Context()).Warn("writing response", "component", "http", "type", fmt.Sprintf("%T", v), "err", err)
 	}
 }
 
 // writeEncodeFailure is the shared encode-error tail of writeJSON and
 // writeCachedJSON.
-func writeEncodeFailure(w http.ResponseWriter, v any, err error) {
-	log.Printf("gpuperf: encoding %T response: %v", v, err)
+func writeEncodeFailure(w http.ResponseWriter, r *http.Request, v any, err error) {
+	requestLogger(r.Context()).Error("encoding response", "component", "http", "type", fmt.Sprintf("%T", v), "err", err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusInternalServerError)
 	fmt.Fprintf(w, "{\"error\": %q}\n", "gpuperf: encoding response: "+err.Error())
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeJSON(w, r, status, map[string]string{"error": err.Error()})
 }

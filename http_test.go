@@ -497,7 +497,8 @@ func TestHandlerCompareErrors(t *testing.T) {
 // a silent 200 — the guard answers 500 with a JSON error body.
 func TestWriteJSONEncodeFailure(t *testing.T) {
 	rec := httptest.NewRecorder()
-	writeJSON(rec, http.StatusOK, math.NaN()) // JSON cannot encode NaN
+	req := httptest.NewRequest("GET", "/test", nil)
+	writeJSON(rec, req, http.StatusOK, math.NaN()) // JSON cannot encode NaN
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status %d, want 500", rec.Code)
 	}
@@ -507,7 +508,7 @@ func TestWriteJSONEncodeFailure(t *testing.T) {
 	}
 	// And the happy path still writes the caller's status exactly once.
 	rec = httptest.NewRecorder()
-	writeJSON(rec, http.StatusTeapot, map[string]int{"x": 1})
+	writeJSON(rec, req, http.StatusTeapot, map[string]int{"x": 1})
 	if rec.Code != http.StatusTeapot || !strings.Contains(rec.Body.String(), `"x": 1`) {
 		t.Errorf("happy path: %d %q", rec.Code, rec.Body)
 	}

@@ -9,11 +9,13 @@ package barra
 
 import (
 	"testing"
+	"time"
 
 	"gpuperf/internal/bank"
 	"gpuperf/internal/coalesce"
 	"gpuperf/internal/isa"
 	"gpuperf/internal/kbuild"
+	"gpuperf/internal/obs"
 )
 
 // allocProbeKernel touches every hot path: ALU work, a divergent
@@ -135,5 +137,32 @@ func TestSteadyStateCollectorAllocs(t *testing.T) {
 	// refill but nothing per-step.
 	if avg > 1 {
 		t.Fatalf("steady-state execution with pooled stats sink allocates %.1f times per block; want ~0", avg)
+	}
+}
+
+// TestSteadyStateZeroAllocsWithMetrics: the telemetry the service
+// layer hangs off the engine seam — an obs counter bumped and a
+// latency histogram observed per block — must not reintroduce
+// hot-path garbage. This pins "metrics enabled" to the same zero
+// allocations per block as the bare engine.
+func TestSteadyStateZeroAllocsWithMetrics(t *testing.T) {
+	ctx, _ := newAllocCtx(t)
+	w := &worker{ctx: ctx}
+	if _, _, err := w.runBlock(0); err != nil { // warm-up: builds arenas
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	blocks := reg.NewCounter("test_blocks_total", "")
+	lat := reg.NewHistogram("test_block_seconds", "", obs.DefLatencyBuckets)
+	avg := testing.AllocsPerRun(50, func() {
+		start := time.Now()
+		if _, _, err := w.runBlock(0); err != nil {
+			t.Fatal(err)
+		}
+		blocks.Inc()
+		lat.Observe(time.Since(start).Seconds())
+	})
+	if avg != 0 {
+		t.Fatalf("block execution with metrics allocates %.1f times per block; want 0", avg)
 	}
 }

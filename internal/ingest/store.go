@@ -42,10 +42,11 @@ type StoreConfig struct {
 type Store struct {
 	cfg StoreConfig
 
-	mu    sync.Mutex
-	order *list.List               // front = most recently used
-	byID  map[string]*list.Element // value: *Submission
-	bytes int64
+	mu        sync.Mutex
+	order     *list.List               // front = most recently used
+	byID      map[string]*list.Element // value: *Submission
+	bytes     int64
+	evictions int64 // removals for any reason: LRU, TTL, Delete
 }
 
 // storeSlot is the on-disk envelope; the version gates future layout
@@ -224,12 +225,14 @@ func (s *Store) List() []*Submission {
 	return out
 }
 
-// Stats reports the resident count and byte weight.
-func (s *Store) Stats() (count int, bytes int64) {
+// Stats reports the resident count, byte weight and the cumulative
+// number of submissions removed (LRU pressure, TTL expiry or
+// explicit deletion).
+func (s *Store) Stats() (count int, bytes int64, evictions int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expireLocked()
-	return len(s.byID), s.bytes
+	return len(s.byID), s.bytes, s.evictions
 }
 
 // expireLocked drops every submission past its TTL.
@@ -253,6 +256,11 @@ func (s *Store) removeLocked(el *list.Element, notify bool) {
 	s.bytes -= sub.weight()
 	if path := s.SlotPath(sub.ID); path != "" {
 		os.Remove(path)
+	}
+	if notify {
+		// Boot-time reload dedup (notify=false) is not an eviction; a
+		// live submission leaving the store for any reason is.
+		s.evictions++
 	}
 	if notify && s.cfg.OnEvict != nil {
 		s.cfg.OnEvict(sub)

@@ -47,7 +47,7 @@ func TestStoreLRUCountBudget(t *testing.T) {
 	if _, err := s.Get(b.ID); err == nil {
 		t.Fatal("evicted submission still resident")
 	}
-	if n, _ := s.Stats(); n != 2 {
+	if n, _, _ := s.Stats(); n != 2 {
 		t.Fatalf("count = %d", n)
 	}
 }
@@ -132,7 +132,7 @@ func TestStorePersistenceAcrossRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n, _ := s3.Stats(); n != 0 {
+	if n, _, _ := s3.Stats(); n != 0 {
 		t.Fatalf("expired submissions reloaded: %d", n)
 	}
 }

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 8, 100} {
+		h.Observe(v)
+	}
+	// Per-bucket (non-cumulative) expectations: (-inf,1]=2, (1,2]=2,
+	// (2,4]=2, (4,+inf)=2.
+	want := []int64{2, 2, 2}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket le=%g count = %d, want %d", h.bounds[i], got, w)
+		}
+	}
+	if got := h.inf.Load(); got != 2 {
+		t.Errorf("+Inf bucket = %d, want 2", got)
+	}
+	if got := h.Count(); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+4+8+100; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// 4 observations in (1,2]: the median target is 2 observations
+	// deep, i.e. halfway through the bucket -> 1.5 by interpolation.
+	for i := 0; i < 4; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %g, want 1.5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Quantile(1) = %g, want 2", got)
+	}
+
+	// Everything beyond the last finite bound clamps to it.
+	h2 := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 4; i++ {
+		h2.Observe(50)
+	}
+	if got := h2.Quantile(0.99); math.Abs(got-4) > 1e-9 {
+		t.Errorf("overflow Quantile(0.99) = %g, want 4", got)
+	}
+
+	var empty Histogram
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty Quantile = %g, want NaN", got)
+	}
+}
+
+func TestHistogramBoundsSorted(t *testing.T) {
+	h := newHistogram([]float64{4, 1, 2})
+	h.Observe(1.5)
+	if h.counts[0].Load() != 0 || h.counts[1].Load() != 1 {
+		t.Errorf("unsorted bounds not normalized: %v", h.bounds)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("test_total", "")
+	vec := reg.NewCounterVec("test_labeled_total", "", "op")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Inc()
+				vec.With("analyze").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := vec.With("analyze").Value(); got != workers*perWorker {
+		t.Errorf("labeled counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCounterMonotone(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter after negative Add = %d, want 5", got)
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+			g.Add(1)
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8 {
+		t.Errorf("gauge = %g, want 8", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.NewCounter("same_total", "h")
+	b := reg.NewCounter("same_total", "h")
+	if a != b {
+		t.Error("re-registering the same counter returned a new instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different kind did not panic")
+		}
+	}()
+	reg.NewGauge("same_total", "h")
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Prometheus text exposition content type.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in text exposition format,
+// families sorted by name and children in registration order, so the
+// output is deterministic for a given call history.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) {
+	f.mu.Lock()
+	children := make([]*child, 0, len(f.order))
+	for _, k := range f.order {
+		children = append(children, f.children[k])
+	}
+	f.mu.Unlock()
+	if len(children) == 0 {
+		return
+	}
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for _, c := range children {
+		switch f.kind {
+		case KindCounter:
+			if c.fn != nil {
+				writeSample(w, f.name, f.labels, c.labelValues, "", formatFloat(c.fn()))
+			} else {
+				writeSample(w, f.name, f.labels, c.labelValues, "", strconv.FormatInt(c.counter.Value(), 10))
+			}
+		case KindGauge:
+			if c.fn != nil {
+				writeSample(w, f.name, f.labels, c.labelValues, "", formatFloat(c.fn()))
+			} else {
+				writeSample(w, f.name, f.labels, c.labelValues, "", formatFloat(c.gauge.Value()))
+			}
+		case KindHistogram:
+			h := c.hist
+			var cum int64
+			for i, ub := range h.bounds {
+				cum += h.counts[i].Load()
+				writeSample(w, f.name+"_bucket", f.labels, c.labelValues,
+					`le="`+formatFloat(ub)+`"`, strconv.FormatInt(cum, 10))
+			}
+			writeSample(w, f.name+"_bucket", f.labels, c.labelValues,
+				`le="+Inf"`, strconv.FormatInt(h.Count(), 10))
+			writeSample(w, f.name+"_sum", f.labels, c.labelValues, "", formatFloat(h.Sum()))
+			writeSample(w, f.name+"_count", f.labels, c.labelValues, "", strconv.FormatInt(h.Count(), 10))
+		}
+	}
+}
+
+func writeSample(w *bufio.Writer, name string, labels, values []string, extra, val string) {
+	w.WriteString(name)
+	if len(labels) > 0 || extra != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extra != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extra)
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(val)
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// LabeledExposition pairs one scraped exposition body with the label
+// value identifying its source (the router tags each worker's
+// metrics with worker="<url>").
+type LabeledExposition struct {
+	LabelValue string
+	Text       []byte
+}
+
+// MergeExpositions writes own followed by each part, injecting
+// label="<part.LabelValue>" into every sample line of the parts.
+// Duplicate HELP/TYPE header lines across parts are dropped (the
+// first wins), so the merged document stays a valid exposition even
+// when every worker exports the same families.
+func MergeExpositions(w io.Writer, label string, own []byte, parts []LabeledExposition) error {
+	bw := bufio.NewWriter(w)
+	seenHeader := make(map[string]bool)
+	writeBody := func(text []byte, labelValue string) {
+		sc := bufio.NewScanner(bytes.NewReader(text))
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+			case strings.HasPrefix(line, "#"):
+				if seenHeader[line] {
+					continue
+				}
+				seenHeader[line] = true
+				bw.WriteString(line)
+				bw.WriteByte('\n')
+			default:
+				bw.WriteString(injectLabel(line, label, labelValue))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	writeBody(own, "")
+	for _, p := range parts {
+		writeBody(p.Text, p.LabelValue)
+	}
+	return bw.Flush()
+}
+
+// injectLabel rewrites one sample line to carry label="value". Lines
+// already labeled get the pair prepended inside the brace; bare
+// samples gain a brace set before the value.
+func injectLabel(line, label, value string) string {
+	if value == "" {
+		return line
+	}
+	pair := label + `="` + escapeLabel(value) + `"`
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		rest := line[i+1:]
+		if strings.HasPrefix(rest, "}") {
+			return line[:i+1] + pair + rest
+		}
+		return line[:i+1] + pair + "," + rest
+	}
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		return line[:i] + "{" + pair + "}" + line[i:]
+	}
+	return line
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full exposition byte-for-byte:
+// family ordering (sorted by name), child ordering (first use), label
+// escaping, and the cumulative histogram encoding.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("z_requests_total", "Total requests.").Add(3)
+	v := reg.NewCounterVec("a_ops_total", "Per-op totals.", "op", "cache")
+	v.With("analyze", "miss").Add(2)
+	v.With("advise", "hit").Add(1)
+	reg.NewGauge("m_inflight", "In-flight requests.").Set(1.5)
+	reg.NewGaugeFunc("m_uptime_seconds", "", func() float64 { return 42 })
+	h := reg.NewHistogram("h_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	reg.NewCounterVec("esc_total", "", "path").With(`a"b\c`).Add(1)
+
+	const want = `# HELP a_ops_total Per-op totals.
+# TYPE a_ops_total counter
+a_ops_total{op="analyze",cache="miss"} 2
+a_ops_total{op="advise",cache="hit"} 1
+# TYPE esc_total counter
+esc_total{path="a\"b\\c"} 1
+# HELP h_seconds Latency.
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.1"} 1
+h_seconds_bucket{le="1"} 2
+h_seconds_bucket{le="+Inf"} 3
+h_seconds_sum 5.55
+h_seconds_count 3
+# HELP m_inflight In-flight requests.
+# TYPE m_inflight gauge
+m_inflight 1.5
+# TYPE m_uptime_seconds gauge
+m_uptime_seconds 42
+# HELP z_requests_total Total requests.
+# TYPE z_requests_total counter
+z_requests_total 3
+`
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestMergeExpositions(t *testing.T) {
+	own := []byte("# TYPE router_up gauge\nrouter_up 1\n")
+	w1 := []byte("# HELP req_total Requests.\n# TYPE req_total counter\nreq_total{op=\"analyze\"} 2\nbare_gauge 7\n")
+	w2 := []byte("# HELP req_total Requests.\n# TYPE req_total counter\nreq_total{op=\"analyze\"} 5\n")
+
+	var b strings.Builder
+	err := MergeExpositions(&b, "worker", own, []LabeledExposition{
+		{LabelValue: "http://a:1", Text: w1},
+		{LabelValue: "http://b:2", Text: w2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE router_up gauge
+router_up 1
+# HELP req_total Requests.
+# TYPE req_total counter
+req_total{worker="http://a:1",op="analyze"} 2
+bare_gauge{worker="http://a:1"} 7
+req_total{worker="http://b:2",op="analyze"} 5
+`
+	if got := b.String(); got != want {
+		t.Errorf("merge mismatch\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if strings.Count(b.String(), "# TYPE req_total counter") != 1 {
+		t.Error("duplicate TYPE header survived the merge")
+	}
+}
+
+func TestInjectLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`m 1`, `m{worker="w"} 1`},
+		{`m{a="b"} 1`, `m{worker="w",a="b"} 1`},
+		{`m{} 1`, `m{worker="w"} 1`},
+		{`m_bucket{le="+Inf"} 3`, `m_bucket{worker="w",le="+Inf"} 3`},
+	}
+	for _, c := range cases {
+		if got := injectLabel(c.in, "worker", "w"); got != c.want {
+			t.Errorf("injectLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

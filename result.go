@@ -114,6 +114,13 @@ type Diagnostics struct {
 	BlocksReplayed  int64 `json:"blocks_replayed"`
 	BatchedRuns     int64 `json:"batched_runs"`
 	BatchedInstrs   int64 `json:"batched_instrs"`
+	// PhaseSeconds breaks the request's wall-clock down by phase
+	// (calibration wait, admission wait, build, engine, model, verify,
+	// measure), rounded to microseconds. Unlike every other field it
+	// is timing, not simulation output: two identical requests carry
+	// identical stats but different phase timings, and a cached HIT
+	// replays the original computation's breakdown verbatim.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
 // StatsSummary condenses the functional run's dynamic statistics.

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"gpuperf/internal/obs"
 )
 
 // RouterOptions configures a Router.
@@ -36,6 +38,9 @@ type RouterOptions struct {
 	// which imposes no overall timeout — analyses can run long and
 	// respect the inbound request's context instead).
 	Client *http.Client
+	// Telemetry tunes the router's observability layer (logger, slow
+	// threshold); the zero value is fully functional.
+	Telemetry Telemetry
 }
 
 // Router is gpuperfd's scale-out front door: it consistent-hashes
@@ -56,6 +61,14 @@ type Router struct {
 	def     string
 	workers []string
 	client  *http.Client
+
+	// start anchors the router's own uptime gauge; metrics is its
+	// /metrics registry (worker scrapes are merged in at serve time);
+	// proxyLat/proxyErrs are the per-worker proxy instruments.
+	start     time.Time
+	metrics   *obs.Registry
+	proxyLat  *obs.HistogramVec
+	proxyErrs *obs.CounterVec
 
 	mu    sync.RWMutex
 	state map[string]*workerState
@@ -117,9 +130,64 @@ func NewRouter(opt RouterOptions) (*Router, error) {
 		rt.workers = append(rt.workers, u)
 		rt.state[u] = &workerState{}
 	}
+	rt.registerMetrics()
 	rt.probeAll()
 	go rt.healthLoop()
 	return rt, nil
+}
+
+// registerMetrics builds the router's own registry: uptime, runtime
+// gauges, per-worker health flags sampled at scrape time, and the
+// per-worker proxy latency/error instruments rt.do records into.
+func (rt *Router) registerMetrics() {
+	rt.start = time.Now()
+	rt.metrics = obs.NewRegistry()
+	rt.metrics.NewGaugeFunc("gpuperf_router_uptime_seconds",
+		"Seconds since the router was built.",
+		func() float64 { return time.Since(rt.start).Seconds() })
+	registerRuntimeMetrics(rt.metrics)
+	up := rt.metrics.NewGaugeFuncVec("gpuperf_router_worker_up",
+		"Worker answered its last /healthz probe (1/0).", "worker")
+	ready := rt.metrics.NewGaugeFuncVec("gpuperf_router_worker_ready",
+		"Worker /healthz answered 200 — default device calibrated (1/0).", "worker")
+	for _, wk := range rt.workers {
+		wk := wk
+		up.Register(func() float64 { return boolGauge(rt.isUp(wk)) }, wk)
+		ready.Register(func() float64 { return boolGauge(rt.isReady(wk)) }, wk)
+	}
+	rt.proxyLat = rt.metrics.NewHistogramVec("gpuperf_router_proxy_seconds",
+		"Proxied request latency by worker.", obs.DefLatencyBuckets, "worker")
+	rt.proxyErrs = rt.metrics.NewCounterVec("gpuperf_router_proxy_errors_total",
+		"Proxied request transport failures by worker.", "worker")
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Metrics returns the router's own metric registry (worker metrics
+// are merged in only on the /metrics route).
+func (rt *Router) Metrics() *Metrics { return rt.metrics }
+
+// do issues one proxied request: it forwards the inbound request id
+// (so one id threads router and worker logs), opens a proxy span in
+// the request trace, and records the per-worker latency histogram and
+// transport-error counter. Callers still own markDown decisions.
+func (rt *Router) do(wk string, req *http.Request) (*http.Response, error) {
+	if tr := obs.TraceFrom(req.Context()); tr != nil {
+		req.Header.Set("X-Request-ID", tr.ID())
+	}
+	_, sp := obs.StartSpan(req.Context(), "proxy")
+	resp, err := rt.client.Do(req)
+	sp.End()
+	rt.proxyLat.With(wk).Observe(sp.Duration().Seconds())
+	if err != nil {
+		rt.proxyErrs.With(wk).Inc()
+	}
+	return resp, err
 }
 
 // Close stops the health loop. The router keeps serving with its last
@@ -218,6 +286,13 @@ func (rt *Router) isUp(wk string) bool {
 	return ok && st.up
 }
 
+func (rt *Router) isReady(wk string) bool {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	st, ok := rt.state[wk]
+	return ok && st.ready
+}
+
 // markDown records a failed proxied request immediately instead of
 // waiting for the next probe, so a crashed worker fails fast for the
 // requests behind the one that discovered it.
@@ -292,29 +367,34 @@ func (e *proxyError) Error() string { return e.msg }
 // writeProxyError maps a proxied failure to its status: a worker's
 // own verdict when one is embedded, the local analysis mapping
 // otherwise.
-func writeProxyError(w http.ResponseWriter, err error) {
+func writeProxyError(w http.ResponseWriter, r *http.Request, err error) {
 	var pe *proxyError
 	if errors.As(err, &pe) {
-		writeError(w, pe.code, err)
+		writeError(w, r, pe.code, err)
 		return
 	}
-	writeAnalysisError(w, err)
+	writeAnalysisError(w, r, err)
 }
 
 // Handler exposes the router over HTTP: the same /v1 surface as a
-// worker, plus a router-shaped /healthz.
+// worker, plus a router-shaped /healthz and a /metrics that merges
+// every up worker's exposition (tagged with worker labels) into the
+// router's own. Proxied responses carry X-Shard naming the worker
+// that served them, and the inbound X-Request-ID is forwarded so one
+// id threads router and worker logs.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := rt.Health()
 		status := http.StatusOK
 		if h.Status != "ok" {
 			status = http.StatusServiceUnavailable
 		}
-		writeJSON(w, status, h)
+		writeJSON(w, r, status, h)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, rt.aggregateStats(r.Context()))
+		writeJSON(w, r, http.StatusOK, rt.aggregateStats(r.Context()))
 	})
 	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
 		rt.proxyStatic(w, r, "/v1/kernels")
@@ -331,7 +411,41 @@ func (rt *Router) Handler() http.Handler {
 		})
 	}
 	mux.HandleFunc("POST /v1/compare", rt.handleCompare)
-	return mux
+	return telemetryMiddleware(mux, rt.metrics, rt.opt.Telemetry)
+}
+
+// handleMetrics scrapes every up worker's /metrics and merges the
+// expositions into the router's own, each worker's samples tagged
+// with worker="<url>" — one endpoint shows the whole deployment.
+// Workers that fail to answer are skipped (their absence is visible
+// through gpuperf_router_worker_up).
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var own bytes.Buffer
+	rt.metrics.WritePrometheus(&own)
+	var parts []obs.LabeledExposition
+	for _, wk := range rt.workers {
+		if !rt.isUp(wk) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, wk+"/metrics", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.do(wk, req)
+		if err != nil {
+			continue
+		}
+		text, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		parts = append(parts, obs.LabeledExposition{LabelValue: wk, Text: text})
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	if err := obs.MergeExpositions(w, "worker", own.Bytes(), parts); err != nil {
+		requestLogger(r.Context()).Warn("writing merged /metrics", "component", "router", "err", err)
+	}
 }
 
 // aggregateStats sums every up worker's /v1/stats — the fleet-wide
@@ -361,6 +475,18 @@ func (rt *Router) aggregateStats(ctx context.Context) CacheStats {
 		agg.MemoryBudgetBytes += st.MemoryBudgetBytes
 		agg.Submissions += st.Submissions
 		agg.SubmissionBytes += st.SubmissionBytes
+		agg.SubmissionEvictions += st.SubmissionEvictions
+		// Uptime aggregates as the oldest worker's: "how long has this
+		// deployment been serving" rather than a meaningless sum.
+		if st.UptimeSeconds > agg.UptimeSeconds {
+			agg.UptimeSeconds = st.UptimeSeconds
+		}
+		for op, n := range st.Requests {
+			if agg.Requests == nil {
+				agg.Requests = make(map[string]int64)
+			}
+			agg.Requests[op] += n
+		}
 	}
 	return agg
 }
@@ -387,13 +513,16 @@ var proxiedHeaders = []string{"Content-Type", "ETag", "Cache-Control", "X-Cache"
 
 // relay copies a worker's response — status, caching headers, body —
 // to the client verbatim, so HIT/MISS verdicts and ETags survive the
-// hop.
-func relay(w http.ResponseWriter, resp *http.Response) {
+// hop, and tags it with X-Shard naming the worker that served it.
+func relay(w http.ResponseWriter, resp *http.Response, shard string) {
 	defer resp.Body.Close()
 	for _, h := range proxiedHeaders {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
+	}
+	if shard != "" {
+		w.Header().Set("X-Shard", shard)
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
@@ -410,21 +539,21 @@ func (rt *Router) proxyStatic(w http.ResponseWriter, r *http.Request, path strin
 		}
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, wk+path, nil)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		if inm := r.Header.Get("If-None-Match"); inm != "" {
 			req.Header.Set("If-None-Match", inm)
 		}
-		resp, err := rt.client.Do(req)
+		resp, err := rt.do(wk, req)
 		if err != nil {
 			rt.markDown(wk)
 			continue
 		}
-		relay(w, resp)
+		relay(w, resp, wk)
 		return
 	}
-	writeError(w, http.StatusServiceUnavailable, fmt.Errorf("gpuperf: no worker is up"))
+	writeError(w, r, http.StatusServiceUnavailable, fmt.Errorf("gpuperf: no worker is up"))
 }
 
 // proxyByDevice routes one single-device request to its device's
@@ -436,9 +565,9 @@ func (rt *Router) proxyByDevice(w http.ResponseWriter, r *http.Request, path str
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
 	if err != nil {
 		if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
-			writeError(w, http.StatusRequestEntityTooLarge, err)
+			writeError(w, r, http.StatusRequestEntityTooLarge, err)
 		} else {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 		}
 		return
 	}
@@ -455,28 +584,28 @@ func (rt *Router) proxyByDevice(w http.ResponseWriter, r *http.Request, path str
 	}
 	dev, err := rt.catalog.Resolve(name)
 	if err != nil {
-		writeAnalysisError(w, err)
+		writeAnalysisError(w, r, err)
 		return
 	}
 	wk := rt.shardFor(DeviceFingerprint(dev))
 	if !rt.isUp(wk) {
-		writeError(w, http.StatusServiceUnavailable,
+		writeError(w, r, http.StatusServiceUnavailable,
 			fmt.Errorf("gpuperf: shard %s (device %q) is down", wk, name))
 		return
 	}
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, wk+path, bytes.NewReader(body))
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if inm := r.Header.Get("If-None-Match"); inm != "" {
 		req.Header.Set("If-None-Match", inm)
 	}
-	resp, err := rt.client.Do(req)
+	resp, err := rt.do(wk, req)
 	if err != nil {
 		rt.markDown(wk)
-		writeError(w, http.StatusBadGateway, fmt.Errorf("gpuperf: shard %s: %w", wk, err))
+		writeError(w, r, http.StatusBadGateway, fmt.Errorf("gpuperf: shard %s: %w", wk, err))
 		return
 	}
 	// Submitted kernels live on the shard owning their PROGRAM hash,
@@ -489,21 +618,21 @@ func (rt *Router) proxyByDevice(w http.ResponseWriter, r *http.Request, path str
 			resp.Body.Close()
 			req2, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+path, bytes.NewReader(body))
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, err)
+				writeError(w, r, http.StatusInternalServerError, err)
 				return
 			}
 			req2.Header.Set("Content-Type", "application/json")
-			resp2, err := rt.client.Do(req2)
+			resp2, err := rt.do(owner, req2)
 			if err != nil {
 				rt.markDown(owner)
-				writeError(w, http.StatusBadGateway, fmt.Errorf("gpuperf: shard %s: %w", owner, err))
+				writeError(w, r, http.StatusBadGateway, fmt.Errorf("gpuperf: shard %s: %w", owner, err))
 				return
 			}
-			relay(w, resp2)
+			relay(w, resp2, owner)
 			return
 		}
 	}
-	relay(w, resp)
+	relay(w, resp, wk)
 }
 
 // handleSubmit routes POST /v1/kernels to the worker owning the
@@ -517,9 +646,9 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSubmissionBody))
 	if err != nil {
 		if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
-			writeError(w, http.StatusRequestEntityTooLarge, err)
+			writeError(w, r, http.StatusRequestEntityTooLarge, err)
 		} else {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 		}
 		return
 	}
@@ -534,22 +663,22 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		wk = rt.firstUp()
 	}
 	if wk == "" || !rt.isUp(wk) {
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("gpuperf: submission shard is down"))
+		writeError(w, r, http.StatusServiceUnavailable, fmt.Errorf("gpuperf: submission shard is down"))
 		return
 	}
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, wk+"/v1/kernels", bytes.NewReader(body))
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := rt.client.Do(req)
+	resp, err := rt.do(wk, req)
 	if err != nil {
 		rt.markDown(wk)
-		writeError(w, http.StatusBadGateway, fmt.Errorf("gpuperf: shard %s: %w", wk, err))
+		writeError(w, r, http.StatusBadGateway, fmt.Errorf("gpuperf: shard %s: %w", wk, err))
 		return
 	}
-	relay(w, resp)
+	relay(w, resp, wk)
 }
 
 // handleDeleteKernel routes DELETE /v1/kernels/{id} to the shard
@@ -558,21 +687,21 @@ func (rt *Router) handleDeleteKernel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	wk := rt.shardFor(id)
 	if !rt.isUp(wk) {
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("gpuperf: shard %s (submission %q) is down", wk, id))
+		writeError(w, r, http.StatusServiceUnavailable, fmt.Errorf("gpuperf: shard %s (submission %q) is down", wk, id))
 		return
 	}
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete, wk+"/v1/kernels/"+id, nil)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
-	resp, err := rt.client.Do(req)
+	resp, err := rt.do(wk, req)
 	if err != nil {
 		rt.markDown(wk)
-		writeError(w, http.StatusBadGateway, fmt.Errorf("gpuperf: shard %s: %w", wk, err))
+		writeError(w, r, http.StatusBadGateway, fmt.Errorf("gpuperf: shard %s: %w", wk, err))
 		return
 	}
-	relay(w, resp)
+	relay(w, resp, wk)
 }
 
 // firstUp returns the first up worker, or "" with none.
@@ -610,7 +739,7 @@ func (rt *Router) remoteAnalyze(ctx context.Context, req Request) (*Result, Cach
 		return nil, CacheBypass, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := rt.client.Do(hreq)
+	resp, err := rt.do(wk, hreq)
 	if err != nil {
 		rt.markDown(wk)
 		return nil, CacheBypass, &proxyError{
@@ -659,12 +788,12 @@ func (rt *Router) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	baseline, fps, err := validateCompare(rt.catalog, req)
 	if err != nil {
-		writeAnalysisError(w, err)
+		writeAnalysisError(w, r, err)
 		return
 	}
 	for i, d := range req.Devices {
 		if wk := rt.shardFor(fps[i]); !rt.isUp(wk) {
-			writeError(w, http.StatusServiceUnavailable,
+			writeError(w, r, http.StatusServiceUnavailable,
 				fmt.Errorf("gpuperf: shard %s (device %q) is down", wk, d))
 			return
 		}
@@ -682,7 +811,7 @@ func (rt *Router) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	cmp, err := compareFanout(r.Context(), rt.catalog, rt.opt.BatchConcurrency, req, baseline, analyzeFn)
 	if err != nil {
-		writeProxyError(w, err)
+		writeProxyError(w, r, err)
 		return
 	}
 	st := CacheMiss

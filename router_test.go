@@ -32,11 +32,17 @@ func (fw *fakeWorker) handler(t *testing.T) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fw.record(r, "")
-		writeJSON(w, fw.healthStatus, map[string]string{"status": "canned", "worker": fw.name})
+		writeJSON(w, r, fw.healthStatus, map[string]string{"status": "canned", "worker": fw.name})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		fw.record(r, "")
-		writeJSON(w, http.StatusOK, CacheStats{Enabled: true, Hits: 2, Misses: 1, Entries: 1, Bytes: 100})
+		writeJSON(w, r, http.StatusOK, CacheStats{Enabled: true, Hits: 2, Misses: 1, Entries: 1, Bytes: 100})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fw.record(r, "")
+		w.Write([]byte("# HELP gpuperf_requests_total Fleet front-door calls by operation.\n" +
+			"# TYPE gpuperf_requests_total counter\n" +
+			"gpuperf_requests_total{op=\"analyze\"} 3\n"))
 	})
 	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
 		fw.record(r, "")
@@ -45,7 +51,7 @@ func (fw *fakeWorker) handler(t *testing.T) http.Handler {
 	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		fw.record(r, req.Device)

@@ -60,9 +60,12 @@ CACHEDIR="$BINDIR/cache"
 
 SUBSDIR="$BINDIR/subs"
 
+PPROF=127.0.0.1:8101
+
 "$BINDIR/gpuperfd" -addr "$ADDR" -devices gtx285-6sm,gtx285 \
     -cal-dir "$CALDIR" -cache-dir "$CACHEDIR" \
-    -subs-dir "$SUBSDIR" -subs-max 8 -subs-ttl 1h &
+    -subs-dir "$SUBSDIR" -subs-max 8 -subs-ttl 1h \
+    -log-format json -pprof "$PPROF" 2>"$BINDIR/worker.log" &
 PIDS+=($!)
 wait_http "http://$ADDR/healthz"
 
@@ -304,6 +307,67 @@ grep -q '"submissions": 1' <<<"$STATS" || {
     echo "smoke: stats should gauge 1 resident submission: $STATS" >&2
     exit 1
 }
+grep -q '"uptime_seconds"' <<<"$STATS" || {
+    echo "smoke: stats missing uptime_seconds: $STATS" >&2
+    exit 1
+}
+grep -q '"requests"' <<<"$STATS" || {
+    echo "smoke: stats missing per-op request counts: $STATS" >&2
+    exit 1
+}
+
+# Observability: every response carries a request id (echoed when the
+# client supplies one), /metrics parses as a Prometheus exposition
+# with the known families, and a round trip bumps the analyze counter.
+RID=$(awk -F': ' 'tolower($1)=="x-request-id"{gsub(/\r/,"",$2); print $2}' "$BINDIR/a1")
+[ -n "$RID" ] || { echo "smoke: analyze response has no X-Request-ID" >&2; exit 1; }
+ECHOED=$(curl -fsS -o /dev/null -D - -H 'X-Request-ID: smoke-rid-1' "http://$ADDR/healthz" \
+    | awk -F': ' 'tolower($1)=="x-request-id"{gsub(/\r/,"",$2); print $2}')
+if [ "$ECHOED" != "smoke-rid-1" ]; then
+    echo "smoke: inbound X-Request-ID not echoed (got '$ECHOED')" >&2
+    exit 1
+fi
+
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+[ -n "$METRICS" ] || { echo "smoke: /metrics is empty" >&2; exit 1; }
+for fam in gpuperf_uptime_seconds gpuperf_requests_total gpuperf_http_requests_total \
+           gpuperf_cache_misses_total gpuperf_engine_blocks_simulated_total \
+           gpuperf_phase_seconds_bucket gpuperf_http_request_seconds_bucket; do
+    grep -q "^$fam" <<<"$METRICS" || {
+        echo "smoke: /metrics missing family $fam" >&2
+        exit 1
+    }
+done
+analyze_count() {
+    curl -fsS "http://$ADDR/metrics" | awk '/^gpuperf_requests_total\{op="analyze"\}/{print $2}'
+}
+N0=$(analyze_count)
+post "http://$ADDR/v1/analyze" "$BODY" "$BINDIR/am" >/dev/null
+N1=$(analyze_count)
+if [ "${N1:-0}" -ne $((N0 + 1)) ]; then
+    echo "smoke: analyze round trip did not bump gpuperf_requests_total{op=\"analyze\"}: $N0 -> $N1" >&2
+    exit 1
+fi
+
+# The pprof sidecar listener serves profiles off the service address.
+# (grep -q would SIGPIPE curl under pipefail; buffer the body first.)
+HEAP=$(curl -fsS "http://$PPROF/debug/pprof/heap?debug=1")
+grep -q 'heap profile' <<<"$HEAP" || {
+    echo "smoke: pprof heap profile not served on $PPROF" >&2
+    exit 1
+}
+
+# -log-format json: the access log is structured, one object per
+# request, carrying the route and the request id.
+grep -q '"msg":"request".*"route":"/v1/analyze"' "$BINDIR/worker.log" || {
+    echo "smoke: no JSON access-log line for /v1/analyze:" >&2
+    tail -5 "$BINDIR/worker.log" >&2
+    exit 1
+}
+grep -q '"id":"smoke-rid-1"' "$BINDIR/worker.log" || {
+    echo "smoke: access log does not carry the client-supplied request id" >&2
+    exit 1
+}
 
 # DELETE evicts the submission everywhere: the id 404s, the listing
 # and the disk slot drop it, and a repeat delete 404s too.
@@ -426,6 +490,23 @@ RDCODE=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://$RT/v1/kernels
 [ "$RDCODE" = "204" ] || { echo "smoke: router DELETE answered $RDCODE, want 204" >&2; exit 1; }
 RACODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$RT/v1/analyze" -d "$RSBODY")
 [ "$RACODE" = "404" ] || { echo "smoke: router analyze of evicted submission answered $RACODE, want 404" >&2; exit 1; }
+
+# The router's /metrics merges every worker's exposition under a
+# worker="<url>" label next to the router's own series.
+RMETRICS=$(curl -fsS "http://$RT/metrics")
+grep -q '^gpuperf_router_worker_up{worker="http://' <<<"$RMETRICS" || {
+    echo "smoke: router /metrics missing per-worker up gauge" >&2
+    exit 1
+}
+grep -q '^gpuperf_router_uptime_seconds' <<<"$RMETRICS" || {
+    echo "smoke: router /metrics missing its own uptime" >&2
+    exit 1
+}
+grep -q "^gpuperf_requests_total{worker=\"http://$W1\"" <<<"$RMETRICS" &&
+    grep -q "^gpuperf_requests_total{worker=\"http://$W2\"" <<<"$RMETRICS" || {
+    echo "smoke: router /metrics does not carry both workers' request counters" >&2
+    exit 1
+}
 
 # Aggregated stats across the worker set: a nonzero hit rate.
 RSTATS=$(curl -fsS "http://$RT/v1/stats")

@@ -117,7 +117,7 @@ func TestSubmitKernelLifecycle(t *testing.T) {
 	if err != nil || rec2.ID != rec.ID || !rec2.Existing {
 		t.Fatalf("resubmit: %+v, %v", rec2, err)
 	}
-	if n, _ := f.subs.Stats(); n != 1 {
+	if n, _, _ := f.subs.Stats(); n != 1 {
 		t.Fatalf("resubmission duplicated the store: %d entries", n)
 	}
 	if cs := f.CacheStats(); cs.Submissions != 1 || cs.SubmissionBytes == 0 {
@@ -376,10 +376,10 @@ func TestRouterSubmitEndToEnd(t *testing.T) {
 	}
 	// Only the owner shard holds it.
 	owner := rt.shardFor(id)
-	if n, _ := byURL[owner].subs.Stats(); n != 1 {
+	if n, _, _ := byURL[owner].subs.Stats(); n != 1 {
 		t.Fatalf("owner shard holds %d submissions, want 1", n)
 	}
-	if n, _ := byURL[deviceShard].subs.Stats(); n != 0 {
+	if n, _, _ := byURL[deviceShard].subs.Stats(); n != 0 {
 		t.Fatalf("foreign shard holds %d submissions, want 0", n)
 	}
 
