@@ -99,7 +99,7 @@ func (f *Fleet) CacheStats() CacheStats {
 		Engine: f.EngineCounters(),
 		// Milliseconds are plenty; full float64 tails would churn the
 		// JSON diff on every scrape.
-		UptimeSeconds: math.Round(time.Since(f.start).Seconds()*1e3) / 1e3,
+		UptimeSeconds: math.Round(time.Since(f.start).Seconds()*1e3) / 1e3, //gpuperf:wallclock uptime is telemetry; /v1/stats is never cached or fingerprinted
 		Requests:      f.requestCounts(),
 	}
 	if f.subs != nil {

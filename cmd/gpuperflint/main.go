@@ -1,0 +1,127 @@
+// Command gpuperflint is gpuperf's multichecker: it loads the module,
+// type-checks every non-test package, and runs the internal/lint
+// analyzer suite — the repo's invariants (import layering, hot-path
+// allocation-freedom, determinism, slog-only logging, context
+// propagation) as positioned compile-time diagnostics.
+//
+// Usage:
+//
+//	gpuperflint [-C moduleRoot] [-list] [packages...]
+//
+// Package arguments are module-relative directory prefixes ("cmd",
+// "internal/barra"); "./..." or no arguments lints the whole module.
+// Every package is always loaded (whole-program analyzers need the
+// full call graph); the arguments only filter which packages'
+// findings are reported. Exit status: 0 clean, 1 findings, 2 load or
+// usage error.
+//
+// Note: gpuperflint is part of the root module and therefore buildable
+// by `go build ./...`, but it imports gpuperf/internal/lint — it is a
+// development tool, not a facade consumer, and the layering policy
+// lists it accordingly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpuperf/internal/lint"
+)
+
+func main() {
+	root := flag.String("C", "", "module root (default: walk up from the working directory to go.mod)")
+	list := flag.Bool("list", false, "print the analyzer catalog and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gpuperflint [-C moduleRoot] [-list] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpuperflint:", err)
+			os.Exit(2)
+		}
+	}
+
+	prog, err := lint.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpuperflint:", err)
+		os.Exit(2)
+	}
+
+	pkgs := prog.Packages()
+	if filters := packageFilters(flag.Args()); filters != nil {
+		var kept []*lint.Package
+		for _, pkg := range pkgs {
+			for _, f := range filters {
+				if f == "" || pkg.Rel == f || strings.HasPrefix(pkg.Rel, f+"/") {
+					kept = append(kept, pkg)
+					break
+				}
+			}
+		}
+		pkgs = kept
+	}
+
+	diags, err := lint.Run(prog, analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpuperflint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gpuperflint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// packageFilters normalizes the CLI package arguments into
+// module-relative directory prefixes; nil means "everything".
+func packageFilters(args []string) []string {
+	var filters []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." || arg == "." {
+			return nil
+		}
+		arg = strings.TrimSuffix(arg, "/...")
+		arg = strings.TrimPrefix(arg, "./")
+		filters = append(filters, strings.Trim(filepath.ToSlash(arg), "/"))
+	}
+	return filters
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

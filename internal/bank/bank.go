@@ -53,6 +53,8 @@ func (s *Sim) Banks() int { return s.banks }
 // The half-warp path (≤16 addresses — every call the execution
 // engine makes) runs on fixed-size stack arrays and allocates
 // nothing; it is safe for concurrent use from many workers.
+//
+//gpuperf:noalloc
 func (s *Sim) Transactions(addrs []uint32) int {
 	if len(addrs) == 0 {
 		return 0
@@ -112,7 +114,7 @@ outer:
 // transactionsLarge handles arbitrary address counts (synthetic
 // sweeps beyond half-warp width) with per-bank tables.
 func (s *Sim) transactionsLarge(addrs []uint32) int {
-	perBank := make([][]uint32, s.banks)
+	perBank := make([][]uint32, s.banks) //gpuperf:alloc-ok beyond-half-warp path for synthetic sweeps; the engine always passes ≤16 lanes
 	maxWords := 0
 	for _, a := range addrs {
 		word := a / uint32(s.wordBytes)
@@ -125,7 +127,7 @@ func (s *Sim) transactionsLarge(addrs []uint32) int {
 			}
 		}
 		if !dup {
-			perBank[b] = append(perBank[b], word)
+			perBank[b] = append(perBank[b], word) //gpuperf:alloc-ok beyond-half-warp path for synthetic sweeps; the engine always passes ≤16 lanes
 			if len(perBank[b]) > maxWords {
 				maxWords = len(perBank[b])
 			}

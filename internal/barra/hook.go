@@ -44,8 +44,8 @@ func newHookLog(blockID int) *hookLog {
 }
 
 func (l *hookLog) add(load bool, addrs []uint32) {
-	l.events = append(l.events, hookEvent{load: load, n: int32(len(addrs))})
-	l.addrs = append(l.addrs, addrs...)
+	l.events = append(l.events, hookEvent{load: load, n: int32(len(addrs))}) //gpuperf:alloc-ok journal buffers recycle via hookLogPool; growth amortizes to zero
+	l.addrs = append(l.addrs, addrs...)                                      //gpuperf:alloc-ok journal buffers recycle via hookLogPool; growth amortizes to zero
 }
 
 // replay invokes hook for every journaled access in program order.
@@ -93,7 +93,7 @@ func (d *hookDispatcher) run() {
 	}
 	// Aborted runs leave gaps; drop the stragglers rather than replay
 	// them out of order (their buffers still go back to the pool).
-	for _, l := range pending {
+	for _, l := range pending { //gpuperf:unordered pool returns only; nothing is replayed or emitted
 		hookLogPool.Put(l)
 	}
 }

@@ -1,13 +1,3 @@
-// Package barra is the functional GPU simulator — the stand-in for
-// the Barra simulator the paper drives its model with.
-//
-// It executes native-ISA kernels warp by warp on real data and
-// collects the dynamic program statistics the performance model
-// consumes: instruction counts per cost class, shared-memory
-// transactions with and without bank conflicts, hardware-level
-// global-memory transactions under the coalescing protocol, and the
-// program's division into stages by synchronization barriers
-// (paper Fig. 1, "Info extractor" inputs).
 package barra
 
 import (

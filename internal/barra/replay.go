@@ -480,6 +480,8 @@ func (w *worker) runBlockEngine(blockID int) (int, []BlockCollector, error) {
 // in one stepRun call. Runs draw their whole budget up front so that
 // run boundaries — which the signature observes — never depend on
 // worker scheduling; only genuine budget exhaustion splits a run.
+//
+//gpuperf:noalloc
 func (w *worker) leanBlock(varBS *blockStats) (int, error) {
 	l := w.ctx.launch
 	e := &w.eng

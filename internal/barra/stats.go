@@ -400,7 +400,7 @@ func (b *blockStats) clone() *blockStats {
 
 func (b *blockStats) stage(i int) *StageStats {
 	for len(b.stages) <= i {
-		b.stages = append(b.stages, StageStats{})
+		b.stages = append(b.stages, StageStats{}) //gpuperf:alloc-ok bounded by the kernel's stage count; shards recycle via blockStatsPool
 	}
 	return &b.stages[i]
 }
@@ -492,6 +492,10 @@ func (b *blockStats) StageEnd(stage int, workCount []int64) {
 	}
 }
 
+// Merge folds one finished block's shard into the run totals, in
+// ascending block order (the Collector contract).
+//
+//gpuperf:noalloc
 func (c *statsCollector) Merge(blockID int, bc BlockCollector, barriers int) error {
 	bs, ok := bc.(*blockStats)
 	if !ok {
@@ -503,7 +507,7 @@ func (c *statsCollector) Merge(blockID int, bc BlockCollector, barriers int) err
 	}
 	for i := range bs.stages {
 		for len(s.Stages) <= i {
-			s.Stages = append(s.Stages, StageStats{})
+			s.Stages = append(s.Stages, StageStats{}) //gpuperf:alloc-ok bounded by the kernel's stage count, once per run
 		}
 		accumulate(&s.Stages[i], &bs.stages[i])
 	}

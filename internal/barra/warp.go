@@ -290,7 +290,7 @@ func (w *Warp) current() int {
 		if i < cur {
 			cur--
 		}
-		w.splits = append(w.splits[:i], w.splits[i+1:]...)
+		w.splits = append(w.splits[:i], w.splits[i+1:]...) //gpuperf:alloc-ok in-place compaction of the splits stack; the length only shrinks
 	}
 	return cur
 }
@@ -370,6 +370,8 @@ func (w *Warp) guardMask(in *isa.Instruction) LaneMask {
 // Step executes the instruction at the current PC and fills info.
 // BAR advances the PC and sets info.Barrier; the scheduler is
 // responsible for holding the warp until the block synchronizes.
+//
+//gpuperf:noalloc
 func (w *Warp) Step(info *StepInfo) error {
 	if w.done {
 		return fmt.Errorf("barra: step after exit in %q", w.prog.Name)
@@ -447,6 +449,8 @@ func (w *Warp) Step(info *StepInfo) error {
 // transfer, memory access, or divergence change can occur: the only
 // bookkeeping per instruction is the shared-operand broadcast. info
 // is used only as lane-address scratch by the exec fallback.
+//
+//gpuperf:noalloc
 func (w *Warp) stepRun(n int, info *StepInfo) error {
 	s := &w.splits[0]
 	pc := s.pc
@@ -898,7 +902,7 @@ func (w *Warp) execFast(in *isa.Instruction, active LaneMask, pc int, addrs *[gp
 			addrs[l] = addr
 			if u := w.undo; u != nil {
 				if i := addr >> 2; addr&3 == 0 && int(i) < len(w.global.words) {
-					*u = append(*u, i, w.global.words[i])
+					*u = append(*u, i, w.global.words[i]) //gpuperf:alloc-ok undo log reuses per-worker capacity across blocks; growth amortizes to zero
 				}
 			}
 			if err := w.global.store32(addr, b.at(l), w.blockID); err != nil {
@@ -967,7 +971,7 @@ func (w *Warp) branch(in *isa.Instruction, info *StepInfo, cur int) error {
 		}
 		w.splits[cur].mask = mask &^ takenMask
 		w.splits[cur].pc++
-		w.splits = append(w.splits, split{mask: takenMask, pc: int(in.Target)})
+		w.splits = append(w.splits, split{mask: takenMask, pc: int(in.Target)}) //gpuperf:alloc-ok bounded by maxSplits; capacity is reused across blocks via Reset
 		info.BranchTaken = true
 	default:
 		return fmt.Errorf("barra: divergent backward branch at pc %d in %q (use predication for per-lane loop trip counts)",
@@ -1060,7 +1064,7 @@ func (w *Warp) execLane(in *isa.Instruction, lane int, info *StepInfo) error {
 		info.Addr[lane] = addr
 		if u := w.undo; u != nil {
 			if i := addr >> 2; addr&3 == 0 && int(i) < len(w.global.words) {
-				*u = append(*u, i, w.global.words[i])
+				*u = append(*u, i, w.global.words[i]) //gpuperf:alloc-ok undo log reuses per-worker capacity across blocks; growth amortizes to zero
 			}
 		}
 		if err := w.global.store32(addr, b, w.blockID); err != nil {

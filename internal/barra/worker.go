@@ -344,16 +344,16 @@ func (w *worker) buildTrace() *StepTrace {
 			case w.log != nil:
 				w.log.add(op == isa.OpGLD, addrs)
 			case w.ctx.hook != nil:
-				w.ctx.hook(w.curBlock, op == isa.OpGLD, addrs)
+				w.ctx.hook(w.curBlock, op == isa.OpGLD, addrs) //gpuperf:alloc-ok opt-in journaling hook; hooked runs are outside the 0-alloc pin
 			}
 			txs := w.txLists[half][:0]
 			for si, c := range w.ctx.coal {
 				buf := c.HalfWarpInto(w.txBufs[half][si][:0], addrs, 4)
 				w.txBufs[half][si] = buf
-				txs = append(txs, buf)
+				txs = append(txs, buf) //gpuperf:alloc-ok appends into per-worker scratch reused across steps; growth amortizes to zero
 			}
 			w.txLists[half] = txs
-			tr.Global = append(tr.Global, GlobalHalfWarp{Addrs: addrs, Tx: txs})
+			tr.Global = append(tr.Global, GlobalHalfWarp{Addrs: addrs, Tx: txs}) //gpuperf:alloc-ok appends into per-worker trace scratch reused across steps; growth amortizes to zero
 		}
 	}
 	return tr

@@ -61,6 +61,8 @@ func (s *Sim) HalfWarp(addrs []uint32, accessBytes int) []Transaction {
 // gpu.HalfWarp nothing escapes to the heap (the working set is a
 // fixed 16-lane stack array — a half-warp has at most 16 pending
 // addresses). The appended transactions are in service order.
+//
+//gpuperf:noalloc
 func (s *Sim) HalfWarpInto(dst []Transaction, addrs []uint32, accessBytes int) []Transaction {
 	if len(addrs) == 0 {
 		return dst
@@ -73,10 +75,10 @@ func (s *Sim) HalfWarpInto(dst []Transaction, addrs []uint32, accessBytes int) [
 	if len(addrs) <= len(buf) {
 		pending = buf[:0]
 	} else {
-		pending = make([]uint32, 0, len(addrs))
+		pending = make([]uint32, 0, len(addrs)) //gpuperf:alloc-ok beyond-half-warp path for synthetic sweeps; the engine always passes ≤16 addresses
 	}
-	pending = append(pending, addrs...)
-	segMask := uint32(s.maxSeg) - 1 // maxSeg is a power of two
+	pending = append(pending, addrs...) //gpuperf:alloc-ok fills the fixed stack buffer (or the guarded fallback above); never grows
+	segMask := uint32(s.maxSeg) - 1     // maxSeg is a power of two
 	for len(pending) > 0 {
 		// (1) Segment of the lowest-numbered remaining thread, at
 		// the maximum segment size.
@@ -120,7 +122,7 @@ func (s *Sim) HalfWarpInto(dst []Transaction, addrs []uint32, accessBytes int) [
 			}
 		}
 	done:
-		dst = append(dst, Transaction{Addr: addr, Size: int(size)})
+		dst = append(dst, Transaction{Addr: addr, Size: int(size)}) //gpuperf:alloc-ok appends into caller scratch; capacity reaches steady state after the first blocks
 	}
 	return dst
 }

@@ -439,7 +439,7 @@ func (v *verifier) sregIv(s isa.SReg) interval {
 	case isa.SRLane:
 		return interval{0, 31}
 	case isa.SRWarp:
-		return interval{0, int64((v.block + 31) / 32 - 1)}
+		return interval{0, int64((v.block+31)/32 - 1)}
 	}
 	return top()
 }

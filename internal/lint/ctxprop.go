@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewCtxProp builds the context-propagation analyzer. The facade's
+// contract (PR 3) is that cancellation flows from the HTTP edge down
+// to the engine's per-block checks; that only holds if every function
+// that accepts a ctx actually threads it. Two rules:
+//
+//  1. A declared context.Context parameter must be used — a blank
+//     (`_ context.Context`) or never-referenced ctx silently severs
+//     the cancellation chain for every caller above.
+//  2. A function that already has a ctx in scope must not mint a new
+//     root via context.Background() or context.TODO() — that detaches
+//     all work below from the caller's deadline. Deliberate
+//     detachment (a background goroutine outliving the request) is
+//     annotated //gpuperf:ctx-ok <why>.
+//
+// Functions without a ctx parameter are untouched: non-ctx
+// compatibility shims like barra.Run calling RunContext(
+// context.Background(), ...) are exactly the documented pattern for
+// introducing a root at the edge.
+func NewCtxProp() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxprop",
+		Doc:  "ctx parameters must be threaded, not dropped or replaced by new roots",
+	}
+	a.Run = func(pass *Pass) error {
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			dirs := directivesFor(pass.Prog.Fset, f)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				checkFuncCtx(pass, info, dirs, fd.Type, fd.Body, fd.Name.Name)
+				// Nested function literals are checked against their
+				// own parameter lists; a literal without a ctx param
+				// still inherits the enclosing scope's obligation not
+				// to re-root, which the Background scan below covers
+				// because it walks the whole enclosing body.
+				ast.Inspect(fd, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						checkFuncCtx(pass, info, dirs, fl.Type, fl.Body, "function literal")
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// checkFuncCtx applies both ctxprop rules to one function given its
+// signature and body.
+func checkFuncCtx(pass *Pass, info *types.Info, dirs directiveIndex, ft *ast.FuncType, body *ast.BlockStmt, name string) {
+	if ft.Params == nil || body == nil {
+		return
+	}
+	var ctxParams []*ast.Ident
+	blank := false
+	for _, field := range ft.Params.List {
+		if !isContextType(info, field.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			blank = true // unnamed param: unusable, same as blank
+		}
+		for _, id := range field.Names {
+			if id.Name == "_" {
+				blank = true
+			} else {
+				ctxParams = append(ctxParams, id)
+			}
+		}
+	}
+	if blank {
+		pass.Reportf(ft.Params.Pos(),
+			"%s discards its context parameter: name it and thread it to callees", name)
+	}
+	if len(ctxParams) == 0 && !blank {
+		return
+	}
+
+	used := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil {
+				used[obj] = true
+			}
+		case *ast.CallExpr:
+			if fn, ok := calleeOf(info, n).(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+				(fn.Name() == "Background" || fn.Name() == "TODO") {
+				line := pass.Prog.Fset.Position(n.Pos()).Line
+				if reason, ok := dirs.directive(line, "ctx-ok"); ok {
+					if reason == "" {
+						pass.Reportf(n.Pos(), "//gpuperf:ctx-ok needs a justification")
+					}
+				} else {
+					pass.Reportf(n.Pos(),
+						"%s already has a ctx: context.%s detaches this work from the caller's cancellation (annotate //gpuperf:ctx-ok <why> if deliberate)",
+						name, fn.Name())
+				}
+			}
+		case *ast.FuncLit:
+			// Literals are visited separately for their own params,
+			// but their bodies stay part of this scan: a Background
+			// inside still re-roots work the enclosing ctx governs.
+		}
+		return true
+	})
+	for _, id := range ctxParams {
+		if obj := info.Defs[id]; obj != nil && !used[obj] {
+			pass.Reportf(id.Pos(),
+				"%s never uses its ctx parameter %s: thread it to callees or drop it from the signature", name, id.Name)
+		}
+	}
+}
+
+// isContextType reports whether a parameter type expression denotes
+// context.Context.
+func isContextType(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

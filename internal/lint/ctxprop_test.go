@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gpuperf/internal/lint"
+	"gpuperf/internal/lint/linttest"
+)
+
+// TestCtxProp checks both rules — declared ctx params must be used,
+// ctx-having functions must not re-root via context.Background/TODO —
+// plus the no-ctx edge exemption, function literals, and the ctx-ok
+// escape.
+func TestCtxProp(t *testing.T) {
+	linttest.Run(t, "testdata/ctxprop", "gpuperf", lint.NewCtxProp())
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// DeterminismPolicy scopes the determinism analyzer to the code whose
+// output feeds Stats, golden fingerprints, and result-cache keys —
+// where "same request, same bytes" is a load-bearing system property
+// (the result cache and the replay differential both assume it).
+type DeterminismPolicy struct {
+	// Packages lists in-scope import paths. A trailing "/..." takes
+	// the whole subtree.
+	Packages []string
+	// Files lists additional module-relative file paths in scope —
+	// the root package mixes deterministic surfaces (cache keys,
+	// kernel builders) with server plumbing, so it is scoped per
+	// file.
+	Files []string
+}
+
+func (pol DeterminismPolicy) pkgInScope(importPath string) bool {
+	for _, p := range pol.Packages {
+		if sub, ok := strings.CutSuffix(p, "/..."); ok {
+			if importPath == sub || strings.HasPrefix(importPath, sub+"/") {
+				return true
+			}
+		} else if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// NewDeterminism builds the analyzer enforcing, inside the scoped
+// code, the three classic nondeterminism leaks:
+//
+//   - the global math/rand stream (any call that draws from the
+//     process-wide source; seeded rand.New(rand.NewSource(seed))
+//     generators are the sanctioned pattern),
+//   - wall-clock reads (time.Now/Since/Until — timing belongs to the
+//     obs/telemetry seam, which is deliberately out of scope),
+//   - map iteration whose order can reach output or hashing. A range
+//     over a map is accepted only when the enclosing function sorts
+//     after the loop (the collect-then-sort idiom) or the loop is
+//     annotated //gpuperf:unordered <why> (commutative folds,
+//     map-to-map copies).
+func NewDeterminism(pol DeterminismPolicy) *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "no global rand, wall clock, or unordered map iteration in deterministic code",
+	}
+	a.Run = func(pass *Pass) error {
+		pkgScoped := pol.pkgInScope(pass.Pkg.Path)
+		for _, f := range pass.Pkg.Files {
+			if !pkgScoped && !fileInScope(pass, pol, f) {
+				continue
+			}
+			checkDeterminism(pass, f)
+		}
+		return nil
+	}
+	return a
+}
+
+func fileInScope(pass *Pass, pol DeterminismPolicy, f *ast.File) bool {
+	name := pass.Prog.Fset.Position(f.Pos()).Filename
+	rel, err := filepath.Rel(pass.Prog.Root, name)
+	if err != nil {
+		return false
+	}
+	rel = filepath.ToSlash(rel)
+	for _, want := range pol.Files {
+		if rel == want {
+			return true
+		}
+	}
+	return false
+}
+
+func checkDeterminism(pass *Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	dirs := directivesFor(pass.Prog.Fset, f)
+	// funcStack tracks enclosing function bodies so the map-range
+	// rule can look for a sort call after the loop.
+	var funcStack []*ast.BlockStmt
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return false
+			}
+			funcStack = append(funcStack, n.Body)
+			ast.Inspect(n.Body, walk)
+			funcStack = funcStack[:len(funcStack)-1]
+			return false
+		case *ast.FuncLit:
+			funcStack = append(funcStack, n.Body)
+			ast.Inspect(n.Body, walk)
+			funcStack = funcStack[:len(funcStack)-1]
+			return false
+		case *ast.CallExpr:
+			fn, ok := calleeOf(info, n).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !isRandConstructor(fn.Name()) && fn.Type().(*types.Signature).Recv() == nil {
+					pass.Reportf(n.Pos(),
+						"rand.%s draws from the global stream: use a seeded rand.New(rand.NewSource(seed)) so identical requests build identical bytes", fn.Name())
+				}
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					line := pass.Prog.Fset.Position(n.Pos()).Line
+					if reason, ok := dirs.directive(line, "wallclock"); ok {
+						if reason == "" {
+							pass.Reportf(n.Pos(), "//gpuperf:wallclock needs a justification")
+						}
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"time.%s reads the wall clock in deterministic code: route timing through the obs/telemetry seam, or annotate //gpuperf:wallclock <why> if this value never reaches a cached or fingerprinted byte", fn.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			t := info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := pass.Prog.Fset.Position(n.Pos()).Line
+			if reason, ok := dirs.directive(line, "unordered"); ok {
+				if reason == "" {
+					pass.Reportf(n.Pos(), "//gpuperf:unordered needs a justification")
+				}
+				return true
+			}
+			if len(funcStack) > 0 && sortsAfter(info, funcStack[len(funcStack)-1], n) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"map iteration order is randomized: sort before emitting, or annotate //gpuperf:unordered <why> if the fold is order-independent")
+		}
+		return true
+	}
+	ast.Inspect(f, walk)
+}
+
+// isRandConstructor reports whether a math/rand package function only
+// builds a generator rather than drawing from the global source.
+func isRandConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}
+
+// sortsAfter reports whether body contains a call into sort or slices
+// lexically after the range statement — the collect-then-sort idiom
+// that makes a map iteration's order immaterial.
+func sortsAfter(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if fn, ok := calleeOf(info, call).(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

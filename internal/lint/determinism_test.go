@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gpuperf/internal/lint"
+	"gpuperf/internal/lint/linttest"
+)
+
+// TestDeterminism scopes the analyzer the same way the repo policy
+// does — whole packages plus named root-package files — and checks
+// that the three rules fire in scope, stay silent out of scope, and
+// honor the collect-then-sort idiom and both directive escapes.
+func TestDeterminism(t *testing.T) {
+	pol := lint.DeterminismPolicy{
+		Packages: []string{"gpuperf/internal/sim"},
+		Files:    []string{"det.go"},
+	}
+	linttest.Run(t, "testdata/determinism", "gpuperf", lint.NewDeterminism(pol))
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ImportPolicy is the declarative layering table: which module
+// packages each part of the tree may import. Stdlib and foreign
+// imports are never constrained — layering is about the module's own
+// internal seams.
+type ImportPolicy struct {
+	// Facade rules constrain importers: every package whose
+	// module-relative directory sits under Dir may import, from this
+	// module, only the listed packages.
+	Facade []FacadeRule
+	// Private rules constrain importees: the package (or subtree) at
+	// Path may be imported only by the listed packages.
+	Private []PrivateRule
+}
+
+// FacadeRule pins a subtree of consumers to a public surface.
+type FacadeRule struct {
+	Dir    string   // module-relative directory prefix, slash form ("cmd", "examples")
+	Allow  []string // module import paths its packages may import
+	Except []string // module-relative importer dirs exempt from this rule
+}
+
+// PrivateRule reserves a package for a named set of importers.
+type PrivateRule struct {
+	Path    string   // module import path of the private package (subtree included)
+	Only    []string // import paths of the packages allowed to import it
+	Explain string   // one-line rationale, echoed in the diagnostic
+}
+
+// NewLayering builds the layering analyzer from a policy table. It
+// replaces ci.yml's former grep checks: a violation is reported at
+// the exact import declaration instead of as a pipeline grep hit.
+func NewLayering(pol ImportPolicy) *Analyzer {
+	a := &Analyzer{
+		Name: "layering",
+		Doc:  "enforce the module's declarative import-policy table",
+	}
+	a.Run = func(pass *Pass) error {
+		pkg := pass.Pkg
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || !pass.Prog.InModule(path) {
+					continue
+				}
+				for _, r := range pol.Facade {
+					if !underDir(pkg.Rel, r.Dir) || contains(r.Allow, path) {
+						continue
+					}
+					exempt := false
+					for _, ex := range r.Except {
+						if underDir(pkg.Rel, ex) {
+							exempt = true
+							break
+						}
+					}
+					if exempt {
+						continue
+					}
+					pass.Reportf(imp.Pos(),
+						"%s/ packages may import only %s from this module, not %s",
+						r.Dir, strings.Join(r.Allow, ", "), path)
+				}
+				for _, r := range pol.Private {
+					if path != r.Path && !strings.HasPrefix(path, r.Path+"/") {
+						continue
+					}
+					if contains(r.Only, pkg.Path) {
+						continue
+					}
+					pass.Reportf(imp.Pos(),
+						"%s is private to %s (%s)",
+						r.Path, strings.Join(r.Only, ", "), r.Explain)
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// underDir reports whether module-relative directory rel is dir or
+// inside it.
+func underDir(rel, dir string) bool {
+	return rel == dir || strings.HasPrefix(rel, dir+"/")
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

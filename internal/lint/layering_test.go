@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gpuperf/internal/lint"
+	"gpuperf/internal/lint/linttest"
+)
+
+// TestLayering runs the repo's real import-policy table over a
+// fixture module that violates it from cmd/, examples/, and a sibling
+// internal package — the facade and private rules each fire at the
+// offending import declaration.
+func TestLayering(t *testing.T) {
+	linttest.Run(t, "testdata/layering", "gpuperf",
+		lint.NewLayering(lint.RepoImportPolicy()))
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. The shape deliberately
+// mirrors golang.org/x/tools/go/analysis so the suite can migrate to
+// the real framework if the build environment ever gains the
+// dependency.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one analyzer's run over one package. Analyzers may
+// reach sibling packages through Prog (the noalloc call-graph walk
+// crosses package boundaries); diagnostics reported outside the
+// current package are deduplicated by the driver.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over every listed package (nil = all
+// packages of the program) and returns the deduplicated diagnostics
+// in file/line/column/analyzer order.
+func Run(prog *Program, analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	if pkgs == nil {
+		pkgs = prog.Packages()
+	}
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	report := func(d Diagnostic) {
+		key := d.Analyzer + "\x00" + d.Pos.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		diags = append(diags, d)
+	}
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Directives — the //gpuperf:<name> comment contract.
+//
+// A directive suppresses or enables an analyzer rule for the source
+// line it sits on (trailing comment) or the line immediately below
+// (own-line comment), matching the placement conventions of
+// //go:build and //nolint. Escape-hatch directives (alloc-ok,
+// unordered, ctx-ok) must carry a justification after the directive
+// word; the analyzers flag bare ones, so every suppression in the
+// tree documents why the invariant legitimately bends there.
+
+// directiveIndex maps source lines of one file to the //gpuperf:
+// directives that govern them.
+type directiveIndex map[int][]string
+
+// directivesFor indexes one file's //gpuperf: comments by the line
+// they govern.
+func directivesFor(fset *token.FileSet, f *ast.File) directiveIndex {
+	idx := directiveIndex{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//gpuperf:")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			// A trailing comment governs its own line; an own-line
+			// comment governs the next. Both registrations are
+			// harmless for the respective other case.
+			idx[pos.Line] = append(idx[pos.Line], text)
+			idx[pos.Line+1] = append(idx[pos.Line+1], text)
+		}
+	}
+	return idx
+}
+
+// directive looks up a //gpuperf:<name> directive governing line.
+// The second result is the justification text after the directive
+// word; found distinguishes "absent" from "present without reason".
+func (idx directiveIndex) directive(line int, name string) (reason string, found bool) {
+	for _, text := range idx[line] {
+		if text == name {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(text, name+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// hasDirective reports whether a comment group carries the given
+// //gpuperf:<name> directive (used for function-level annotations
+// like //gpuperf:noalloc in doc comments).
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//gpuperf:")
+		if !ok {
+			continue
+		}
+		if text == name || strings.HasPrefix(text, name+" ") {
+			return true
+		}
+	}
+	return false
+}

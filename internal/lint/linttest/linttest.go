@@ -1,0 +1,146 @@
+// Package linttest runs lint analyzers over golden testdata trees,
+// mirroring golang.org/x/tools/go/analysis/analysistest: expected
+// diagnostics are declared in the fixture source as trailing
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comments, and the runner fails the test for every unmatched
+// expectation and every unexpected diagnostic — so each fixture is
+// simultaneously a positive test (annotated lines must fire) and a
+// negative one (every unannotated line must stay silent).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gpuperf/internal/lint"
+)
+
+// expectation is one want-regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the module rooted at dir under the given module path,
+// runs the analyzers over every package, and checks the diagnostics
+// against the fixtures' want comments. Fixtures use module path
+// "gpuperf" so the repo's policy tables apply verbatim.
+func Run(t *testing.T, dir, module string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	prog, err := lint.LoadModuleAs(dir, module)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.Run(prog, analyzers, nil)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range prog.Packages() {
+		for _, f := range pkg.Files {
+			ws, err := collectWants(prog.Fset, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// regexp matches; false if none does.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every `// want "re" ...` comment of a file.
+func collectWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			patterns, err := splitQuoted(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want comment: %w", pos.Filename, pos.Line, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", pos.Filename, pos.Line, p, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted parses a sequence of space-separated double-quoted Go
+// strings ("a" "b c") into their unquoted values.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return nil, fmt.Errorf("unterminated quote in %q", s)
+		}
+		val, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, val)
+		s = s[end+1:]
+	}
+}

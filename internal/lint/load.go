@@ -1,0 +1,295 @@
+// Package lint is gpuperf's static-analysis suite: a small,
+// dependency-free go/analysis-style framework plus the five analyzers
+// that encode the repository's invariants (import layering, hot-path
+// allocation-freedom, determinism, slog-only logging, context
+// propagation). cmd/gpuperflint is the multichecker front end; CI
+// runs it over ./... so an invariant violation is a positioned
+// compile-time diagnostic instead of a flaky runtime failure.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis shapes
+// (Analyzer, Pass, positioned diagnostics, testdata-driven golden
+// tests) but is built entirely on the standard library's go/ast,
+// go/parser, go/types and go/importer: the build environment has no
+// module proxy access, and keeping the suite stdlib-only also keeps
+// the root module dependency-free — the original reason the issue
+// wanted the linter isolated in its own module.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, non-test package of the module under
+// analysis.
+type Package struct {
+	Path  string // import path, e.g. "gpuperf/internal/barra"
+	Dir   string // absolute directory
+	Rel   string // module-relative directory in slash form; "" for the root package
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FuncSource locates the declaration of a module function so
+// whole-program analyzers (noalloc) can traverse call graphs across
+// package boundaries.
+type FuncSource struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// Program is a fully loaded module: every package type-checked
+// against one shared FileSet and one shared type-checker universe, so
+// a *types.Func observed at a call site in one package is pointer-
+// identical to the one at its declaration in another.
+type Program struct {
+	Fset   *token.FileSet
+	Module string // module path from go.mod (or the override)
+	Root   string // absolute module root directory
+	Pkgs   map[string]*Package
+
+	funcs map[*types.Func]*FuncSource
+}
+
+// Packages returns the loaded packages sorted by import path.
+func (p *Program) Packages() []*Package {
+	paths := make([]string, 0, len(p.Pkgs))
+	for path := range p.Pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, len(paths))
+	for i, path := range paths {
+		out[i] = p.Pkgs[path]
+	}
+	return out
+}
+
+// FuncDecl returns the source declaration of fn if it is defined in
+// the loaded module, or nil for stdlib and synthetic functions.
+func (p *Program) FuncDecl(fn *types.Func) *FuncSource { return p.funcs[fn] }
+
+// InModule reports whether importPath addresses a package of the
+// loaded module.
+func (p *Program) InModule(importPath string) bool {
+	return importPath == p.Module || strings.HasPrefix(importPath, p.Module+"/")
+}
+
+// LoadModule loads, parses and type-checks every non-test package of
+// the Go module rooted at root, reading the module path from go.mod.
+func LoadModule(root string) (*Program, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	mod := modulePath(string(data))
+	if mod == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s", filepath.Join(root, "go.mod"))
+	}
+	return LoadModuleAs(root, mod)
+}
+
+// LoadModuleAs is LoadModule with an explicit module path — the entry
+// point for testdata trees, which carry no go.mod but still want
+// module-qualified import paths (linttest loads fixtures with the
+// real "gpuperf" prefix so the repo's policy tables apply verbatim).
+func LoadModuleAs(root, module string) (*Program, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		Module: module,
+		Root:   abs,
+		Pkgs:   map[string]*Package{},
+		funcs:  map[*types.Func]*FuncSource{},
+	}
+	l := &loader{
+		prog:    prog,
+		std:     importer.ForCompiler(prog.Fset, "source", nil),
+		loading: map[string]bool{},
+	}
+	dirs, err := packageDirs(abs)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		rel, _ := filepath.Rel(abs, dir)
+		path := module
+		if rel != "." {
+			path = module + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := l.load(path); err != nil {
+			return nil, err
+		}
+	}
+	prog.indexFuncs()
+	return prog, nil
+}
+
+// modulePath extracts the module directive from go.mod contents.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// packageDirs walks root collecting every directory holding at least
+// one non-test .go file, skipping testdata, VCS metadata and
+// hidden/underscore directories — the same exclusions the go tool
+// applies to ./... patterns.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking %s: %w", root, err)
+	}
+	return dirs, nil
+}
+
+// loader resolves module-internal imports from source under the
+// module root and everything else through the stdlib source importer
+// (one shared instance, so the expensive stdlib packages type-check
+// once per Program).
+type loader struct {
+	prog    *Program
+	std     types.Importer
+	loading map[string]bool
+}
+
+// Import implements types.Importer for the type-checker's benefit.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if l.prog.InModule(path) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.prog.Pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.prog.Module), "/")
+	dir := filepath.Join(l.prog.Root, filepath.FromSlash(rel))
+	files, err := parseDir(l.prog.Fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s (import %s)", dir, path)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(path, l.prog.Fset, files, info)
+	if len(typeErrs) > 0 {
+		const max = 10
+		if len(typeErrs) > max {
+			typeErrs = append(typeErrs[:max], fmt.Sprintf("... and %d more", len(typeErrs)-max))
+		}
+		return nil, fmt.Errorf("lint: type errors in %s:\n  %s", path, strings.Join(typeErrs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Rel: filepath.ToSlash(rel), Files: files, Types: tpkg, Info: info}
+	l.prog.Pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test .go file of dir in name order (the
+// type-checker requires a deterministic file list for reproducible
+// object resolution).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// indexFuncs builds the module-wide *types.Func → declaration index
+// after every package has loaded.
+func (p *Program) indexFuncs() {
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.funcs[fn] = &FuncSource{Pkg: pkg, Decl: fd}
+				}
+			}
+		}
+	}
+}

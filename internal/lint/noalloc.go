@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NewNoalloc builds the hot-path allocation analyzer. Functions whose
+// doc comment carries //gpuperf:noalloc are roots; every function
+// statically reachable from a root inside this module is scanned for
+// constructs that allocate (or that the analyzer cannot prove
+// allocation-free):
+//
+//   - map, slice and chan construction: literals, make, new
+//   - append (growth may reallocate)
+//   - closures (func literals) and go statements
+//   - any call into fmt (interface boxing plus formatting buffers)
+//   - string ↔ []byte/[]rune conversions
+//   - interface boxing: a non-pointer-shaped concrete value passed,
+//     assigned or returned as an interface
+//   - dynamic calls (interface methods, func values): unprovable, so
+//     flagged
+//
+// Two escapes keep the rule honest rather than performative:
+//
+//   - Constructs inside a `return` that yields a non-nil error are
+//     exempt — abort paths run at most once per run and are already
+//     outside the AllocsPerRun pins' steady state.
+//   - A line annotated //gpuperf:alloc-ok <why> is exempt; the
+//     justification is mandatory. This marks deliberate amortized
+//     growth (append into caller scratch) and cold fallbacks.
+//
+// The static pass catches the construct; the AllocsPerRun pins in
+// internal/barra keep pinning the behavior. Calls into the standard
+// library other than fmt are trusted — the contract governs this
+// module's code, and the runtime pins catch a stdlib call that
+// allocates on the hot path.
+func NewNoalloc() *Analyzer {
+	a := &Analyzer{
+		Name: "noalloc",
+		Doc:  "functions reachable from //gpuperf:noalloc roots must not contain allocating constructs",
+	}
+	a.Run = func(pass *Pass) error {
+		c := &noallocChecker{pass: pass, visited: map[*types.Func]bool{}}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasDirective(fd.Doc, "noalloc") {
+					continue
+				}
+				root := funcDisplayName(fd)
+				if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					c.visited[fn] = true
+				}
+				c.checkBody(pass.Pkg, fd, []string{root})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+type noallocChecker struct {
+	pass    *Pass
+	visited map[*types.Func]bool
+}
+
+// checkBody scans one function's body for allocating constructs and
+// recurses into statically resolvable module callees. chain names the
+// path from the annotated root for the diagnostic text.
+func (c *noallocChecker) checkBody(pkg *Package, fd *ast.FuncDecl, chain []string) {
+	if fd.Body == nil || len(chain) > 32 {
+		return
+	}
+	info := pkg.Info
+	file := fileOf(pkg, fd.Pos())
+	var dirs directiveIndex
+	if file != nil {
+		dirs = directivesFor(c.pass.Prog.Fset, file)
+	}
+
+	var coldEnds []token.Pos // ends of error-returning return statements
+	var coldStarts []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok && returnsNonNilError(info, ret) {
+			coldStarts = append(coldStarts, ret.Pos())
+			coldEnds = append(coldEnds, ret.End())
+		}
+		return true
+	})
+	cold := func(pos token.Pos) bool {
+		for i := range coldStarts {
+			if pos >= coldStarts[i] && pos < coldEnds[i] {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		if cold(pos) {
+			return
+		}
+		line := c.pass.Prog.Fset.Position(pos).Line
+		if reason, ok := dirs.directive(line, "alloc-ok"); ok {
+			if reason == "" {
+				c.pass.Reportf(pos, "//gpuperf:alloc-ok needs a justification")
+			}
+			return
+		}
+		c.pass.Reportf(pos, "%s in noalloc path (%s)", fmt.Sprintf(format, args...), strings.Join(chain, " → "))
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					report(n.Pos(), "map literal allocates")
+				case *types.Slice:
+					report(n.Pos(), "slice literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "closure allocates")
+			return false // its body only runs if the closure is called; the flag suffices
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine")
+		case *ast.CallExpr:
+			c.checkCall(pkg, n, info, report, chain)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) == len(n.Rhs) {
+					c.checkBox(info, info.TypeOf(n.Lhs[i]), rhs, report)
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				dst := info.TypeOf(n.Type)
+				for _, v := range n.Values {
+					c.checkBox(info, dst, v, report)
+				}
+			}
+		case *ast.ReturnStmt:
+			c.checkReturnBox(pkg, fd, n, report)
+		}
+		return true
+	})
+}
+
+// checkCall classifies one call inside a noalloc body: allocation
+// builtin, fmt, conversion, dynamic, or a module callee to recurse
+// into.
+func (c *noallocChecker) checkCall(pkg *Package, call *ast.CallExpr, info *types.Info, report func(token.Pos, string, ...any), chain []string) {
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(info, call, tv.Type, report)
+		return
+	}
+	switch fn := calleeOf(info, call).(type) {
+	case *types.Builtin:
+		switch fn.Name() {
+		case "append":
+			report(call.Pos(), "append may grow its backing array")
+		case "make":
+			if t := info.TypeOf(call); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map, *types.Slice, *types.Chan:
+					report(call.Pos(), "make allocates")
+				}
+			}
+		case "new":
+			report(call.Pos(), "new allocates")
+		case "panic":
+			return // abort path: its argument never boxes in steady state
+		}
+		return
+	case *types.Func:
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			report(call.Pos(), "dynamic call through interface method %s: cannot prove allocation-free", fn.Name())
+			return
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			report(call.Pos(), "fmt.%s allocates", fn.Name())
+			return
+		}
+		if sig != nil {
+			c.checkArgBoxing(info, call, sig, report)
+		}
+		if src := c.pass.Prog.FuncDecl(fn); src != nil && !c.visited[fn] {
+			c.visited[fn] = true
+			c.checkBody(src.Pkg, src.Decl, append(chain, fn.Name()))
+		}
+		return
+	}
+	// No static callee: a func-typed variable, field or parameter.
+	if t := info.TypeOf(call.Fun); t != nil {
+		if _, ok := t.Underlying().(*types.Signature); ok {
+			report(call.Pos(), "dynamic call through func value: cannot prove allocation-free")
+		}
+	}
+}
+
+// checkConversion flags string↔[]byte/[]rune conversions and
+// conversions into interface types.
+func (c *noallocChecker) checkConversion(info *types.Info, call *ast.CallExpr, dst types.Type, report func(token.Pos, string, ...any)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if isString(dst) && isByteOrRuneSlice(src) || isByteOrRuneSlice(dst) && isString(src) {
+		report(call.Pos(), "%s ↔ %s conversion copies", src, dst)
+		return
+	}
+	c.checkBox(info, dst, call.Args[0], report)
+}
+
+// checkArgBoxing flags concrete non-pointer-shaped values passed to
+// interface parameters, including the variadic tail.
+func (c *noallocChecker) checkArgBoxing(info *types.Info, call *ast.CallExpr, sig *types.Signature, report func(token.Pos, string, ...any)) {
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		c.checkBox(info, pt, arg, report)
+	}
+}
+
+// checkReturnBox flags boxing at return statements (concrete value
+// returned as interface result).
+func (c *noallocChecker) checkReturnBox(pkg *Package, fd *ast.FuncDecl, ret *ast.ReturnStmt, report func(token.Pos, string, ...any)) {
+	info := pkg.Info
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := fn.Type().(*types.Signature).Results()
+	if results == nil || len(ret.Results) != results.Len() {
+		return
+	}
+	for i, r := range ret.Results {
+		c.checkBox(info, results.At(i).Type(), r, report)
+	}
+}
+
+// checkBox reports interface boxing: storing a concrete value whose
+// representation is not a single pointer word into an interface-typed
+// destination.
+func (c *noallocChecker) checkBox(info *types.Info, dst types.Type, src ast.Expr, report func(token.Pos, string, ...any)) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := info.Types[src]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st := tv.Type
+	if tv.IsNil() || types.IsInterface(st) || pointerShaped(st) {
+		return
+	}
+	if tv.Value != nil {
+		// Untyped constants box, but tiny ints and zero-length
+		// strings are interned by the runtime; still flag — constant
+		// folding into a preallocated value is the fix.
+		report(src.Pos(), "constant %s boxed into interface %s", st, dst)
+		return
+	}
+	report(src.Pos(), "%s boxed into interface %s", st, dst)
+}
+
+// pointerShaped reports whether values of t are a single pointer word
+// at runtime — stored directly in an interface with no allocation.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// returnsNonNilError reports whether a return statement's final
+// expression is a freshly constructed (necessarily non-nil) error —
+// the abort-path signature the cold-path exemption keys on.
+func returnsNonNilError(info *types.Info, ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	last := ret.Results[len(ret.Results)-1]
+	t := info.TypeOf(last)
+	if t == nil || !isErrorType(t) {
+		return false
+	}
+	_, isCall := ast.Unparen(last).(*ast.CallExpr)
+	return isCall
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// fileOf returns the *ast.File of pkg containing pos.
+func fileOf(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcDisplayName renders "Recv.Name" for methods, "Name" otherwise.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}

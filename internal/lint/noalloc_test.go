@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gpuperf/internal/lint"
+	"gpuperf/internal/lint/linttest"
+)
+
+// TestNoalloc covers every allocating construct (one want per class),
+// the transitive walk within and across packages, the cold-error-path
+// exemption, and both the justified and bare //gpuperf:alloc-ok
+// escapes.
+func TestNoalloc(t *testing.T) {
+	linttest.Run(t, "testdata/noalloc", "gpuperf", lint.NewNoalloc())
+}

@@ -1,0 +1,98 @@
+package lint
+
+// This file is the repository's concrete policy: the declarative
+// tables that configure the five analyzers for gpuperf's layout. The
+// analyzers themselves are policy-free and reusable; everything
+// repo-specific lives here (and is documented in DESIGN.md's "Static
+// analysis" section).
+
+// RepoImportPolicy is the layering table. It replaces the two grep
+// checks that used to live in ci.yml:
+//
+//   - cmd/ and examples/ are consumers of the public facade only. The
+//     root gpuperf package is the one supported entry point (PR 3);
+//     reaching into internal/ from a binary would fork the API.
+//   - internal/ingest is the root package's private submission
+//     pipeline (PR 8). Its admission decisions (ceilings, the bounds
+//     verifier, the store) must flow through the Fleet facade — not
+//     even sibling internal packages may import it.
+func RepoImportPolicy() ImportPolicy {
+	return ImportPolicy{
+		Facade: []FacadeRule{
+			// cmd/gpuperflint is the one carve-out: the linter is a
+			// development tool over internal/lint, not a facade
+			// consumer. Nothing it imports leaks simulator internals.
+			{Dir: "cmd", Allow: []string{"gpuperf"}, Except: []string{"cmd/gpuperflint"}},
+			{Dir: "examples", Allow: []string{"gpuperf"}},
+		},
+		Private: []PrivateRule{
+			{
+				Path:    "gpuperf/internal/ingest",
+				Only:    []string{"gpuperf"},
+				Explain: "submission admission must flow through the Fleet facade",
+			},
+		},
+	}
+}
+
+// RepoDeterminismPolicy scopes the determinism analyzer to the code
+// whose bytes feed Stats, golden fingerprints, calibration files and
+// result-cache keys. Out of scope by design: internal/obs and the
+// root telemetry/server files (the sanctioned wall-clock seam),
+// internal/ingest (TTL bookkeeping is wall-clock by contract),
+// internal/prof (profiling is inherently about real time) and
+// internal/resultstore (LRU recency is not part of any cached value).
+func RepoDeterminismPolicy() DeterminismPolicy {
+	return DeterminismPolicy{
+		Packages: []string{
+			"gpuperf/internal/advise",
+			"gpuperf/internal/asm",
+			"gpuperf/internal/bank",
+			"gpuperf/internal/barra",
+			"gpuperf/internal/coalesce",
+			"gpuperf/internal/cubin",
+			"gpuperf/internal/device",
+			"gpuperf/internal/experiments",
+			"gpuperf/internal/gpu",
+			"gpuperf/internal/isa",
+			"gpuperf/internal/kbuild",
+			"gpuperf/internal/kernels",
+			"gpuperf/internal/microbench",
+			"gpuperf/internal/model",
+			"gpuperf/internal/occupancy",
+			"gpuperf/internal/sparse",
+			"gpuperf/internal/texcache",
+			"gpuperf/internal/timing",
+			"gpuperf/internal/tridiag",
+		},
+		// The root package mixes deterministic surfaces with server
+		// plumbing, so it is scoped per file: these four own the
+		// cache keys, kernel builders, device catalog and wire-pinned
+		// result shapes.
+		Files: []string{
+			"cache.go",
+			"catalog.go",
+			"registry.go",
+			"result.go",
+		},
+	}
+}
+
+// RepoSlogPolicy exempts the CLIs — their stdout is the product —
+// and holds everything else (the facade, the HTTP layer, all internal
+// packages) to log/slog.
+func RepoSlogPolicy() SlogPolicy {
+	return SlogPolicy{ExemptDirs: []string{"cmd", "examples"}}
+}
+
+// DefaultAnalyzers returns the full suite configured with the repo
+// policy — what cmd/gpuperflint and the self-check test run.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewLayering(RepoImportPolicy()),
+		NewNoalloc(),
+		NewDeterminism(RepoDeterminismPolicy()),
+		NewSlogOnly(RepoSlogPolicy()),
+		NewCtxProp(),
+	}
+}

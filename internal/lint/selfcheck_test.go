@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gpuperf/internal/lint"
+)
+
+// TestRepoIsClean type-checks the whole module and runs the full
+// analyzer suite over it — the same run CI performs via
+// cmd/gpuperflint. The repo's own invariants must hold with zero
+// diagnostics; a finding here means either real drift or a policy
+// table that needs updating alongside the code.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type check is slow; run without -short")
+	}
+	prog, err := lint.LoadModule("../..")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := lint.Run(prog, lint.DefaultAnalyzers(), nil)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo lint finding: %s", d)
+	}
+}

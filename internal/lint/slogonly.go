@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SlogPolicy scopes the slogonly analyzer: server and library code
+// must log through log/slog (the PR-9 observability contract — every
+// line carries component and request-id attributes), while CLIs keep
+// their human-facing stdout.
+type SlogPolicy struct {
+	// ExemptDirs lists module-relative directory prefixes whose
+	// packages may print directly (cmd, examples).
+	ExemptDirs []string
+}
+
+// NewSlogOnly builds the analyzer flagging direct terminal output in
+// non-exempt packages: any use of the legacy log package, the
+// implicit-stdout fmt printers, fmt.Fprint* aimed at os.Stdout or
+// os.Stderr, and the print/println builtins. fmt.Fprint* into
+// buffers, strings.Builders or HTTP responses is fine — the rule is
+// about bypassing structured logging, not about formatting.
+func NewSlogOnly(pol SlogPolicy) *Analyzer {
+	a := &Analyzer{
+		Name: "slogonly",
+		Doc:  "server and library code logs via log/slog only",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, dir := range pol.ExemptDirs {
+			if underDir(pass.Pkg.Rel, dir) {
+				return nil
+			}
+		}
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fn := calleeOf(info, call).(type) {
+				case *types.Builtin:
+					if fn.Name() == "print" || fn.Name() == "println" {
+						pass.Reportf(call.Pos(), "%s builtin writes to stderr: use log/slog", fn.Name())
+					}
+				case *types.Func:
+					pkgPath := ""
+					if fn.Pkg() != nil {
+						pkgPath = fn.Pkg().Path()
+					}
+					switch pkgPath {
+					case "log":
+						pass.Reportf(call.Pos(), "log.%s bypasses structured logging: use log/slog", fn.Name())
+					case "fmt":
+						switch fn.Name() {
+						case "Print", "Printf", "Println":
+							pass.Reportf(call.Pos(), "fmt.%s writes to stdout: use log/slog", fn.Name())
+						case "Fprint", "Fprintf", "Fprintln":
+							if w := stdStream(info, call); w != "" {
+								pass.Reportf(call.Pos(), "fmt.%s to %s bypasses structured logging: use log/slog", fn.Name(), w)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// calleeOf resolves a call's target object: a *types.Func for static
+// calls (package functions and methods), a *types.Builtin for
+// builtins, nil for dynamic calls and conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// stdStream reports whether a call's first argument is os.Stdout or
+// os.Stderr, naming which.
+func stdStream(info *types.Info, call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return ""
+	}
+	if obj.Name() == "Stdout" || obj.Name() == "Stderr" {
+		return "os." + obj.Name()
+	}
+	return ""
+}

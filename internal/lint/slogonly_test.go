@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gpuperf/internal/lint"
+	"gpuperf/internal/lint/linttest"
+)
+
+// TestSlogOnly checks the four flagged output paths (log.*, implicit-
+// stdout fmt printers, fmt.Fprint* to std streams, print builtins),
+// that slog and buffer-directed Fprintf stay legal, and that cmd/ is
+// exempt.
+func TestSlogOnly(t *testing.T) {
+	linttest.Run(t, "testdata/slogonly", "gpuperf",
+		lint.NewSlogOnly(lint.RepoSlogPolicy()))
+}

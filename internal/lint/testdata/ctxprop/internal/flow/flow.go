@@ -1,0 +1,56 @@
+// Package flow exercises both ctxprop rules and their escapes.
+package flow
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// Good threads its ctx: clean.
+func Good(ctx context.Context) error { return work(ctx) }
+
+// Drops declares a ctx it never touches.
+func Drops(ctx context.Context, n int) int { // want "never uses its ctx parameter"
+	return n * 2
+}
+
+// Blank discards its ctx by name.
+func Blank(_ context.Context) {} // want "discards its context parameter"
+
+// Unnamed discards its ctx by omission.
+func Unnamed(context.Context) {} // want "discards its context parameter"
+
+// Reroots has a ctx in hand but mints a new root below it.
+func Reroots(ctx context.Context) error {
+	if err := work(ctx); err != nil {
+		return err
+	}
+	return work(context.Background()) // want "detaches this work"
+}
+
+// Edge has no ctx: introducing a root here is the documented pattern
+// for non-ctx compatibility shims.
+func Edge() error { return work(context.Background()) }
+
+// Detach documents its deliberate detachment: clean.
+func Detach(ctx context.Context) error {
+	if err := work(ctx); err != nil {
+		return err
+	}
+	//gpuperf:ctx-ok fixture job outlives the request on purpose
+	return work(context.Background())
+}
+
+// DetachBare carries the directive but no reason.
+func DetachBare(ctx context.Context) error {
+	if err := work(ctx); err != nil {
+		return err
+	}
+	//gpuperf:ctx-ok
+	return work(context.Background()) // want "needs a justification"
+}
+
+// Literal checks that function literals' own parameter lists are held
+// to rule 1.
+func Literal() func(context.Context) {
+	return func(ctx context.Context) {} // want "function literal never uses its ctx parameter"
+}

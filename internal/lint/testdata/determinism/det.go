@@ -1,0 +1,20 @@
+// Package detfix mirrors the repo's root package: deterministic
+// surfaces (this file, scoped by name in the policy) live next to
+// server plumbing (plumbing.go, out of scope).
+package detfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// CacheKey stands in for the root package's fingerprint builders.
+func CacheKey(parts map[string]string) string {
+	for k, v := range parts { // want "map iteration order is randomized"
+		_ = k
+		_ = v
+	}
+	_ = rand.Intn(8) // want "draws from the global stream"
+	_ = time.Now()   // want "reads the wall clock"
+	return ""
+}

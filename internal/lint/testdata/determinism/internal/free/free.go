@@ -1,0 +1,18 @@
+// Package free sits outside the determinism policy's scope: every
+// construct the analyzer flags elsewhere must stay silent here.
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sins commits all three and is none of the analyzer's business.
+func Sins(m map[string]int) int {
+	n := rand.Intn(10)
+	n += int(time.Now().UnixNano())
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+// Package sim is fully in scope for the determinism analyzer: it
+// exercises every rule, every escape, and the sanctioned patterns.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Draw uses the sanctioned seeded-generator pattern: clean.
+func Draw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(100)
+}
+
+// Global draws from the process-wide stream.
+func Global() int {
+	return rand.Intn(100) // want "draws from the global stream"
+}
+
+// Stamp reads the wall clock in deterministic code.
+func Stamp() int64 {
+	return time.Now().Unix() // want "reads the wall clock"
+}
+
+// StampOK routes telemetry through a justified escape: clean.
+func StampOK() int64 {
+	//gpuperf:wallclock fixture telemetry never reaches a fingerprint
+	return time.Now().Unix()
+}
+
+// StampBare carries the directive but no justification.
+func StampBare() int64 {
+	//gpuperf:wallclock
+	return time.Now().Unix() // want "needs a justification"
+}
+
+// Keys uses the collect-then-sort idiom: clean.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum is an order-independent fold with a justified annotation: clean.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m { //gpuperf:unordered commutative sum
+		n += v
+	}
+	return n
+}
+
+// SumBare is the same fold with a bare directive.
+func SumBare(m map[string]int) int {
+	n := 0
+	//gpuperf:unordered
+	for _, v := range m { // want "needs a justification"
+		n += v
+	}
+	return n
+}
+
+// Emit iterates a map straight into output order.
+func Emit(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration order is randomized"
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+// plumbing.go is the same package but not in the policy's file list:
+// every sin here must stay silent.
+package detfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Serve is server plumbing; the per-file scoping leaves it alone.
+func Serve(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	n += rand.Intn(3)
+	n += int(time.Now().Unix())
+	return n
+}

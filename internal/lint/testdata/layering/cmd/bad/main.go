@@ -1,0 +1,12 @@
+// Command bad reaches around the facade into an internal package.
+package main
+
+import (
+	"gpuperf"
+	"gpuperf/internal/engine" // want "cmd/ packages may import only gpuperf"
+)
+
+func main() {
+	_ = gpuperf.Analyze()
+	_ = engine.Run()
+}

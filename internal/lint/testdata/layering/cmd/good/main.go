@@ -1,0 +1,13 @@
+// Command good consumes only the public facade — the clean fixture.
+package main
+
+import (
+	"os"
+	"strconv"
+
+	"gpuperf"
+)
+
+func main() {
+	os.Stdout.WriteString(strconv.Itoa(gpuperf.Analyze()))
+}

@@ -1,0 +1,10 @@
+// Command demo shows examples/ is held to the same facade rule.
+package main
+
+import (
+	"gpuperf/internal/engine" // want "examples/ packages may import only gpuperf"
+)
+
+func main() {
+	_ = engine.Run()
+}

@@ -1,0 +1,6 @@
+// Package engine is an ordinary internal package: importable by the
+// module, invisible to cmd/ and examples/.
+package engine
+
+// Run is a stand-in for simulator work.
+func Run() int { return 1 }

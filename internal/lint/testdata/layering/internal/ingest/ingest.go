@@ -1,0 +1,5 @@
+// Package ingest is the fixture's root-private package.
+package ingest
+
+// Admit is a stand-in for submission admission.
+func Admit() int { return 2 }

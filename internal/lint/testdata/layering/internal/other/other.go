@@ -1,0 +1,11 @@
+// Package other demonstrates that not even sibling internal packages
+// may reach into the private ingest pipeline.
+package other
+
+import (
+	"gpuperf/internal/engine"
+	"gpuperf/internal/ingest" // want "private to gpuperf"
+)
+
+// Use exercises both imports.
+func Use() int { return engine.Run() + ingest.Admit() }

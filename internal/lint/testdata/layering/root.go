@@ -1,0 +1,11 @@
+// Package gpuperf is the fixture facade: the root package may import
+// anything in the module, including the private ingest pipeline.
+package gpuperf
+
+import (
+	"gpuperf/internal/engine"
+	"gpuperf/internal/ingest"
+)
+
+// Analyze is the fixture's public entry point.
+func Analyze() int { return engine.Run() + ingest.Admit() }

@@ -1,0 +1,68 @@
+// Package hot exercises every construct the noalloc analyzer flags,
+// plus each escape that must keep it quiet.
+package hot
+
+import (
+	"fmt"
+
+	"gpuperf/internal/hotdep"
+)
+
+type sink interface{ accept(n int) }
+
+type counter struct{ n int }
+
+// Step is the annotated hot root: everything statically reachable
+// from here is scanned.
+//
+//gpuperf:noalloc
+func Step(buf []int, s sink, f func() int, bad bool) (int, error) {
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	sl := []int{1, 2} // want "slice literal allocates"
+	_ = sl
+	buf = append(buf, 1)          // want "append may grow"
+	_ = make([]int, 8)            // want "make allocates"
+	_ = new(counter)              // want "new allocates"
+	cl := func() int { return 0 } // want "closure allocates"
+	_ = cl
+	go helperClean()      // want "go statement allocates a goroutine"
+	fmt.Println(len(buf)) // want "fmt.Println allocates"
+	_ = []byte("step")    // want "conversion copies"
+	var a any = counter{} // want "counter boxed into interface"
+	a = 7                 // want "constant int boxed into interface"
+	_ = a
+	s.accept(1) // want "dynamic call through interface method accept"
+	_ = f()     // want "dynamic call through func value"
+	helper(buf)
+	_ = lift(9)
+	hotdep.Burn(4)
+	if bad {
+		return 0, fmt.Errorf("bad input: %d", len(buf)) // cold abort path: exempt
+	}
+	//gpuperf:alloc-ok scratch grows once then is reused across calls
+	buf = append(buf, 2)
+	//gpuperf:alloc-ok
+	buf = append(buf, 3) // want "needs a justification"
+	return len(buf), nil
+}
+
+// helper is unannotated but reachable from Step, so its body is held
+// to the same contract; the diagnostic names the chain.
+func helper(buf []int) {
+	_ = append(buf, 9) // want "append may grow"
+}
+
+// helperClean allocates nothing: reachable and silent.
+func helperClean() {}
+
+// lift boxes its result into the interface return.
+func lift(x int) any {
+	return x // want "int boxed into interface"
+}
+
+// Cold is unreachable from any root: its allocations are the
+// runtime's business, not the analyzer's.
+func Cold() map[int]int {
+	return map[int]int{1: 1}
+}

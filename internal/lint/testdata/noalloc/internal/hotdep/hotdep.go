@@ -1,0 +1,8 @@
+// Package hotdep proves the reachability walk crosses package
+// boundaries inside the module.
+package hotdep
+
+// Burn allocates; callers on a noalloc path inherit the finding.
+func Burn(n int) []int {
+	return make([]int, n) // want "make allocates"
+}

@@ -1,0 +1,13 @@
+// Command tool is a CLI: human-facing stdout is its job, so the
+// exempt-dirs list keeps slogonly out of it.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+func main() {
+	fmt.Println("ok")
+	log.Printf("done")
+}

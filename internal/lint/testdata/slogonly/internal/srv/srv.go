@@ -1,0 +1,23 @@
+// Package srv is server code: the slog-only contract applies.
+package srv
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+)
+
+// Handle logs every way the analyzer must catch, then every way it
+// must allow.
+func Handle(n int) string {
+	log.Printf("n=%d", n)               // want "bypasses structured logging"
+	fmt.Println("handled", n)           // want "writes to stdout"
+	fmt.Fprintf(os.Stderr, "n=%d\n", n) // want "to os.Stderr bypasses structured logging"
+	println("dbg", n)                   // want "println builtin writes to stderr"
+	slog.Info("handled", "n", n)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "n=%d", n)
+	return buf.String()
+}

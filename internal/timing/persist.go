@@ -28,7 +28,7 @@ const persistVersion = 1
 func (c *Calibration) MarshalJSON() ([]byte, error) {
 	c.mu.Lock()
 	global := make(map[string]float64, len(c.gcache))
-	for k, v := range c.gcache {
+	for k, v := range c.gcache { //gpuperf:unordered map-to-map copy; the JSON encoder sorts the assembled map's keys
 		global[fmt.Sprintf("%d/%d/%d", k.blocks, k.threads, k.trans)] = v
 	}
 	c.mu.Unlock()
@@ -150,7 +150,7 @@ func LoadCalibration(data []byte) (*Calibration, error) {
 		}
 	}
 	c.sharedTx = p.SharedTx
-	for k, v := range p.Global {
+	for k, v := range p.Global { //gpuperf:unordered map-to-map copy; cache lookups are keyed, never ordered
 		var g gkey
 		if _, err := fmt.Sscanf(k, "%d/%d/%d", &g.blocks, &g.threads, &g.trans); err != nil {
 			return nil, fmt.Errorf("timing: bad global cache key %q", k)

@@ -178,7 +178,7 @@ func (r *Registry) Clone() *Registry {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	c := NewRegistry()
-	for name, s := range r.specs {
+	for name, s := range r.specs { //gpuperf:unordered map-to-map copy; every ordered view sorts (Specs, Names)
 		c.specs[name] = s
 	}
 	return c
@@ -347,11 +347,15 @@ func builtinSpecs() []KernelSpec {
 			Build:        buildMatmul(tile),
 		})
 	}
-	for name, kind := range map[string]kernels.SpMVKind{
-		"spmv-ell":       kernels.ELL,
-		"spmv-bell-im":   kernels.BELLIM,
-		"spmv-bell-imiv": kernels.BELLIMIV,
+	for _, v := range []struct {
+		name string
+		kind kernels.SpMVKind
+	}{
+		{"spmv-ell", kernels.ELL},
+		{"spmv-bell-im", kernels.BELLIM},
+		{"spmv-bell-imiv", kernels.BELLIMIV},
 	} {
+		name, kind := v.name, v.kind
 		specs = append(specs, KernelSpec{
 			Name:        name,
 			Description: fmt.Sprintf("QCD-like SpMV, %s storage (paper §5.3)", kind),

@@ -212,7 +212,7 @@ func newResult(req Request, dev Device, w *Workload, est *model.Estimate, stats 
 	if len(stats.RegionTraffic) > 0 {
 		native := dev.MinSegmentBytes
 		r.Stats.Regions = map[string]RegionTraffic{}
-		for name, perSeg := range stats.RegionTraffic {
+		for name, perSeg := range stats.RegionTraffic { //gpuperf:unordered map-to-map copy; the JSON encoder sorts Regions' keys
 			t := perSeg[native]
 			r.Stats.Regions[name] = RegionTraffic{
 				Transactions: t.Transactions,

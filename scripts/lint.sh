@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# lint.sh — run the repo's full static-analysis gate locally: the
+# same checks CI's lint job performs, in the same order.
+#
+#   1. go vet            — the stock toolchain checks
+#   2. cmd/gpuperflint   — the repo's own analyzer suite: layering,
+#                          noalloc, determinism, slogonly, ctxprop
+#                          (see internal/lint and DESIGN.md)
+#   3. govulncheck       — known-vulnerability scan, only if the tool
+#                          is already installed (it needs network to
+#                          fetch the vuln DB, so offline dev
+#                          environments skip it; CI always runs it)
+#
+# Usage:
+#   scripts/lint.sh            # whole module
+#   scripts/lint.sh ./cmd/...  # restrict gpuperflint's reporting
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== gpuperflint"
+go run ./cmd/gpuperflint "${@:-./...}"
+
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "== govulncheck"
+  govulncheck ./...
+else
+  echo "== govulncheck: not installed, skipping (CI runs it;" \
+       "install with: go install golang.org/x/vuln/cmd/govulncheck@latest)"
+fi
